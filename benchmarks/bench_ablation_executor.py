@@ -1,0 +1,48 @@
+"""Ablation: brute-force vs parallel-sweepline GPU executor (paper §IV-E).
+
+OpenDRC selects per task: brute force for small edge counts, the two-kernel
+sweepline for large ones. Forcing each executor across all tasks shows the
+crossover the adaptive threshold exploits.
+"""
+
+import pytest
+
+from repro.core import Engine, EngineOptions
+from repro.workloads import asap7
+
+from .common import design
+
+FORCE_BRUTE = 10 ** 9
+FORCE_SWEEP = 0
+
+
+@pytest.mark.parametrize("design_name", ["ibex", "jpeg"])
+@pytest.mark.parametrize(
+    "threshold",
+    [FORCE_BRUTE, FORCE_SWEEP, 256],
+    ids=["all-bruteforce", "all-sweepline", "adaptive"],
+)
+def test_executor_choice_m1_spacing(benchmark, design_name, threshold):
+    layout = design(design_name)
+    rule = asap7.spacing_rule(asap7.M1)
+
+    def run():
+        engine = Engine(
+            options=EngineOptions(mode="parallel", brute_force_threshold=threshold)
+        )
+        return engine.check(layout, rules=[rule])
+
+    report = benchmark(run)
+    assert report.passed
+
+
+def test_executors_equivalent():
+    layout = design("ibex")
+    rule = asap7.spacing_rule(asap7.M1)
+    results = []
+    for threshold in (FORCE_BRUTE, FORCE_SWEEP):
+        engine = Engine(
+            options=EngineOptions(mode="parallel", brute_force_threshold=threshold)
+        )
+        results.append(engine.check(layout, rules=[rule]).results[0].violation_set())
+    assert results[0] == results[1]

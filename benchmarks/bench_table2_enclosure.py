@@ -1,0 +1,42 @@
+"""Table II (right half): inter-layer enclosure checks (V1.M1, V2.M2, V2.M3).
+
+Expected shape (paper §VI): OpenDRC-par ~4.7x vs OpenDRC-seq, ~2.9x vs
+X-Check, ~61.5x vs KLayout-tile.
+"""
+
+import pytest
+
+from repro.core import Engine
+from repro.workloads import asap7
+
+from .common import TABLE_DESIGNS, design, verify_agreement
+from .tables import table2_enclosure
+
+
+@pytest.mark.parametrize("design_name", TABLE_DESIGNS)
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+def test_opendrc_enclosure_deck(benchmark, design_name, mode):
+    layout = design(design_name)
+    deck = asap7.enclosure_deck()
+
+    def run():
+        engine = Engine(mode=mode)
+        return engine.check(layout, rules=deck)
+
+    report = benchmark(run)
+    benchmark.extra_info["violations"] = report.total_violations
+    assert report.passed
+
+
+def test_enclosure_agreement():
+    for design_name in ("uart", "ibex"):
+        layout = design(design_name)
+        for rule in asap7.enclosure_deck():
+            verify_agreement(layout, rule)
+
+
+def test_table2_enclosure_print(benchmark, capsys):
+    table = benchmark.pedantic(table2_enclosure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

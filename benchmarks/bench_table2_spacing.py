@@ -1,0 +1,44 @@
+"""Table II (left half): inter-polygon spacing checks (M1/M2/M3.S.1).
+
+Expected shape (paper §VI): OpenDRC-par fastest — ~3.2x vs OpenDRC-seq,
+~5.6x vs X-Check, ~12x vs KLayout-tile; OpenDRC-seq 14.9-91.3x vs
+KLayout flat/deep; jpeg's dense M3 blows up the flat/deep columns (deep
+worst, inverting the usual deep<flat ordering — the 3588s row).
+"""
+
+import pytest
+
+from repro.core import Engine
+from repro.workloads import asap7
+
+from .common import TABLE_DESIGNS, design, verify_agreement
+from .tables import table2_spacing
+
+
+@pytest.mark.parametrize("design_name", TABLE_DESIGNS)
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+def test_opendrc_spacing_deck(benchmark, design_name, mode):
+    layout = design(design_name)
+    deck = asap7.spacing_deck()
+
+    def run():
+        engine = Engine(mode=mode)
+        return engine.check(layout, rules=deck)
+
+    report = benchmark(run)
+    benchmark.extra_info["violations"] = report.total_violations
+    assert report.passed
+
+
+def test_spacing_agreement():
+    for design_name in ("uart", "ibex"):
+        layout = design(design_name)
+        for rule in asap7.spacing_deck():
+            verify_agreement(layout, rule)
+
+
+def test_table2_spacing_print(benchmark, capsys):
+    table = benchmark.pedantic(table2_spacing, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,64 @@
+"""Rule-level task parallelism (paper §I: "different design rules can be
+checked concurrently, attaining task parallelism, which could be further
+combined with data parallelism").
+
+The application-layer task graph runs the deck once, then replays the
+measured per-rule durations over worker pools: the makespan curves show how
+much of the deck parallelizes at rule granularity, in both engine modes
+(mode=parallel is the paper's "combined with data parallelism" point).
+"""
+
+import pytest
+
+from repro.core import Engine
+from repro.workloads import asap7
+
+from .common import design
+
+
+@pytest.mark.parametrize("design_name", ["aes", "jpeg"])
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+def test_task_graph_deck(benchmark, design_name, mode):
+    layout = design(design_name)
+    deck = asap7.full_deck()
+
+    def run():
+        return Engine(mode=mode).check_with_task_graph(layout, rules=deck, workers=4)
+
+    report, analysis = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    benchmark.extra_info["serial_ms"] = round(analysis.serial_seconds * 1e3, 2)
+    benchmark.extra_info["critical_path_ms"] = round(
+        analysis.critical_path_seconds() * 1e3, 2
+    )
+    for workers in (2, 4, 8):
+        benchmark.extra_info[f"makespan_{workers}w_ms"] = round(
+            analysis.makespan(workers) * 1e3, 2
+        )
+
+
+def test_task_parallelism_print(benchmark, capsys):
+    def table():
+        lines = [
+            "Rule-level task parallelism (full deck, sequential mode):",
+            f"{'design':<8} {'serial ms':>10} {'critical ms':>12} "
+            f"{'2w':>8} {'4w':>8} {'8w':>8}",
+        ]
+        for design_name in ("uart", "ibex", "aes", "jpeg"):
+            layout = design(design_name)
+            _, analysis = Engine(mode="sequential").check_with_task_graph(
+                layout, rules=asap7.full_deck()
+            )
+            lines.append(
+                f"{design_name:<8} {analysis.serial_seconds * 1e3:>10.1f} "
+                f"{analysis.critical_path_seconds() * 1e3:>12.1f} "
+                + " ".join(
+                    f"{analysis.makespan(w) * 1e3:>8.1f}" for w in (2, 4, 8)
+                )
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(table, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,98 @@
+"""Shared benchmark infrastructure: design cache and checker column runners.
+
+Every table cell is one (design, rule, checker) measurement. Checkers are
+rebuilt per cell and flatten caches cleared so that each cell pays its full
+honest cost (parsing/database setup excluded, as in the paper, which reports
+check runtime).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines import KLayoutLikeChecker, UnsupportedRuleError, XCheckChecker
+from repro.core import Engine, EngineOptions
+from repro.core.rules import Rule
+from repro.layout.library import Layout
+from repro.workloads import DESIGN_NAMES, build_design
+
+#: Design order used in the paper's tables.
+TABLE_DESIGNS = ("aes", "ethmac", "ibex", "jpeg", "sha3", "uart")
+
+#: Benchmark scale: override with REPRO_SCALE=paper for full-size runs.
+SCALE = os.environ.get("REPRO_SCALE", "ci")
+
+_design_cache: Dict[Tuple[str, str], Layout] = {}
+
+
+def design(name: str, scale: str = SCALE) -> Layout:
+    key = (name, scale)
+    if key not in _design_cache:
+        _design_cache[key] = build_design(name, scale)
+    return _design_cache[key]
+
+
+ColumnRunner = Callable[[Layout, Rule], Optional[float]]
+
+
+def run_klayout(mode: str) -> ColumnRunner:
+    def runner(layout: Layout, rule: Rule) -> Optional[float]:
+        checker = KLayoutLikeChecker(layout, mode)
+        _, seconds = checker.run(rule)
+        return seconds
+
+    return runner
+
+
+def run_xcheck(layout: Layout, rule: Rule) -> Optional[float]:
+    checker = XCheckChecker(layout)
+    try:
+        _, seconds = checker.run(rule)
+    except UnsupportedRuleError:
+        return None  # X-Check cannot perform area checks (paper Table I)
+    return seconds
+
+
+def run_opendrc(mode: str, **options) -> ColumnRunner:
+    def runner(layout: Layout, rule: Rule) -> Optional[float]:
+        engine = Engine(options=EngineOptions(mode=mode, **options))
+        report = engine.check(layout, rules=[rule])
+        return report.results[0].seconds
+
+    return runner
+
+
+#: The six columns of the paper's tables, in order.
+TABLE_COLUMNS: List[Tuple[str, ColumnRunner]] = [
+    ("KL-flat", run_klayout("flat")),
+    ("KL-deep", run_klayout("deep")),
+    ("KL-tile", run_klayout("tile")),
+    ("X-Check", run_xcheck),
+    ("ODRC-seq", run_opendrc("sequential")),
+    ("ODRC-par", run_opendrc("parallel")),
+]
+
+
+def verify_agreement(layout: Layout, rule: Rule) -> int:
+    """Assert all checkers report the same violations; returns the count.
+
+    Run before timing so a table is never produced from disagreeing
+    checkers.
+    """
+    reference = (
+        Engine(mode="sequential").check(layout, rules=[rule]).results[0].violation_set()
+    )
+    parallel = (
+        Engine(mode="parallel").check(layout, rules=[rule]).results[0].violation_set()
+    )
+    assert parallel == reference, f"parallel disagrees on {rule.name}"
+    for mode in ("flat", "deep", "tile"):
+        violations, _ = KLayoutLikeChecker(layout, mode).run(rule)
+        assert frozenset(violations) == reference, f"klayout-{mode} disagrees on {rule.name}"
+    xcheck = XCheckChecker(layout)
+    if xcheck.supports(rule):
+        violations, _ = xcheck.run(rule)
+        assert frozenset(violations) == reference, f"xcheck disagrees on {rule.name}"
+    return len(reference)

@@ -1,0 +1,52 @@
+"""Fig. 2 illustration: the GDSII stream grammar in action.
+
+Writes a benchmark design to a genuine GDSII stream file, dumps the record
+structure (the <library> -> <structure>* -> <element>* grammar of Fig. 2),
+reads it back, and verifies the layout database is geometrically identical.
+
+    python examples/gdsii_roundtrip.py
+"""
+
+import collections
+import tempfile
+from pathlib import Path
+
+from repro.gdsii import read, read_layout, unpack_records, write
+from repro.layout import compute_stats, flatten_layer, gdsii_from_layout
+from repro.workloads import build_design
+
+
+def main() -> None:
+    layout = build_design("uart")
+    print("source:", compute_stats(layout).summary())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "uart.gds"
+        write(gdsii_from_layout(layout), path)
+        size = path.stat().st_size
+        print(f"\nwrote {path.name}: {size} bytes")
+
+        # Record-level view (the Fig. 2 grammar as a flat stream).
+        records = unpack_records(path.read_bytes())
+        histogram = collections.Counter(r.record_type.name for r in records)
+        print("record histogram:")
+        for name, count in histogram.most_common(12):
+            print(f"  {name:<10} {count}")
+
+        # Structure-level view.
+        library = read(path)
+        print(f"\nlibrary {library.name!r}: {len(library.structures)} structures; "
+              f"tops = {[s.name for s in library.top_structures()]}")
+
+        # Round-trip verification: flat geometry identical per layer.
+        rebuilt = read_layout(path)
+        rebuilt.set_top("top")
+        for layer in layout.layers():
+            original = sorted(p.mbr for p in flatten_layer(layout, layer))
+            recovered = sorted(p.mbr for p in flatten_layer(rebuilt, layer))
+            assert original == recovered, f"layer {layer} mismatch"
+        print("round trip verified: flat geometry identical on every layer")
+
+
+if __name__ == "__main__":
+    main()

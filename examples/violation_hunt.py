@@ -1,0 +1,49 @@
+"""Violation-hunt scenario: plant known violations and recover all of them.
+
+A physical-verification engineer's regression flow: take a clean design,
+inject a controlled population of spacing / width / area / enclosure
+violations, run the checker, and confirm exact recall — every planted
+violation found, nothing else flagged. Also demonstrates the machine-
+readable CSV marker output.
+
+    python examples/violation_hunt.py
+"""
+
+import repro as odrc
+from repro.checks import sort_violations
+from repro.workloads import InjectionPlan, asap7, build_design, inject_violations
+
+
+def main() -> None:
+    layout = build_design("ibex")
+    plan = InjectionPlan(spacing=4, width=3, area=2, enclosure=3)
+    expected = inject_violations(
+        layout, plan, layer=asap7.M2, via_layer=asap7.V2, metal_layer=asap7.M2, seed=42
+    )
+    print(f"planted {len(expected)} violations into 'ibex' (M2 scratch strip)")
+
+    deck = [
+        asap7.spacing_rule(asap7.M2),
+        asap7.width_rule(asap7.M2),
+        asap7.area_rule(asap7.M2),
+        asap7.enclosure_rule(asap7.V2, asap7.M2),
+    ]
+    engine = odrc.Engine(mode="parallel")
+    report = engine.check(layout, rules=deck)
+
+    found = {v for result in report.results for v in result.violations}
+    missing = set(expected) - found
+    extra = found - set(expected)
+    print(f"found {len(found)}; missing {len(missing)}; unexpected {len(extra)}")
+    assert not missing and not extra, "recall failure!"
+
+    print("\nmarkers (CSV):")
+    print(report.to_csv())
+
+    print("\nworst violations first:")
+    for violation in sort_violations(found)[:5]:
+        print(f"  {violation}")
+
+
+if __name__ == "__main__":
+    main()

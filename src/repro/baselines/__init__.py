@@ -1,0 +1,6 @@
+"""Baseline checkers the paper compares against (KLayout modes, X-Check)."""
+
+from .klayout_like import KLayoutLikeChecker
+from .xcheck import UnsupportedRuleError, XCheckChecker
+
+__all__ = ["KLayoutLikeChecker", "UnsupportedRuleError", "XCheckChecker"]

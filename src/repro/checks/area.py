@@ -1,0 +1,36 @@
+"""Minimum area check (intra-polygon, Shoelace Theorem — paper §IV-D).
+
+X-Check cannot perform this rule (its evaluation column is empty in the
+paper's Table I); OpenDRC adds it, and so do we.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..geometry import Polygon
+from .base import Violation, ViolationKind
+
+
+def check_polygon_area(polygon: Polygon, layer: int, min_area: int) -> List[Violation]:
+    """Flag ``polygon`` if its Shoelace area is below ``min_area``."""
+    area = polygon.area
+    if area >= min_area:
+        return []
+    return [
+        Violation(
+            kind=ViolationKind.AREA,
+            layer=layer,
+            region=polygon.mbr,
+            measured=area,
+            required=min_area,
+        )
+    ]
+
+
+def check_area(polygons, layer: int, min_area: int) -> List[Violation]:
+    """Area violations over a polygon collection."""
+    violations: List[Violation] = []
+    for polygon in polygons:
+        violations.extend(check_polygon_area(polygon, layer, min_area))
+    return violations

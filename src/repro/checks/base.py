@@ -1,0 +1,84 @@
+"""Violation model shared by every checker in the repository.
+
+All five checkers (OpenDRC sequential/parallel, the KLayout-like baselines,
+and the X-Check reimplementation) report violations in this one vocabulary so
+that results are directly set-comparable — the cross-validation tests rely
+on exact equality of violation sets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet, List, Optional, Sequence
+
+from ..geometry import Rect
+
+
+class ViolationKind(enum.Enum):
+    """What a violation is an instance of."""
+
+    WIDTH = "width"
+    SPACING = "spacing"
+    ENCLOSURE = "enclosure"
+    AREA = "area"
+    SHAPE = "shape"
+    PREDICATE = "predicate"
+    CORNER = "corner"
+    OVERLAP = "overlap"
+    COLOR = "color"
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One design-rule violation.
+
+    ``region`` is the canonical marker geometry: the strip between the two
+    offending edges for distance rules, the polygon MBR for area/shape/
+    predicate rules. ``measured``/``required`` carry the failing quantity
+    (distance in dbu, or area in dbu^2).
+    """
+
+    kind: ViolationKind
+    layer: int
+    region: Rect
+    measured: int
+    required: int
+    other_layer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.region.is_empty:
+            raise ValueError("violation region must be non-empty")
+
+    @property
+    def deficit(self) -> int:
+        """How far below the requirement the measurement fell."""
+        return self.required - self.measured
+
+    def translated(self, dx: int, dy: int) -> "Violation":
+        return dataclasses.replace(self, region=self.region.translated(dx, dy))
+
+    def transformed(self, transform) -> "Violation":
+        return dataclasses.replace(self, region=transform.apply_rect(self.region))
+
+    def __str__(self) -> str:
+        target = f"L{self.layer}"
+        if self.other_layer is not None:
+            target += f"/L{self.other_layer}"
+        return (
+            f"{self.kind.value} on {target} at {self.region!r}: "
+            f"{self.measured} < {self.required}"
+        )
+
+
+def violation_set(violations: Sequence[Violation]) -> FrozenSet[Violation]:
+    """Deduplicated, order-free view used for cross-checker comparison."""
+    return frozenset(violations)
+
+
+def sort_violations(violations: Sequence[Violation]) -> List[Violation]:
+    """Stable, human-friendly report order."""
+    return sorted(
+        violations,
+        key=lambda v: (v.layer, v.kind.value, v.region, v.measured),
+    )

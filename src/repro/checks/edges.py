@@ -1,0 +1,143 @@
+"""Edge-pair primitives behind all distance rules (paper §IV-D).
+
+Every distance rule reduces to classifying pairs of parallel edges by which
+sides of them are polygon interior:
+
+* **width** pair — the interiors face each other (the strip between the
+  edges is inside the polygon): both ``e1.faces(e2)`` and ``e2.faces(e1)``;
+* **spacing** pair — the exteriors face each other (the strip between the
+  edges is outside both polygons): neither faces the other, with a strictly
+  positive gap. A zero gap means the shapes abut, which this engine (like
+  merged-region checkers) treats as connected rather than violating.
+
+Both classifications additionally require a positive common projection; pure
+corner-to-corner proximity is out of scope for the reproduced rule set (the
+paper's roadmap defers "general geometric shapes").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from ..geometry import Edge, Polygon, Rect
+
+
+def is_width_pair(e1: Edge, e2: Edge) -> bool:
+    """True if the strip between two parallel edges is polygon interior."""
+    if e1.orientation is not e2.orientation:
+        return False
+    if e1.projection_overlap(e2) <= 0:
+        return False
+    return e1.faces(e2) and e2.faces(e1)
+
+
+def is_spacing_pair(e1: Edge, e2: Edge) -> bool:
+    """True if the strip between two parallel edges is exterior to both."""
+    if e1.orientation is not e2.orientation:
+        return False
+    if e1.projection_overlap(e2) <= 0:
+        return False
+    if e1.separation(e2) == 0:
+        return False  # collinear edges: abutting shapes, treated as connected
+    return not e1.faces(e2) and not e2.faces(e1)
+
+
+def width_violation_regions(polygon: Polygon, min_width: int) -> List[Tuple[Rect, int]]:
+    """All interior strips of ``polygon`` narrower than ``min_width``.
+
+    Returns ``(region, measured_distance)`` per violating edge pair.
+    """
+    return _facing_pairs(polygon.edges(), polygon.edges(), min_width, want_width=True, skip=True)
+
+
+def spacing_violation_regions(
+    edges_a: Sequence[Edge],
+    edges_b: Sequence[Edge],
+    min_space: int,
+    *,
+    same_object: bool = False,
+) -> List[Tuple[Rect, int]]:
+    """Exterior strips between two edge sets narrower than ``min_space``.
+
+    With ``same_object=True`` both sequences are the same polygon's edges and
+    only unordered pairs are inspected (notch detection).
+    """
+    return _facing_pairs(edges_a, edges_b, min_space, want_width=False, skip=same_object)
+
+
+def _edge_row(edge: Edge) -> Tuple[bool, int, int, int, int]:
+    """(is_horizontal, fixed, lo, hi, interior-sign) of one edge.
+
+    The interior sign is the +/-1 component of the interior normal along
+    the perpendicular axis — the only classification input the pair loops
+    need. Precomputing it sidesteps per-pair property calls.
+    """
+    x1, y1 = edge.start
+    x2, y2 = edge.end
+    if y1 == y2:  # horizontal; EAST travel has interior south (-1)
+        sign = -1 if x2 > x1 else 1
+        return (True, y1, min(x1, x2), max(x1, x2), sign)
+    sign = 1 if y2 > y1 else -1  # vertical; NORTH travel has interior east
+    return (False, x1, min(y1, y2), max(y1, y2), sign)
+
+
+def _facing_pairs(
+    edges_a: Sequence[Edge],
+    edges_b: Sequence[Edge],
+    threshold: int,
+    *,
+    want_width: bool,
+    skip: bool,
+) -> List[Tuple[Rect, int]]:
+    rows_a = [_edge_row(e) for e in edges_a]
+    rows_b = rows_a if skip else [_edge_row(e) for e in edges_b]
+    # Width pairs need the near edge's interior normal pointing at the far
+    # edge (sign +1 toward greater coordinates); spacing pairs the opposite.
+    near_sign = 1 if want_width else -1
+    results: List[Tuple[Rect, int]] = []
+    for i, (h1, f1, lo1, hi1, s1) in enumerate(rows_a):
+        start = i + 1 if skip else 0
+        for h2, f2, lo2, hi2, s2 in rows_b[start:]:
+            if h1 != h2:
+                continue
+            delta = f2 - f1
+            if delta >= 0:
+                distance = delta
+                sign_near, sign_far = s1, s2
+            else:
+                distance = -delta
+                sign_near, sign_far = s2, s1
+            if distance == 0 or distance >= threshold:
+                continue
+            if sign_near != near_sign or sign_far != -near_sign:
+                continue
+            lo = lo1 if lo1 > lo2 else lo2
+            hi = hi1 if hi1 < hi2 else hi2
+            if hi <= lo:
+                continue
+            c1, c2 = (f1, f2) if f1 < f2 else (f2, f1)
+            region = Rect(lo, c1, hi, c2) if h1 else Rect(c1, lo, c2, hi)
+            results.append((region, distance))
+    return results
+
+
+def polygon_spacing_violations(
+    p: Polygon, q: Polygon, min_space: int
+) -> List[Tuple[Rect, int]]:
+    """Spacing violations between two distinct polygons."""
+    return spacing_violation_regions(p.edges(), q.edges(), min_space)
+
+
+def polygon_notch_violations(p: Polygon, min_space: int) -> List[Tuple[Rect, int]]:
+    """Spacing violations of a polygon against itself (notches)."""
+    return spacing_violation_regions(p.edges(), p.edges(), min_space, same_object=True)
+
+
+def iter_parallel_pairs(
+    edges_a: Sequence[Edge], edges_b: Sequence[Edge]
+) -> Iterator[Tuple[Edge, Edge]]:
+    """All parallel edge pairs with a positive common projection."""
+    for e1 in edges_a:
+        for e2 in edges_b:
+            if e1.orientation is e2.orientation and e1.projection_overlap(e2) > 0:
+                yield e1, e2

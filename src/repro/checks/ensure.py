@@ -1,0 +1,32 @@
+"""User-defined predicate rule (paper Listing 1, rule 3: ``ensures()``).
+
+``ensures`` takes any callable over a polygon; a falsy result flags the
+polygon. This is the extensibility hook the paper's general programming
+interface exposes to researchers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..geometry import Polygon
+from .base import Violation, ViolationKind
+
+
+def check_ensures(
+    polygons, layer: int, predicate: Callable[[Polygon], bool]
+) -> List[Violation]:
+    """Flag every polygon for which ``predicate`` returns falsy."""
+    violations: List[Violation] = []
+    for polygon in polygons:
+        if not predicate(polygon):
+            violations.append(
+                Violation(
+                    kind=ViolationKind.PREDICATE,
+                    layer=layer,
+                    region=polygon.mbr,
+                    measured=0,
+                    required=1,
+                )
+            )
+    return violations

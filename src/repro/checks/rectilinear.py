@@ -1,0 +1,31 @@
+"""Shape rule: all polygons must be rectilinear (paper Listing 1, rule 1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..geometry import Polygon
+from .base import Violation, ViolationKind
+
+
+def check_polygon_rectilinear(polygon: Polygon, layer: int) -> List[Violation]:
+    """Flag a polygon with any non-axis-parallel edge."""
+    if polygon.is_rectilinear:
+        return []
+    return [
+        Violation(
+            kind=ViolationKind.SHAPE,
+            layer=layer,
+            region=polygon.mbr,
+            measured=0,
+            required=1,
+        )
+    ]
+
+
+def check_rectilinear(polygons, layer: int) -> List[Violation]:
+    """Rectilinearity check over a polygon collection."""
+    violations: List[Violation] = []
+    for polygon in polygons:
+        violations.extend(check_polygon_rectilinear(polygon, layer))
+    return violations

@@ -1,0 +1,31 @@
+"""Minimum width check (intra-polygon distance rule)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..geometry import Polygon
+from .base import Violation, ViolationKind
+from .edges import width_violation_regions
+
+
+def check_polygon_width(polygon: Polygon, layer: int, min_width: int) -> List[Violation]:
+    """Width violations of one polygon: interior strips narrower than ``min_width``."""
+    return [
+        Violation(
+            kind=ViolationKind.WIDTH,
+            layer=layer,
+            region=region,
+            measured=distance,
+            required=min_width,
+        )
+        for region, distance in width_violation_regions(polygon, min_width)
+    ]
+
+
+def check_width(polygons, layer: int, min_width: int) -> List[Violation]:
+    """Width violations over a polygon collection."""
+    violations: List[Violation] = []
+    for polygon in polygons:
+        violations.extend(check_polygon_width(polygon, layer, min_width))
+    return violations

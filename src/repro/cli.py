@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``check <file.gds>``
+    Run a rule deck on a GDSII file and print the report (optionally CSV
+    markers). The default deck is the ASAP7-like benchmark deck; a custom
+    deck is any Python file defining ``RULES = [...]`` with DSL rules.
+``stats <file.gds>``
+    Print layout statistics (cells, instances, flat polygons, hierarchy).
+``synth <design> <out.gds>``
+    Synthesize one of the six benchmark designs to a GDSII file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from typing import List, Optional
+
+from .core import Engine, EngineOptions
+from .core.rules import Rule
+from .gdsii import read_layout, write
+from .layout import compute_stats, gdsii_from_layout
+from .workloads import DESIGN_NAMES, asap7, build_design
+
+
+def _load_deck(path: Optional[str]) -> List[Rule]:
+    if path is None:
+        return asap7.full_deck()
+    namespace = runpy.run_path(path)
+    rules = namespace.get("RULES")
+    if not isinstance(rules, list) or not all(isinstance(r, Rule) for r in rules):
+        raise SystemExit(f"{path} must define RULES = [<Rule>, ...]")
+    return rules
+
+
+def _read(path: str, top: Optional[str]):
+    layout = read_layout(path)
+    if top:
+        layout.set_top(top)
+    return layout
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    layout = _read(args.file, args.top)
+    engine = Engine(
+        options=EngineOptions(mode=args.mode, use_rows=not args.no_rows)
+    )
+    report = engine.check(layout, rules=_load_deck(args.deck))
+    if args.waivers:
+        from .core.markers import apply_waivers, load_waivers
+
+        report = apply_waivers(report, load_waivers(args.waivers))
+    if args.output:
+        from .core.markers import save_markers
+
+        save_markers(report, args.output)
+        print(f"wrote marker database: {args.output}")
+    if args.csv:
+        print(report.to_csv())
+    else:
+        print(report.summary())
+        if args.breakdown:
+            for name, profile in engine.last_profiles.items():
+                print(f"\n[{name}]")
+                print(profile.breakdown_table())
+    return 0 if report.passed else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    layout = _read(args.file, args.top)
+    stats = compute_stats(layout)
+    print(stats.summary())
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    layout = build_design(args.design, args.scale)
+    write(gdsii_from_layout(layout), args.out)
+    print(f"wrote {args.out}: {compute_stats(layout).summary()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OpenDRC-reproduction design rule checker"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run a rule deck on a GDSII file")
+    check.add_argument("file")
+    check.add_argument("--deck", help="Python file defining RULES = [...]")
+    check.add_argument(
+        "--mode", choices=["sequential", "parallel"], default="sequential"
+    )
+    check.add_argument("--top", help="top cell name (default: inferred)")
+    check.add_argument("--csv", action="store_true", help="print CSV markers")
+    check.add_argument("--output", help="write a JSON marker database")
+    check.add_argument("--waivers", help="apply a JSON waiver file before reporting")
+    check.add_argument(
+        "--breakdown", action="store_true", help="print per-rule phase breakdowns"
+    )
+    check.add_argument(
+        "--no-rows", action="store_true", help="disable the adaptive row partition"
+    )
+    check.set_defaults(func=cmd_check)
+
+    stats = sub.add_parser("stats", help="print layout statistics")
+    stats.add_argument("file")
+    stats.add_argument("--top")
+    stats.set_defaults(func=cmd_stats)
+
+    synth = sub.add_parser("synth", help="synthesize a benchmark design")
+    synth.add_argument("design", choices=sorted(DESIGN_NAMES))
+    synth.add_argument("out")
+    synth.add_argument("--scale", choices=["ci", "paper"], default="ci")
+    synth.set_defaults(func=cmd_synth)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

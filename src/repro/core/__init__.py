@@ -1,0 +1,44 @@
+"""OpenDRC's core: rule DSL, engine, sequential/parallel checkers, results."""
+
+from .engine import MODE_PARALLEL, MODE_SEQUENTIAL, Engine, EngineOptions
+from .incremental import check_window
+from .parallel import DEFAULT_BRUTE_FORCE_THRESHOLD, ParallelChecker
+from .scheduler import ScheduleAnalysis, Task, TaskGraph, build_rule_graph
+from .results import CheckReport, CheckResult, merge_reports
+from .rules import (
+    LayerSelector,
+    MeasureSelector,
+    PolygonSelector,
+    Rule,
+    RuleKind,
+    layer,
+    polygons,
+    validate_rules,
+)
+from .sequential import SequentialChecker
+
+__all__ = [
+    "DEFAULT_BRUTE_FORCE_THRESHOLD",
+    "CheckReport",
+    "CheckResult",
+    "Engine",
+    "EngineOptions",
+    "LayerSelector",
+    "MODE_PARALLEL",
+    "MODE_SEQUENTIAL",
+    "MeasureSelector",
+    "ParallelChecker",
+    "PolygonSelector",
+    "Rule",
+    "RuleKind",
+    "ScheduleAnalysis",
+    "SequentialChecker",
+    "Task",
+    "TaskGraph",
+    "build_rule_graph",
+    "check_window",
+    "layer",
+    "merge_reports",
+    "polygons",
+    "validate_rules",
+]

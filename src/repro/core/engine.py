@@ -1,0 +1,204 @@
+"""The OpenDRC engine facade (paper Fig. 1 / Listing 1).
+
+Usage mirrors the paper::
+
+    import repro as odrc
+
+    db = odrc.gdsii.read_layout("design.gds")
+    engine = odrc.Engine(mode="parallel")
+    engine.add_rules([
+        odrc.rules.polygons().is_rectilinear(),
+        odrc.rules.layer(19).width().greater_than(18),
+    ])
+    report = engine.check(db)
+
+``check`` runs the full flow: parse/database (done by the caller), layer-wise
+hierarchy-tree construction, adaptive row partition, then the sequential or
+parallel branch per rule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..gpu.device import Device
+from ..hierarchy.tree import HierarchyTree
+from ..layout.library import Layout
+from ..util.profile import PhaseProfile
+from .parallel import DEFAULT_BRUTE_FORCE_THRESHOLD, ParallelChecker
+from .results import CheckReport, CheckResult
+from .rules import Rule, validate_rules
+from .sequential import SequentialChecker
+
+MODE_SEQUENTIAL = "sequential"
+MODE_PARALLEL = "parallel"
+
+
+@dataclasses.dataclass
+class EngineOptions:
+    """Tuning knobs; defaults match the paper's described behaviour."""
+
+    mode: str = MODE_SEQUENTIAL
+    use_rows: bool = True  # adaptive row partition (paper §IV-B)
+    num_streams: int = 2  # CUDA streams for async overlap (paper §V-C)
+    brute_force_threshold: int = DEFAULT_BRUTE_FORCE_THRESHOLD  # executor choice (§IV-E)
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_SEQUENTIAL, MODE_PARALLEL):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+
+class Engine:
+    """The DRC engine: holds a rule deck and executes it on layouts."""
+
+    def __init__(
+        self,
+        mode: str = MODE_SEQUENTIAL,
+        *,
+        options: Optional[EngineOptions] = None,
+        device: Optional[Device] = None,
+    ) -> None:
+        self.options = options if options is not None else EngineOptions(mode=mode)
+        if options is None:
+            self.options.mode = mode
+        self.device = device
+        self.rules: List[Rule] = []
+        #: Profiles of the last check() call, keyed by rule name (Fig. 4 data).
+        self.last_profiles: Dict[str, PhaseProfile] = {}
+        self.last_checker = None
+
+    # -- deck management ------------------------------------------------------
+
+    def add_rules(self, rules: Sequence[Rule]) -> "Engine":
+        """Append rules to the deck (chainable, as in Listing 1)."""
+        combined = self.rules + list(rules)
+        validate_rules(combined)
+        self.rules = combined
+        return self
+
+    def add_rule(self, rule: Rule) -> "Engine":
+        return self.add_rules([rule])
+
+    def clear_rules(self) -> "Engine":
+        self.rules = []
+        return self
+
+    # -- execution ---------------------------------------------------------------
+
+    def check(
+        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None
+    ) -> CheckReport:
+        """Run the deck (or an explicit rule list) on ``layout``."""
+        deck = list(rules) if rules is not None else self.rules
+        if not deck:
+            raise ValueError("no rules to check; call add_rules() first")
+        validate_rules(deck)
+
+        tree = HierarchyTree(layout)
+        checker = self._make_checker(layout, tree)
+        self.last_checker = checker
+        self.last_profiles = {}
+
+        results: List[CheckResult] = []
+        for rule in deck:
+            profile = PhaseProfile()
+            start = time.perf_counter()
+            violations = checker.run(rule, profile)
+            seconds = time.perf_counter() - start
+            self.last_profiles[rule.name] = profile
+            results.append(
+                CheckResult(
+                    rule=rule,
+                    violations=violations,
+                    seconds=seconds,
+                    profile=profile,
+                    stats=self._checker_stats(checker),
+                )
+            )
+        return CheckReport(layout.name, self.options.mode, results)
+
+    def check_with_task_graph(
+        self,
+        layout: Layout,
+        *,
+        rules: Optional[Sequence[Rule]] = None,
+        workers: int = 4,
+    ):
+        """Run the deck through the application-layer task graph.
+
+        Rules become tasks (shape rules gate the geometric rules of their
+        layer); execution is topological, and the returned
+        :class:`~repro.core.scheduler.ScheduleAnalysis` replays the measured
+        durations over ``workers`` to quantify rule-level task parallelism
+        (paper §I). Returns ``(report, analysis)``.
+        """
+        from .scheduler import build_rule_graph
+
+        deck = list(rules) if rules is not None else self.rules
+        if not deck:
+            raise ValueError("no rules to check; call add_rules() first")
+        validate_rules(deck)
+        tree = HierarchyTree(layout)
+        checker = self._make_checker(layout, tree)
+        self.last_checker = checker
+        self.last_profiles = {}
+
+        results_by_name: Dict[str, CheckResult] = {}
+
+        def run_rule(rule: Rule) -> CheckResult:
+            profile = PhaseProfile()
+            start = time.perf_counter()
+            violations = checker.run(rule, profile)
+            seconds = time.perf_counter() - start
+            self.last_profiles[rule.name] = profile
+            result = CheckResult(
+                rule=rule,
+                violations=violations,
+                seconds=seconds,
+                profile=profile,
+                stats=self._checker_stats(checker),
+            )
+            results_by_name[rule.name] = result
+            return result
+
+        graph = build_rule_graph(deck, run_rule)
+        analysis = graph.execute()
+        report = CheckReport(
+            layout.name,
+            self.options.mode,
+            [results_by_name[rule.name] for rule in deck],
+        )
+        return report, analysis
+
+    def _make_checker(self, layout: Layout, tree: HierarchyTree):
+        if self.options.mode == MODE_PARALLEL:
+            return ParallelChecker(
+                layout,
+                tree=tree,
+                device=self.device,
+                num_streams=self.options.num_streams,
+                brute_force_threshold=self.options.brute_force_threshold,
+                use_rows=self.options.use_rows,
+            )
+        return SequentialChecker(layout, tree=tree, use_rows=self.options.use_rows)
+
+    @staticmethod
+    def _checker_stats(checker) -> Dict[str, float]:
+        stats: Dict[str, float] = {}
+        pruning = getattr(checker, "pruning", None)
+        if pruning is not None:
+            stats.update(
+                checks_run=pruning.checks_run,
+                checks_reused=pruning.checks_reused,
+                pairs_considered=pruning.pairs_considered,
+                pairs_pruned_mbr=pruning.pairs_pruned_mbr,
+            )
+        executor_counts = getattr(checker, "executor_counts", None)
+        if executor_counts is not None:
+            stats.update(
+                kernels_bruteforce=executor_counts["bruteforce"],
+                kernels_sweepline=executor_counts["sweepline"],
+            )
+        return stats

@@ -1,0 +1,193 @@
+"""Violation marker database: persist and reload check reports.
+
+The interface layer's "result output" (paper §V-A): reports serialize to a
+versioned JSON marker database — violations with rule names, kinds, layers,
+regions, and measurements — and reload into the same
+:class:`~repro.checks.base.Violation` objects, so stored markers compare
+equal to freshly computed ones (waiver flows, regression diffing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Union
+
+from ..checks.base import Violation, ViolationKind
+from ..errors import ReproError
+from ..geometry import Rect
+from .results import CheckReport, CheckResult
+from .rules import Rule, RuleKind
+
+FORMAT_VERSION = 1
+
+
+class MarkerError(ReproError):
+    """Malformed marker database."""
+
+
+def report_to_dict(report: CheckReport) -> Dict:
+    """JSON-ready representation of a report."""
+    return {
+        "format": FORMAT_VERSION,
+        "layout": report.layout_name,
+        "mode": report.mode,
+        "results": [
+            {
+                "rule": result.rule.name,
+                "kind": result.rule.kind.value,
+                "layer": result.rule.layer,
+                "other_layer": result.rule.other_layer,
+                "value": result.rule.value,
+                "seconds": result.seconds,
+                "violations": [
+                    {
+                        "kind": v.kind.value,
+                        "layer": v.layer,
+                        "other_layer": v.other_layer,
+                        "region": [v.region.xlo, v.region.ylo, v.region.xhi, v.region.yhi],
+                        "measured": v.measured,
+                        "required": v.required,
+                    }
+                    for v in result.violations
+                ],
+            }
+            for result in report.results
+        ],
+    }
+
+
+def save_markers(report: CheckReport, path: Union[str, "os.PathLike"]) -> None:
+    """Write a report's marker database to ``path`` (JSON)."""
+    with open(path, "w", encoding="ascii") as f:
+        json.dump(report_to_dict(report), f, indent=1, sort_keys=True)
+
+
+def load_markers(path: Union[str, "os.PathLike"]) -> CheckReport:
+    """Reload a marker database written by :func:`save_markers`."""
+    with open(path, "r", encoding="ascii") as f:
+        data = json.load(f)
+    return report_from_dict(data)
+
+
+def report_from_dict(data: Dict) -> CheckReport:
+    if data.get("format") != FORMAT_VERSION:
+        raise MarkerError(f"unsupported marker format {data.get('format')!r}")
+    results: List[CheckResult] = []
+    for entry in data["results"]:
+        try:
+            kind = RuleKind(entry["kind"])
+        except ValueError:
+            raise MarkerError(f"unknown rule kind {entry['kind']!r}") from None
+        rule = _rebuild_rule(kind, entry)
+        violations = [_rebuild_violation(v) for v in entry["violations"]]
+        results.append(
+            CheckResult(rule=rule, violations=violations, seconds=entry["seconds"])
+        )
+    return CheckReport(data["layout"], data["mode"], results)
+
+
+def _rebuild_rule(kind: RuleKind, entry: Dict) -> Rule:
+    if kind is RuleKind.ENSURES:
+        # Callables cannot round-trip; stand in with an always-true predicate
+        # (the stored violations are the record of what failed).
+        return Rule(
+            kind=kind, layer=entry["layer"], predicate=lambda p: True
+        ).named(entry["rule"])
+    return Rule(
+        kind=kind,
+        layer=entry["layer"],
+        value=entry["value"],
+        other_layer=entry["other_layer"],
+    ).named(entry["rule"])
+
+
+def _rebuild_violation(v: Dict) -> Violation:
+    try:
+        kind = ViolationKind(v["kind"])
+    except ValueError:
+        raise MarkerError(f"unknown violation kind {v['kind']!r}") from None
+    return Violation(
+        kind=kind,
+        layer=v["layer"],
+        other_layer=v["other_layer"],
+        region=Rect(*v["region"]),
+        measured=v["measured"],
+        required=v["required"],
+    )
+
+
+def diff_markers(before: CheckReport, after: CheckReport) -> Dict[str, Dict[str, int]]:
+    """Per-rule regression diff: fixed / new / unchanged violation counts."""
+    out: Dict[str, Dict[str, int]] = {}
+    before_by_rule = {r.rule.name: r.violation_set() for r in before.results}
+    after_by_rule = {r.rule.name: r.violation_set() for r in after.results}
+    for name in sorted(set(before_by_rule) | set(after_by_rule)):
+        old = before_by_rule.get(name, frozenset())
+        new = after_by_rule.get(name, frozenset())
+        out[name] = {
+            "fixed": len(old - new),
+            "new": len(new - old),
+            "unchanged": len(old & new),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Waivers
+# ---------------------------------------------------------------------------
+
+
+def apply_waivers(
+    report: CheckReport, waivers: List[Dict]
+) -> CheckReport:
+    """Filter a report through waiver records.
+
+    A waiver is ``{"rule": name-or-"*", "region": [xlo, ylo, xhi, yhi]}``:
+    violations of the named rule (or any rule for ``"*"``) whose marker lies
+    fully inside the waiver region are suppressed. Returns a new report; the
+    input is untouched.
+    """
+    boxes: List[tuple] = []
+    for waiver in waivers:
+        region = waiver.get("region")
+        if not isinstance(region, (list, tuple)) or len(region) != 4:
+            raise MarkerError(f"waiver region must be [xlo, ylo, xhi, yhi]: {waiver}")
+        boxes.append((waiver.get("rule", "*"), Rect(*region)))
+
+    def waived(rule_name: str, violation: Violation) -> bool:
+        for target, box in boxes:
+            if target not in ("*", rule_name):
+                continue
+            if box.contains_rect(violation.region):
+                return True
+        return False
+
+    results = [
+        CheckResult(
+            rule=result.rule,
+            violations=[
+                v for v in result.violations if not waived(result.rule.name, v)
+            ],
+            seconds=result.seconds,
+            profile=result.profile,
+            stats=dict(result.stats),
+        )
+        for result in report.results
+    ]
+    return CheckReport(report.layout_name, report.mode, results)
+
+
+def save_waivers(waivers: List[Dict], path: Union[str, "os.PathLike"]) -> None:
+    """Persist a waiver list as JSON."""
+    with open(path, "w", encoding="ascii") as f:
+        json.dump({"format": FORMAT_VERSION, "waivers": waivers}, f, indent=1)
+
+
+def load_waivers(path: Union[str, "os.PathLike"]) -> List[Dict]:
+    """Reload a waiver list written by :func:`save_waivers`."""
+    with open(path, "r", encoding="ascii") as f:
+        data = json.load(f)
+    if data.get("format") != FORMAT_VERSION or "waivers" not in data:
+        raise MarkerError("unsupported waiver file")
+    return data["waivers"]

@@ -1,0 +1,757 @@
+"""The parallel mode (paper §IV-E): row-by-row checks on the simulated GPU.
+
+After the adaptive row partition, cells in different rows cannot produce
+violations together, so rows become independent GPU tasks. Per row the
+engine packs the relevant polygons' edges into flattened arrays, issues
+asynchronous host-to-device copies on alternating streams, and launches
+either the **brute-force** executor (small tasks) or the two-kernel
+**parallel sweepline** executor (large tasks), as the paper selects by task
+complexity. Host preprocessing of the next row is recorded against the
+device timeline, reproducing the §V-C overlap analysis.
+
+Intra-polygon rules do not need rows: they run one batched kernel over the
+*unique cell definitions* (the hierarchy memoisation of §IV-C) and
+instantiate the per-definition hits through every placement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..checks.base import Violation, ViolationKind
+from ..checks.enclosure import enclosure_pair_violations
+from ..geometry import IDENTITY, Polygon, Rect, Transform
+from ..hierarchy.edgepack import (
+    EdgeBufferPair,
+    HierarchicalEdgePacker,
+    HierarchicalRectPacker,
+    concat_buffers as concat_edge_buffers,
+)
+from ..hierarchy.pruning import LevelItem, SubtreeWindow, level_items
+from ..hierarchy.tree import HierarchyTree
+from ..layout.library import Layout
+from ..partition.rows import partition_rects
+from ..spatial.sweepline import iter_bipartite_overlaps
+from ..gpu.device import Device, Stream
+from ..gpu.kernels import (
+    EdgeBuffer,
+    PairHits,
+    kernel_area,
+    kernel_enclosure_margins,
+    kernel_pairs_bruteforce,
+    kernel_pairs_sweep,
+    pack_edges,
+    pack_vertices,
+    reduce_enclosure_best,
+)
+from ..gpu.memory import StreamOrderedAllocator
+from ..util.profile import (
+    PHASE_EDGE_CHECKS,
+    PHASE_OTHER,
+    PHASE_PARTITION,
+    PHASE_SWEEPLINE,
+    PhaseProfile,
+)
+from .rules import Rule, RuleKind
+
+#: Edge count at or below which the brute-force executor is selected.
+DEFAULT_BRUTE_FORCE_THRESHOLD = 256
+
+
+def _candidate_pairs_kernel(
+    via_rects: np.ndarray, metal_rects: np.ndarray, value: int, chunk: int = 256
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Candidate (via, metal) pairs: metal MBR overlapping the inflated via.
+
+    All-pairs with chunking over vias — the data-parallel analog of the
+    bipartite sweep the sequential mode uses.
+    """
+    if len(via_rects) == 0 or len(metal_rects) == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z
+    out_v: List[np.ndarray] = []
+    out_m: List[np.ndarray] = []
+    mx1, my1, mx2, my2 = (metal_rects[:, k] for k in range(4))
+    for start in range(0, len(via_rects), chunk):
+        block = via_rects[start : start + chunk]
+        vx1 = block[:, 0, None] - value
+        vy1 = block[:, 1, None] - value
+        vx2 = block[:, 2, None] + value
+        vy2 = block[:, 3, None] + value
+        hit = (vx1 <= mx2[None, :]) & (mx1[None, :] <= vx2) & (
+            (vy1 <= my2[None, :]) & (my1[None, :] <= vy2)
+        )
+        vi, mi = np.nonzero(hit)
+        out_v.append(vi + start)
+        out_m.append(mi)
+    return (
+        np.concatenate(out_v).astype(np.int64),
+        np.concatenate(out_m).astype(np.int64),
+    )
+
+
+class ParallelChecker:
+    """Executes rules on one layout with the row-based GPU algorithms."""
+
+    def __init__(
+        self,
+        layout: Layout,
+        *,
+        tree: Optional[HierarchyTree] = None,
+        device: Optional[Device] = None,
+        num_streams: int = 2,
+        brute_force_threshold: int = DEFAULT_BRUTE_FORCE_THRESHOLD,
+        use_rows: bool = True,
+    ) -> None:
+        self.layout = layout
+        self.tree = tree if tree is not None else HierarchyTree(layout)
+        self.subtree = SubtreeWindow(self.tree)
+        self.device = device if device is not None else Device()
+        self.allocator = StreamOrderedAllocator()
+        self.streams = [self.device.create_stream() for _ in range(max(1, num_streams))]
+        self.brute_force_threshold = brute_force_threshold
+        self.use_rows = use_rows
+        self.executor_counts = {"bruteforce": 0, "sweepline": 0}
+
+    # -- rule dispatch ------------------------------------------------------
+
+    def run(self, rule: Rule, profile: Optional[PhaseProfile] = None) -> List[Violation]:
+        if profile is None:
+            profile = PhaseProfile()
+        if rule.kind is RuleKind.SPACING:
+            return self._spacing(rule.layer, rule.value, profile)
+        if rule.kind is RuleKind.ENCLOSURE:
+            return self._enclosure(rule.layer, rule.other_layer, rule.value, profile)
+        if rule.kind is RuleKind.WIDTH:
+            return self._width(rule.layer, rule.value, profile)
+        if rule.kind is RuleKind.AREA:
+            return self._area(rule.layer, rule.value, profile)
+        if rule.kind is RuleKind.CORNER_SPACING:
+            return self._corner(rule.layer, rule.value, profile)
+        # Shape / predicate / region-algebra rules have no arithmetic worth
+        # vectorising here; reuse the sequential scheduler.
+        from .sequential import SequentialChecker
+
+        return SequentialChecker(self.layout, tree=self.tree).run(rule, profile)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _stream(self, index: int) -> Stream:
+        return self.streams[index % len(self.streams)]
+
+    def _rows_of_items(
+        self, items: List[LevelItem], value: int, profile: PhaseProfile
+    ) -> List[List[LevelItem]]:
+        if not items:
+            return []
+        if not self.use_rows:
+            return [items]
+        with profile.phase(PHASE_PARTITION):
+            partition = partition_rects([it.mbr for it in items], value)
+        return [[items[m] for m in row.members] for row in partition.rows]
+
+    def _flatten_items(self, items: Sequence[LevelItem], layer: int) -> List[Polygon]:
+        """Materialize all polygons of the given level items (top coords)."""
+        polygons: List[Polygon] = []
+        for item in items:
+            if item.polygon is not None:
+                polygons.append(item.polygon)
+            else:
+                assert item.cell_name is not None and item.placement is not None
+                polygons.extend(
+                    self.subtree.polygons_in_window(
+                        item.cell_name, item.placement, layer, item.mbr
+                    )
+                )
+        return polygons
+
+    def _launch_pair_kernels(
+        self,
+        polygons: Sequence[Polygon],
+        threshold: int,
+        *,
+        want_width: bool,
+        stream: Stream,
+        profile: PhaseProfile,
+    ) -> List[PairHits]:
+        """Pack, copy, and check one task's edges on the device."""
+        host_start = time.perf_counter()
+        buffers = pack_edges(polygons)
+        self.device.record_host("pack-edges", time.perf_counter() - host_start)
+
+        hits: List[PairHits] = []
+        for buf in (buffers["v"], buffers["h"]):
+            if len(buf) < 2:
+                continue
+            with profile.phase(PHASE_OTHER):
+                device_buf = EdgeBuffer(
+                    buf.vertical,
+                    stream.memcpy_h2d(buf.fixed, name="edges.fixed"),
+                    stream.memcpy_h2d(buf.lo, name="edges.lo"),
+                    stream.memcpy_h2d(buf.hi, name="edges.hi"),
+                    stream.memcpy_h2d(buf.interior, name="edges.interior"),
+                    stream.memcpy_h2d(buf.poly, name="edges.poly"),
+                )
+            with profile.phase(PHASE_EDGE_CHECKS):
+                if len(buf) <= self.brute_force_threshold:
+                    self.executor_counts["bruteforce"] += 1
+                    hits.append(
+                        stream.launch(
+                            "pairs-bruteforce",
+                            kernel_pairs_bruteforce,
+                            device_buf,
+                            threshold,
+                            want_width=want_width,
+                            items=len(buf),
+                        )
+                    )
+                else:
+                    self.executor_counts["sweepline"] += 1
+                    hits.append(
+                        stream.launch(
+                            "pairs-sweepline",
+                            kernel_pairs_sweep,
+                            device_buf,
+                            threshold,
+                            want_width=want_width,
+                            items=len(buf),
+                        )
+                    )
+        return hits
+
+    def _hits_to_violations(
+        self,
+        hits: Sequence[PairHits],
+        kind: ViolationKind,
+        layer: int,
+        required: int,
+        *,
+        other_layer: Optional[int] = None,
+    ) -> List[Violation]:
+        out: List[Violation] = []
+        for batch in hits:
+            for k in range(len(batch)):
+                out.append(
+                    Violation(
+                        kind=kind,
+                        layer=layer,
+                        other_layer=other_layer,
+                        region=Rect(
+                            int(batch.xlo[k]),
+                            int(batch.ylo[k]),
+                            int(batch.xhi[k]),
+                            int(batch.yhi[k]),
+                        ),
+                        measured=int(batch.measured[k]),
+                        required=required,
+                    )
+                )
+        return out
+
+    # -- spacing ---------------------------------------------------------------
+
+    def _spacing(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
+        top = self.tree.top
+        with profile.phase(PHASE_OTHER):
+            items = level_items(self.tree, top, layer)
+        rows = self._rows_of_items(items, value, profile)
+        packer = HierarchicalEdgePacker(self.tree, layer)
+        violations: List[Violation] = []
+        for index, row_items in enumerate(rows):
+            stream = self._stream(index)
+            host_start = time.perf_counter()
+            pair = self._row_edge_buffers(row_items, packer)
+            self.device.record_host(
+                f"pack-row-{index}", time.perf_counter() - host_start
+            )
+            if pair.num_edges < 2:
+                continue
+            hits = self._launch_buffer_kernels(
+                pair, value, want_width=False, stream=stream, profile=profile
+            )
+            violations.extend(
+                self._hits_to_violations(hits, ViolationKind.SPACING, layer, value)
+            )
+        return violations
+
+    def _row_edge_buffers(
+        self, row_items: Sequence[LevelItem], packer: HierarchicalEdgePacker
+    ) -> EdgeBufferPair:
+        """One row's flat edge buffers, built hierarchically.
+
+        Local polygons of the top cell are packed directly; child instances
+        reuse the per-definition buffers via vectorised transforms — host
+        preparation scales with definitions, not flat polygon count.
+        """
+        parts_v = []
+        parts_h = []
+        local_polys: List[Polygon] = []
+        offset = 0
+        instances: List[Tuple[str, Transform]] = []
+        for item in row_items:
+            if item.polygon is not None:
+                local_polys.append(item.polygon)
+            else:
+                assert item.cell_name is not None and item.placement is not None
+                instances.append((item.cell_name, item.placement))
+        if local_polys:
+            packed = pack_edges(local_polys)
+            parts_v.append(packed["v"])
+            parts_h.append(packed["h"])
+            offset = len(local_polys)
+        for cell_name, placement in instances:
+            pair = packer.instance_buffer(cell_name, placement, offset)
+            offset += pair.num_polygons
+            if len(pair.vertical):
+                parts_v.append(pair.vertical)
+            if len(pair.horizontal):
+                parts_h.append(pair.horizontal)
+        return EdgeBufferPair(
+            concat_edge_buffers(parts_v, vertical=True),
+            concat_edge_buffers(parts_h, vertical=False),
+            offset,
+        )
+
+    def _launch_buffer_kernels(
+        self,
+        pair: EdgeBufferPair,
+        threshold: int,
+        *,
+        want_width: bool,
+        stream: Stream,
+        profile: PhaseProfile,
+    ) -> List[PairHits]:
+        hits: List[PairHits] = []
+        for buf in (pair.vertical, pair.horizontal):
+            if len(buf) < 2:
+                continue
+            with profile.phase(PHASE_OTHER):
+                device_buf = EdgeBuffer(
+                    buf.vertical,
+                    stream.memcpy_h2d(buf.fixed, name="edges.fixed"),
+                    stream.memcpy_h2d(buf.lo, name="edges.lo"),
+                    stream.memcpy_h2d(buf.hi, name="edges.hi"),
+                    stream.memcpy_h2d(buf.interior, name="edges.interior"),
+                    stream.memcpy_h2d(buf.poly, name="edges.poly"),
+                )
+            with profile.phase(PHASE_EDGE_CHECKS):
+                if len(buf) <= self.brute_force_threshold:
+                    self.executor_counts["bruteforce"] += 1
+                    kernel, name = kernel_pairs_bruteforce, "pairs-bruteforce"
+                else:
+                    self.executor_counts["sweepline"] += 1
+                    kernel, name = kernel_pairs_sweep, "pairs-sweepline"
+                hits.append(
+                    stream.launch(
+                        name, kernel, device_buf, threshold,
+                        want_width=want_width, items=len(buf),
+                    )
+                )
+        return hits
+
+    # -- width -------------------------------------------------------------------
+
+    def _width(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
+        definitions, instances = self._definition_instances(layer, distance_rule=True)
+        if not definitions:
+            return []
+        with profile.phase(PHASE_OTHER):
+            polygons: List[Polygon] = []
+            owner: List[int] = []  # definition index per polygon
+            for def_index, (cell_name, polys) in enumerate(definitions):
+                for polygon in polys:
+                    polygons.append(polygon)
+                    owner.append(def_index)
+        stream = self._stream(0)
+        # Polygon ids must be unique per polygon so width stays intra-polygon.
+        hits = self._launch_pair_kernels(
+            polygons, value, want_width=True, stream=stream, profile=profile
+        )
+        per_def = self._group_hits_by_definition(hits, owner, polygons)
+        return self._instantiate(per_def, instances, ViolationKind.WIDTH, layer, value)
+
+    # -- area ---------------------------------------------------------------------
+
+    def _area(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
+        definitions, instances = self._definition_instances(layer, distance_rule=False)
+        if not definitions:
+            return []
+        polygons: List[Polygon] = []
+        owner: List[int] = []
+        for def_index, (cell_name, polys) in enumerate(definitions):
+            for polygon in polys:
+                polygons.append(polygon)
+                owner.append(def_index)
+        stream = self._stream(0)
+        host_start = time.perf_counter()
+        buf = pack_vertices(polygons)
+        self.device.record_host("pack-vertices", time.perf_counter() - host_start)
+        with profile.phase(PHASE_OTHER):
+            xs = stream.memcpy_h2d(buf.xs, name="verts.x")
+            ys = stream.memcpy_h2d(buf.ys, name="verts.y")
+            buf.xs, buf.ys = xs, ys
+        with profile.phase(PHASE_EDGE_CHECKS):
+            areas = stream.launch("area", kernel_area, buf, items=len(buf))
+        per_def: Dict[int, List[Violation]] = {}
+        for poly_index, area in enumerate(areas):
+            if int(area) < value:
+                polygon = polygons[poly_index]
+                per_def.setdefault(owner[poly_index], []).append(
+                    Violation(
+                        kind=ViolationKind.AREA,
+                        layer=layer,
+                        region=polygon.mbr,
+                        measured=int(area),
+                        required=value,
+                    )
+                )
+        return self._instantiate(per_def, instances, ViolationKind.AREA, layer, value)
+
+    # -- corner spacing (roadmap extension) --------------------------------------
+
+    def _corner(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
+        """Row-by-row diagonal corner checks on the device."""
+        from ..gpu.kernels import kernel_corner_pairs, pack_corners
+
+        top = self.tree.top
+        with profile.phase(PHASE_OTHER):
+            items = level_items(self.tree, top, layer)
+        rows = self._rows_of_items(items, value, profile)
+        violations: List[Violation] = []
+        for index, row_items in enumerate(rows):
+            stream = self._stream(index)
+            host_start = time.perf_counter()
+            polygons = self._flatten_items(row_items, layer)
+            buf = pack_corners(polygons)
+            self.device.record_host(
+                f"pack-corners-{index}", time.perf_counter() - host_start
+            )
+            if len(buf) < 2:
+                continue
+            with profile.phase(PHASE_OTHER):
+                device_x = stream.memcpy_h2d(buf.x, name="corners.x")
+                device_y = stream.memcpy_h2d(buf.y, name="corners.y")
+                buf.x, buf.y = device_x, device_y
+            with profile.phase(PHASE_EDGE_CHECKS):
+                hits = stream.launch(
+                    "corner-pairs", kernel_corner_pairs, buf, value, items=len(buf)
+                )
+            for k in range(len(hits)):
+                ax, ay = int(hits.ax[k]), int(hits.ay[k])
+                bx, by = int(hits.bx[k]), int(hits.by[k])
+                violations.append(
+                    Violation(
+                        kind=ViolationKind.CORNER,
+                        layer=layer,
+                        region=Rect(min(ax, bx), min(ay, by), max(ax, bx), max(ay, by)),
+                        measured=int(hits.measured[k]),
+                        required=value,
+                    )
+                )
+        return violations
+
+    # -- enclosure -----------------------------------------------------------------
+
+    def _enclosure(
+        self, via_layer: int, metal_layer: int, value: int, profile: PhaseProfile
+    ) -> List[Violation]:
+        top = self.tree.top
+        with profile.phase(PHASE_OTHER):
+            via_items = level_items(self.tree, top, via_layer)
+            metal_items = level_items(self.tree, top, metal_layer)
+        if not via_items:
+            return []
+        # Partition rows over both populations together: an instance may
+        # appear twice (one MBR per layer), but an enclosing metal always
+        # overlaps its via, so overlapping items land in the same row.
+        combined = via_items + metal_items
+        if self.use_rows:
+            with profile.phase(PHASE_PARTITION):
+                partition = partition_rects([it.mbr for it in combined], value)
+            member_rows = [row.members for row in partition.rows]
+        else:
+            member_rows = [list(range(len(combined)))]
+
+        via_packer = HierarchicalRectPacker(self.tree, via_layer)
+        metal_packer = HierarchicalRectPacker(self.tree, metal_layer)
+        violations: List[Violation] = []
+        for index, members in enumerate(member_rows):
+            row_vias = [combined[m] for m in members if m < len(via_items)]
+            row_metals = [combined[m] for m in members if m >= len(via_items)]
+            if not row_vias:
+                continue
+            stream = self._stream(index)
+            host_start = time.perf_counter()
+            via_buf = self._row_rect_buffer(row_vias, via_packer)
+            metal_buf = self._row_rect_buffer(row_metals, metal_packer)
+            self.device.record_host(
+                f"pack-row-{index}", time.perf_counter() - host_start
+            )
+            if len(via_buf) == 0:
+                continue
+            if via_buf.all_rect and metal_buf.all_rect:
+                violations.extend(
+                    self._enclosure_rects(
+                        via_buf.rects, metal_buf.rects,
+                        via_layer, metal_layer, value, stream, profile,
+                    )
+                )
+            else:
+                # Rectilinear (non-rectangle) geometry: exact host fallback.
+                vias = self._flatten_items(row_vias, via_layer)
+                metals = self._flatten_items(row_metals, metal_layer)
+                violations.extend(
+                    self._enclosure_row(
+                        vias, metals, via_layer, metal_layer, value, stream, profile
+                    )
+                )
+        return violations
+
+    def _row_rect_buffer(
+        self, row_items: Sequence[LevelItem], packer: HierarchicalRectPacker
+    ):
+        from ..hierarchy.edgepack import RectBuffer
+
+        parts = []
+        all_rect = True
+        local: List[Polygon] = []
+        for item in row_items:
+            if item.polygon is not None:
+                local.append(item.polygon)
+            else:
+                assert item.cell_name is not None and item.placement is not None
+                buf = packer.instance_rects(item.cell_name, item.placement)
+                all_rect = all_rect and buf.all_rect
+                if len(buf):
+                    parts.append(buf.rects)
+        if local:
+            parts.insert(0, np.asarray([tuple(p.mbr) for p in local], dtype=np.int64))
+            all_rect = all_rect and all(p.is_rectangle for p in local)
+        if parts:
+            return RectBuffer(np.concatenate(parts, axis=0), all_rect)
+        return RectBuffer.empty()
+
+    def _enclosure_rects(
+        self,
+        via_rects: np.ndarray,
+        metal_rects: np.ndarray,
+        via_layer: int,
+        metal_layer: int,
+        value: int,
+        stream: Stream,
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        """All-rectangle enclosure on the device: pair, measure, reduce."""
+        with profile.phase(PHASE_OTHER):
+            via_dev = stream.memcpy_h2d(via_rects, name="via.rects")
+            metal_dev = (
+                stream.memcpy_h2d(metal_rects, name="metal.rects")
+                if len(metal_rects)
+                else metal_rects
+            )
+        with profile.phase(PHASE_SWEEPLINE):
+            pair_via, pair_metal = stream.launch(
+                "enclosure-candidates",
+                _candidate_pairs_kernel,
+                via_dev,
+                metal_dev,
+                value,
+                items=len(via_rects),
+            )
+        with profile.phase(PHASE_EDGE_CHECKS):
+            margins = stream.launch(
+                "enclosure-margins",
+                kernel_enclosure_margins,
+                via_dev, metal_dev, pair_via, pair_metal,
+                items=len(pair_via),
+            )
+            best = stream.launch(
+                "enclosure-reduce",
+                reduce_enclosure_best,
+                len(via_rects), pair_via, margins,
+                items=len(via_rects),
+            )
+        out: List[Violation] = []
+        for index, margin in enumerate(best):
+            if int(margin) >= value:
+                continue
+            r = via_rects[index]
+            out.append(
+                Violation(
+                    kind=ViolationKind.ENCLOSURE,
+                    layer=via_layer,
+                    other_layer=metal_layer,
+                    region=Rect(int(r[0]), int(r[1]), int(r[2]), int(r[3])).inflated(value),
+                    measured=max(int(margin), 0),
+                    required=value,
+                )
+            )
+        return out
+
+    def _enclosure_row(
+        self,
+        vias: List[Polygon],
+        metals: List[Polygon],
+        via_layer: int,
+        metal_layer: int,
+        value: int,
+        stream: Stream,
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        all_rect = all(p.is_rectangle for p in vias) and all(
+            p.is_rectangle for p in metals
+        )
+        with profile.phase(PHASE_SWEEPLINE):
+            via_windows = [v.mbr.inflated(value) for v in vias]
+            metal_rects = [m.mbr for m in metals]
+            pairs = list(iter_bipartite_overlaps(via_windows, metal_rects))
+        if not all_rect:
+            # Host fallback: exact edge-based margins for rectilinear shapes.
+            candidates: List[List[Polygon]] = [[] for _ in vias]
+            for i, j in pairs:
+                candidates[i].append(metals[j])
+            out: List[Violation] = []
+            with profile.phase(PHASE_EDGE_CHECKS):
+                for via, cands in zip(vias, candidates):
+                    out.extend(
+                        enclosure_pair_violations(
+                            via, cands, via_layer, metal_layer, value
+                        )
+                    )
+            return out
+
+        host_start = time.perf_counter()
+        via_arr = np.asarray([tuple(v.mbr) for v in vias], dtype=np.int64)
+        if metal_rects:
+            metal_arr = np.asarray([tuple(m) for m in metal_rects], dtype=np.int64)
+        else:
+            metal_arr = np.zeros((0, 4), dtype=np.int64)
+        pair_via = np.asarray([i for i, _ in pairs], dtype=np.int64)
+        pair_metal = np.asarray([j for _, j in pairs], dtype=np.int64)
+        self.device.record_host("pack-enclosure", time.perf_counter() - host_start)
+        with profile.phase(PHASE_OTHER):
+            via_dev = stream.memcpy_h2d(via_arr, name="via.rects")
+            metal_dev = (
+                stream.memcpy_h2d(metal_arr, name="metal.rects")
+                if len(metal_arr)
+                else metal_arr
+            )
+        with profile.phase(PHASE_EDGE_CHECKS):
+            margins = stream.launch(
+                "enclosure-margins",
+                kernel_enclosure_margins,
+                via_dev,
+                metal_dev,
+                pair_via,
+                pair_metal,
+                items=len(pair_via),
+            )
+            best = stream.launch(
+                "enclosure-reduce",
+                reduce_enclosure_best,
+                len(vias),
+                pair_via,
+                margins,
+                items=len(vias),
+            )
+        out = []
+        for via_index, margin in enumerate(best):
+            if int(margin) >= value:
+                continue
+            out.append(
+                Violation(
+                    kind=ViolationKind.ENCLOSURE,
+                    layer=via_layer,
+                    other_layer=metal_layer,
+                    region=vias[via_index].mbr.inflated(value),
+                    measured=max(int(margin), 0),
+                    required=value,
+                )
+            )
+        return out
+
+    # -- definition/instance machinery for intra rules ------------------------------
+
+    def _definition_instances(
+        self, layer: int, *, distance_rule: bool
+    ) -> Tuple[List[Tuple[str, List[Polygon]]], Dict[int, List[Transform]]]:
+        """Unique checked definitions plus the transforms instantiating each.
+
+        Placements that break the rule's invariance (magnification) get a
+        dedicated definition with pre-transformed polygons and an identity
+        instance, so the kernels still see every instance exactly once.
+        """
+        definitions: List[Tuple[str, List[Polygon]]] = []
+        def_index_of: Dict[str, int] = {}
+        instances: Dict[int, List[Transform]] = {}
+        for cell, transform in self.tree.iter_instances(layer=layer):
+            polys = cell.polygons(layer)
+            if not polys:
+                continue
+            invariant = transform.preserves_distances if distance_rule else (
+                transform.area_scale == 1
+            )
+            if invariant:
+                index = def_index_of.get(cell.name)
+                if index is None:
+                    index = len(definitions)
+                    def_index_of[cell.name] = index
+                    definitions.append((cell.name, polys))
+                    instances[index] = []
+                instances[index].append(transform)
+            else:
+                index = len(definitions)
+                definitions.append(
+                    (f"{cell.name}@{transform}", [p.transformed(transform) for p in polys])
+                )
+                instances[index] = [IDENTITY]
+        return definitions, instances
+
+    def _group_hits_by_definition(
+        self, hits: Sequence[PairHits], owner: List[int], polygons: Sequence[Polygon]
+    ) -> Dict[int, List[Violation]]:
+        # Width hits carry poly ids == global polygon indices; map to owners.
+        grouped: Dict[int, List[Tuple[Rect, int]]] = {}
+        for batch in hits:
+            for k in range(len(batch)):
+                poly_index = int(batch.poly_a[k])
+                region = Rect(
+                    int(batch.xlo[k]),
+                    int(batch.ylo[k]),
+                    int(batch.xhi[k]),
+                    int(batch.yhi[k]),
+                )
+                grouped.setdefault(owner[poly_index], []).append(
+                    (region, int(batch.measured[k]))
+                )
+        return grouped
+
+    def _instantiate(
+        self,
+        per_def,
+        instances: Dict[int, List[Transform]],
+        kind: ViolationKind,
+        layer: int,
+        required: int,
+    ) -> List[Violation]:
+        out: List[Violation] = []
+        for def_index, found in per_def.items():
+            for transform in instances.get(def_index, []):
+                for item in found:
+                    if isinstance(item, Violation):
+                        out.append(item.transformed(transform))
+                    else:
+                        region, measured = item
+                        out.append(
+                            Violation(
+                                kind=kind,
+                                layer=layer,
+                                region=transform.apply_rect(region),
+                                measured=measured,
+                                required=required,
+                            )
+                        )
+        return out

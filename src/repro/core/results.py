@@ -1,0 +1,100 @@
+"""Check results and reports (interface layer: result output)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..checks.base import Violation, sort_violations
+from ..util.profile import PhaseProfile
+from .rules import Rule
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """Outcome of one rule on one layout."""
+
+    rule: Rule
+    violations: List[Violation]
+    seconds: float
+    profile: Optional[PhaseProfile] = None
+    stats: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Canonical form: deduplicated and deterministically ordered, so
+        # results from different execution modes compare equal.
+        self.violations = sort_violations(set(self.violations))
+
+    @property
+    def num_violations(self) -> int:
+        return len(self.violations)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def violation_set(self):
+        return frozenset(self.violations)
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else f"{self.num_violations} violations"
+        return f"{self.rule.name}: {status} ({self.seconds * 1e3:.2f} ms)"
+
+
+@dataclasses.dataclass
+class CheckReport:
+    """Outcome of a whole rule deck."""
+
+    layout_name: str
+    mode: str
+    results: List[CheckResult]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.results)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(r.num_violations for r in self.results)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def result(self, rule_name: str) -> CheckResult:
+        for result in self.results:
+            if result.rule.name == rule_name:
+                return result
+        raise KeyError(f"no result for rule {rule_name!r}")
+
+    def summary(self) -> str:
+        lines = [
+            f"DRC report for {self.layout_name!r} ({self.mode} mode): "
+            f"{self.total_violations} violations, {self.total_seconds * 1e3:.2f} ms"
+        ]
+        lines.extend(f"  {result}" for result in self.results)
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Machine-readable per-violation dump."""
+        lines = ["rule,kind,layer,other_layer,xlo,ylo,xhi,yhi,measured,required"]
+        for result in self.results:
+            for v in result.violations:
+                other = "" if v.other_layer is None else v.other_layer
+                lines.append(
+                    f"{result.rule.name},{v.kind.value},{v.layer},{other},"
+                    f"{v.region.xlo},{v.region.ylo},{v.region.xhi},{v.region.yhi},"
+                    f"{v.measured},{v.required}"
+                )
+        return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[CheckReport]) -> CheckReport:
+    """Concatenate reports over the same layout (e.g. per-rule runs)."""
+    if not reports:
+        raise ValueError("no reports to merge")
+    first = reports[0]
+    results: List[CheckResult] = []
+    for report in reports:
+        results.extend(report.results)
+    return CheckReport(first.layout_name, first.mode, results)

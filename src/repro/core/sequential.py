@@ -1,0 +1,607 @@
+"""The sequential mode (paper §IV-D): hierarchical CPU checking.
+
+Pipeline per rule:
+
+1. **Adaptive row partition** of the top level (paper §IV-B) so that rows
+   can be swept independently;
+2. **MBR sweepline** (interval-tree status, paper Fig. 3) to find candidate
+   pairs at every hierarchy level, with the §IV-C eliminations: id-ordered
+   pairs (the sweep reports each unordered pair once), memoised per-cell
+   internal results reused across instances, and rule-inflated-MBR
+   disjointness pruning (disjoint pairs are simply never reported);
+3. **Edge-based checks** on the surviving pairs.
+
+Each of the three stages is attributed to its profile phase, which is what
+the Fig. 4 runtime-breakdown benchmark reads out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..checks.base import Violation, ViolationKind
+from ..checks.enclosure import enclosure_margin, enclosure_pair_violations
+from ..checks.spacing import spacing_notch_violations, spacing_pair_violations
+from ..checks.width import check_polygon_width
+from ..checks.area import check_polygon_area
+from ..checks.rectilinear import check_polygon_rectilinear
+from ..checks.ensure import check_ensures
+from ..geometry import IDENTITY, Polygon, Transform
+from ..hierarchy.pruning import (
+    IntraCheckScheduler,
+    LevelItem,
+    PruningStats,
+    SubtreeWindow,
+    always_invariant,
+    area_invariant,
+    distance_invariant,
+    gather_pair_polygons,
+    level_items,
+)
+from ..hierarchy.query import invert
+from ..hierarchy.tree import HierarchyTree
+from ..layout.cell import Cell
+from ..layout.library import Layout
+from ..partition.rows import margin_for_rule, partition_rects
+from ..spatial.sweepline import iter_bipartite_overlaps, report_overlapping_pairs
+from ..util.profile import (
+    PHASE_EDGE_CHECKS,
+    PHASE_OTHER,
+    PHASE_PARTITION,
+    PHASE_SWEEPLINE,
+    PhaseProfile,
+)
+from .rules import Rule, RuleKind
+
+
+class SequentialChecker:
+    """Executes rules on one layout with the hierarchical CPU algorithms."""
+
+    def __init__(
+        self,
+        layout: Layout,
+        *,
+        tree: Optional[HierarchyTree] = None,
+        use_rows: bool = True,
+    ) -> None:
+        self.layout = layout
+        self.tree = tree if tree is not None else HierarchyTree(layout)
+        self.subtree = SubtreeWindow(self.tree)
+        self.use_rows = use_rows
+        self.pruning = PruningStats()
+        self._pair_memo: Dict[tuple, List[Violation]] = {}
+
+    # -- rule dispatch ------------------------------------------------------
+
+    def run(self, rule: Rule, profile: Optional[PhaseProfile] = None) -> List[Violation]:
+        """Execute one rule; violations are in top-cell coordinates."""
+        if profile is None:
+            profile = PhaseProfile()
+        if rule.kind is RuleKind.WIDTH:
+            return self._intra(rule, profile)
+        if rule.kind is RuleKind.AREA:
+            return self._intra(rule, profile)
+        if rule.kind is RuleKind.RECTILINEAR:
+            return self._intra(rule, profile)
+        if rule.kind is RuleKind.ENSURES:
+            return self._intra(rule, profile)
+        if rule.kind is RuleKind.SPACING:
+            return self._pairwise(rule.layer, rule.value, _SpacingProcedures(), profile)
+        if rule.kind is RuleKind.CORNER_SPACING:
+            return self._pairwise(rule.layer, rule.value, _CornerProcedures(), profile)
+        if rule.kind is RuleKind.ENCLOSURE:
+            return self._cross_layer(
+                rule.layer, rule.other_layer, rule.value, _EnclosureProcedures(), profile
+            )
+        if rule.kind is RuleKind.COLORING:
+            return self._coloring(rule.layer, rule.value, profile)
+        if rule.kind is RuleKind.MIN_OVERLAP:
+            return self._cross_layer(
+                rule.layer, rule.other_layer, rule.value, _OverlapProcedures(), profile
+            )
+        raise NotImplementedError(f"rule kind {rule.kind!r}")
+
+    # -- intra-polygon rules (paper §IV-C intra checks) ------------------------
+
+    def _intra(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        layers = [rule.layer] if rule.layer is not None else self.layout.layers()
+        scheduler = IntraCheckScheduler(self.tree)
+        check, invariance = self._intra_check_fn(rule)
+        out: List[Violation] = []
+        with profile.phase(PHASE_EDGE_CHECKS):
+            for layer in layers:
+                out.extend(
+                    scheduler.run(
+                        layer,
+                        lambda cell, _layer=layer: check(cell, _layer),
+                        invariance=invariance,
+                    )
+                )
+        self._merge_stats(scheduler.stats)
+        return out
+
+    def _intra_check_fn(self, rule: Rule):
+        if rule.kind is RuleKind.WIDTH:
+
+            def check(cell: Cell, layer: int) -> List[Violation]:
+                vios: List[Violation] = []
+                for polygon in cell.polygons(layer):
+                    vios.extend(check_polygon_width(polygon, layer, rule.value))
+                return vios
+
+            return check, distance_invariant
+        if rule.kind is RuleKind.AREA:
+
+            def check(cell: Cell, layer: int) -> List[Violation]:
+                vios = []
+                for polygon in cell.polygons(layer):
+                    vios.extend(check_polygon_area(polygon, layer, rule.value))
+                return vios
+
+            return check, area_invariant
+        if rule.kind is RuleKind.RECTILINEAR:
+
+            def check(cell: Cell, layer: int) -> List[Violation]:
+                vios = []
+                for polygon in cell.polygons(layer):
+                    vios.extend(check_polygon_rectilinear(polygon, layer))
+                return vios
+
+            return check, always_invariant
+        if rule.kind is RuleKind.ENSURES:
+
+            def check(cell: Cell, layer: int) -> List[Violation]:
+                return check_ensures(cell.polygons(layer), layer, rule.predicate)
+
+            return check, always_invariant
+        raise NotImplementedError(rule.kind)
+
+    # -- spacing (intra-layer inter-polygon) --------------------------------------
+
+    def _pairwise(
+        self,
+        layer: int,
+        value: int,
+        procedures: "_PairProcedures",
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        """Generic intra-layer pairwise rule (spacing, corner spacing)."""
+        memo: Dict[str, List[Violation]] = {}
+        # Pair memo (paper §IV-C): a cross-instance check depends only on the
+        # two definitions and their *relative position* ("another
+        # instantiation of them may not be of the same relative position" is
+        # the paper's reuse condition; we key on it directly), so repeated
+        # abutments — ubiquitous in row-based layouts — are checked once.
+        self._pair_memo: Dict[tuple, List[Violation]] = {}
+
+        def internal(cell_name: str) -> List[Violation]:
+            """Complete pairwise violations of one cell's subtree (local coords)."""
+            cached = memo.get(cell_name)
+            if cached is not None:
+                self.pruning.checks_reused += 1
+                return cached
+            self.pruning.checks_run += 1
+            cell = self.layout.cell(cell_name)
+            vios = self._level_pairs(cell, layer, value, procedures, profile)
+            for ref in cell.references:
+                if not self.tree.has_layer(ref.cell_name, layer):
+                    continue
+                child_vios = internal(ref.cell_name)
+                for placement in ref.placements():
+                    if placement.preserves_distances:
+                        vios.extend(v.transformed(placement) for v in child_vios)
+                    else:
+                        self.pruning.checks_refreshed += 1
+                        vios.extend(
+                            self._flat_subtree_pairs(
+                                ref.cell_name, placement, layer, value, procedures, profile
+                            )
+                        )
+            memo[cell_name] = vios
+            return vios
+
+        top = self.tree.top
+        with profile.phase(PHASE_OTHER):
+            items = level_items(self.tree, top, layer)
+        vios = self._top_level_pairs(top, items, layer, value, procedures, profile)
+        for ref in top.references:
+            if not self.tree.has_layer(ref.cell_name, layer):
+                continue
+            child_vios = internal(ref.cell_name)
+            for placement in ref.placements():
+                if placement.preserves_distances:
+                    vios.extend(v.transformed(placement) for v in child_vios)
+                else:
+                    self.pruning.checks_refreshed += 1
+                    vios.extend(
+                        self._flat_subtree_pairs(
+                            ref.cell_name, placement, layer, value, procedures, profile
+                        )
+                    )
+        return vios
+
+    def _top_level_pairs(
+        self,
+        top: Cell,
+        items: List[LevelItem],
+        layer: int,
+        value: int,
+        procedures: "_PairProcedures",
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        """Level pairs of the top cell, row-partitioned when enabled."""
+        vios: List[Violation] = []
+        with profile.phase(PHASE_EDGE_CHECKS):
+            for polygon in top.polygons(layer):
+                vios.extend(procedures.self_violations(polygon, layer, value))
+
+        if self.use_rows and items:
+            with profile.phase(PHASE_PARTITION):
+                partition = partition_rects([it.mbr for it in items], value)
+            groups: List[List[LevelItem]] = [
+                [items[m] for m in row.members] for row in partition.rows
+            ]
+        else:
+            groups = [items]
+
+        for group in groups:
+            vios.extend(self._group_pairs(group, layer, value, procedures, profile))
+        return vios
+
+    def _level_pairs(
+        self,
+        cell: Cell,
+        layer: int,
+        value: int,
+        procedures: "_PairProcedures",
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        """Self checks plus this level's cross-item pairs (no recursion)."""
+        vios: List[Violation] = []
+        with profile.phase(PHASE_EDGE_CHECKS):
+            for polygon in cell.polygons(layer):
+                vios.extend(procedures.self_violations(polygon, layer, value))
+        with profile.phase(PHASE_OTHER):
+            items = level_items(self.tree, cell, layer)
+        vios.extend(self._group_pairs(items, layer, value, procedures, profile))
+        return vios
+
+    def _group_pairs(
+        self,
+        items: Sequence[LevelItem],
+        layer: int,
+        value: int,
+        procedures: "_PairProcedures",
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        margin = margin_for_rule(value)
+        with profile.phase(PHASE_SWEEPLINE):
+            inflated = [it.mbr.inflated(margin) for it in items]
+            pairs = report_overlapping_pairs(inflated)
+            self.pruning.pairs_considered += len(pairs)
+            self.pruning.pairs_pruned_mbr += (
+                len(items) * (len(items) - 1) // 2 - len(pairs)
+            )
+        vios: List[Violation] = []
+        for i, j in pairs:
+            vios.extend(
+                self._pair_check(items[i], items[j], layer, value, procedures, profile)
+            )
+        return vios
+
+    def _pair_check(
+        self,
+        item_a: LevelItem,
+        item_b: LevelItem,
+        layer: int,
+        value: int,
+        procedures: "_PairProcedures",
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        """One candidate pair, with relative-position memoisation."""
+        key = None
+        if (
+            item_a.cell_name is not None
+            and item_b.cell_name is not None
+            and item_a.placement.preserves_distances
+            and item_b.placement.preserves_distances
+        ):
+            inverse_a = invert(item_a.placement)
+            relative = inverse_a.compose(item_b.placement)
+            key = (item_a.cell_name, item_b.cell_name, relative)
+            cached = self._pair_memo.get(key)
+            if cached is not None:
+                self.pruning.checks_reused += 1
+                return [v.transformed(item_a.placement) for v in cached]
+        with profile.phase(PHASE_SWEEPLINE):
+            side_a, side_b = gather_pair_polygons(
+                item_a, item_b, self.subtree, layer, value
+            )
+        with profile.phase(PHASE_EDGE_CHECKS):
+            found = self._cross_pairs(side_a, side_b, layer, value, procedures)
+        if key is not None:
+            self._pair_memo[key] = [v.transformed(inverse_a) for v in found]
+        return found
+
+    def _cross_pairs(
+        self,
+        side_a: Sequence[Polygon],
+        side_b: Sequence[Polygon],
+        layer: int,
+        value: int,
+        procedures: "_PairProcedures",
+    ) -> List[Violation]:
+        """Edge checks between two polygon sets, MBR-pruned per pair.
+
+        For large sides a bipartite sweep finds the near pairs in
+        O((m+n) log(m+n) + k); for small sides a direct loop with the same
+        rule-inflated MBR test is cheaper.
+        """
+        vios: List[Violation] = []
+        if len(side_a) * len(side_b) > 1024:
+            inflated_a = [p.mbr.inflated(value) for p in side_a]
+            rects_b = [p.mbr for p in side_b]
+            for i, j in iter_bipartite_overlaps(inflated_a, rects_b):
+                vios.extend(
+                    procedures.cross_violations(side_a[i], side_b[j], layer, value)
+                )
+            return vios
+        for pa in side_a:
+            window = pa.mbr.inflated(value)
+            for pb in side_b:
+                if window.overlaps(pb.mbr):
+                    vios.extend(procedures.cross_violations(pa, pb, layer, value))
+        return vios
+
+    def _flat_subtree_pairs(
+        self,
+        cell_name: str,
+        placement: Transform,
+        layer: int,
+        value: int,
+        procedures: "_PairProcedures",
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        """Fallback for non-distance-preserving placements: flatten and check."""
+        window = placement.apply_rect(self.tree.layer_mbr(cell_name, layer))
+        polygons = self.subtree.polygons_in_window(cell_name, placement, layer, window)
+        with profile.phase(PHASE_EDGE_CHECKS):
+            return procedures.flat_check(polygons, layer, value)
+
+    # -- enclosure (inter-layer) -----------------------------------------------
+
+    def _cross_layer(
+        self,
+        via_layer: int,
+        metal_layer: int,
+        value: int,
+        procedures: "_CrossLayerProcedures",
+        profile: PhaseProfile,
+    ) -> List[Violation]:
+        """Pending-object resolution up the hierarchy (enclosure, overlap).
+
+        Each cell definition resolves its subtree's target polygons against
+        its own subtree's partner layer once; objects not yet satisfied
+        propagate upward (more partner geometry may appear in an ancestor or
+        a sibling — both enclosure and overlap satisfaction are monotone in
+        the candidate set, which is what makes this sound). Survivors at the
+        top are violations.
+        """
+        memo: Dict[str, List[Polygon]] = {}
+
+        def pending(cell_name: str) -> List[Polygon]:
+            cached = memo.get(cell_name)
+            if cached is not None:
+                self.pruning.checks_reused += 1
+                return cached
+            self.pruning.checks_run += 1
+            cell = self.layout.cell(cell_name)
+            candidates_pending: List[Polygon] = list(cell.polygons(via_layer))
+            for ref in cell.references:
+                if not self.tree.has_layer(ref.cell_name, via_layer):
+                    continue
+                if all(p.preserves_distances for p in ref.placements()):
+                    child_pending = pending(ref.cell_name)
+                else:
+                    # Margins scale under magnification: re-resolve the whole
+                    # subtree's vias at this level instead of reusing.
+                    self.pruning.checks_refreshed += 1
+                    child_pending = self._all_subtree_vias(ref.cell_name, via_layer)
+                for placement in ref.placements():
+                    candidates_pending.extend(
+                        p.transformed(placement) for p in child_pending
+                    )
+            unresolved = self._resolve_vias(
+                cell_name, IDENTITY, candidates_pending, metal_layer, value,
+                procedures, profile,
+            )
+            memo[cell_name] = unresolved
+            return unresolved
+
+        survivors = pending(self.tree.top.name)
+        vios: List[Violation] = []
+        with profile.phase(PHASE_EDGE_CHECKS):
+            for via in survivors:
+                window = via.mbr.inflated(value)
+                metals = self.subtree.polygons_in_window(
+                    self.tree.top.name, IDENTITY, metal_layer, window
+                )
+                vios.extend(
+                    procedures.violations(via, metals, via_layer, metal_layer, value)
+                )
+        return vios
+
+    def _resolve_vias(
+        self,
+        cell_name: str,
+        placement: Transform,
+        vias: List[Polygon],
+        metal_layer: int,
+        value: int,
+        procedures: "_CrossLayerProcedures",
+        profile: PhaseProfile,
+    ) -> List[Polygon]:
+        """Drop every via satisfied by metal in this cell's subtree.
+
+        One bipartite MBR sweep pairs via windows with this level's metal
+        items (local polygons and child-subtree MBRs); only paired child
+        subtrees are descended, with the via's window.
+        """
+        if not vias:
+            return []
+        cell = self.layout.cell(cell_name)
+        with profile.phase(PHASE_SWEEPLINE):
+            items = level_items(self.tree, cell, metal_layer)
+            windows = [via.mbr.inflated(value) for via in vias]
+            vias_of_item: Dict[int, List[int]] = {}
+            for i, j in iter_bipartite_overlaps(windows, [it.mbr for it in items]):
+                vias_of_item.setdefault(j, []).append(i)
+
+        satisfied = [False] * len(vias)
+        for j, via_indices in vias_of_item.items():
+            item = items[j]
+            if item.polygon is not None:
+                metals = [item.polygon]
+            else:
+                # One descent for all vias paired with this item: gather the
+                # metal overlapping the union of their windows, then assign
+                # candidates per via with a bipartite sweep.
+                with profile.phase(PHASE_SWEEPLINE):
+                    union_window = windows[via_indices[0]]
+                    for i in via_indices[1:]:
+                        union_window = union_window.union(windows[i])
+                    metals = self.subtree.polygons_in_window(
+                        item.cell_name,
+                        placement.compose(item.placement),
+                        metal_layer,
+                        union_window,
+                    )
+            with profile.phase(PHASE_SWEEPLINE):
+                candidates: Dict[int, List[Polygon]] = {}
+                if len(via_indices) * len(metals) <= 64:
+                    for i in via_indices:
+                        window = windows[i]
+                        for metal in metals:
+                            if window.overlaps(metal.mbr):
+                                candidates.setdefault(i, []).append(metal)
+                else:
+                    pending_windows = [windows[i] for i in via_indices]
+                    metal_rects = [m.mbr for m in metals]
+                    for vi, mi in iter_bipartite_overlaps(pending_windows, metal_rects):
+                        candidates.setdefault(via_indices[vi], []).append(metals[mi])
+            with profile.phase(PHASE_EDGE_CHECKS):
+                for via_index, cands in candidates.items():
+                    if satisfied[via_index]:
+                        continue
+                    if procedures.satisfied(vias[via_index], cands, value):
+                        satisfied[via_index] = True
+        return [via for via, ok in zip(vias, satisfied) if not ok]
+
+    def _all_subtree_vias(self, cell_name: str, via_layer: int) -> List[Polygon]:
+        window = self.tree.layer_mbr(cell_name, via_layer)
+        return self.subtree.polygons_in_window(cell_name, IDENTITY, via_layer, window)
+
+    def _coloring(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
+        """Double-patterning decomposition check (paper §II).
+
+        Coloring is a global graph property: conflicts may chain across
+        instances, so definition-level memoisation does not apply. The flat
+        conflict graph is built over canonically ordered polygons (both
+        execution modes share this path, keeping reported odd-cycle markers
+        identical), and — because conflict edges are shorter than the rule —
+        components never cross adaptive-partition rows.
+        """
+        from ..checks.coloring import check_two_colorable
+        from ..layout.flatten import flatten_layer
+
+        with profile.phase(PHASE_OTHER):
+            polygons = flatten_layer(self.layout, layer, top=self.tree.top.name)
+            polygons.sort(key=lambda p: (p.mbr, p.canonical_vertices()))
+        with profile.phase(PHASE_EDGE_CHECKS):
+            return check_two_colorable(polygons, layer, value)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _merge_stats(self, stats: PruningStats) -> None:
+        self.pruning.checks_run += stats.checks_run
+        self.pruning.checks_reused += stats.checks_reused
+        self.pruning.checks_refreshed += stats.checks_refreshed
+        self.pruning.pairs_considered += stats.pairs_considered
+        self.pruning.pairs_pruned_mbr += stats.pairs_pruned_mbr
+
+
+class _SpacingProcedures:
+    """Edge-based exterior spacing (paper §IV-D check procedures)."""
+
+    def self_violations(self, polygon: Polygon, layer: int, value: int):
+        return spacing_notch_violations(polygon, layer, value)
+
+    def cross_violations(self, pa: Polygon, pb: Polygon, layer: int, value: int):
+        return spacing_pair_violations(pa, pb, layer, value)
+
+    def flat_check(self, polygons, layer: int, value: int):
+        from ..checks.spacing import check_spacing
+
+        return check_spacing(polygons, layer, value)
+
+
+class _CornerProcedures:
+    """Diagonal corner-to-corner spacing (roadmap extension)."""
+
+    def self_violations(self, polygon: Polygon, layer: int, value: int):
+        from ..checks.corner import convex_corners, corner_pair_violations
+
+        corners = convex_corners(polygon)
+        return corner_pair_violations(corners, corners, layer, value)
+
+    def cross_violations(self, pa: Polygon, pb: Polygon, layer: int, value: int):
+        from ..checks.corner import convex_corners, corner_pair_violations
+
+        return corner_pair_violations(
+            convex_corners(pa), convex_corners(pb), layer, value
+        )
+
+    def flat_check(self, polygons, layer: int, value: int):
+        from ..checks.corner import check_corner_spacing
+
+        return check_corner_spacing(polygons, layer, value)
+
+
+class _EnclosureProcedures:
+    """Via-in-metal enclosure (paper Table II right half)."""
+
+    def satisfied(self, via: Polygon, metals, value: int) -> bool:
+        for metal in metals:
+            margin = enclosure_margin(via, metal)
+            if margin is not None and margin >= value:
+                return True
+        return False
+
+    def violations(self, via, metals, via_layer, metal_layer, value):
+        return enclosure_pair_violations(via, metals, via_layer, metal_layer, value)
+
+
+class _OverlapProcedures:
+    """Minimum overlapping area between layers (paper §I motivation)."""
+
+    def satisfied(self, polygon: Polygon, bases, value: int) -> bool:
+        from ..checks.overlap import overlap_area
+
+        return overlap_area(polygon, bases) >= value
+
+    def violations(self, polygon, bases, top_layer, base_layer, value):
+        from ..checks.overlap import overlap_area
+
+        area = overlap_area(polygon, bases)
+        if area >= value:
+            return []
+        return [
+            Violation(
+                kind=ViolationKind.OVERLAP,
+                layer=top_layer,
+                other_layer=base_layer,
+                region=polygon.mbr,
+                measured=area,
+                required=value,
+            )
+        ]

@@ -1,0 +1,53 @@
+"""GDSII stream format codec (interface layer).
+
+A from-scratch reader/writer for the GDSII stream format: flat record codec
+(:mod:`.records`), excess-64 REAL8 floats (:mod:`.real8`), the raw object
+model mirroring the paper's Fig. 2 grammar (:mod:`.model`), and the
+recursive-descent reader / writer pair (:mod:`.reader`, :mod:`.writer`).
+
+The convenience :func:`read_layout` goes straight from a stream file to the
+hierarchical layout database, matching the paper's Listing 1 usage
+(``odrc::gdsii::read("path-to-gdsii")``).
+"""
+
+from .model import (
+    GdsAref,
+    GdsBoundary,
+    GdsLibrary,
+    GdsPath,
+    GdsSref,
+    GdsStrans,
+    GdsStructure,
+    aref_origins,
+)
+from .reader import read, read_bytes
+from .records import DataType, Record, RecordType, pack_record, unpack_records
+from .writer import write, write_bytes
+
+__all__ = [
+    "DataType",
+    "GdsAref",
+    "GdsBoundary",
+    "GdsLibrary",
+    "GdsPath",
+    "GdsSref",
+    "GdsStrans",
+    "GdsStructure",
+    "Record",
+    "RecordType",
+    "aref_origins",
+    "pack_record",
+    "read",
+    "read_bytes",
+    "read_layout",
+    "unpack_records",
+    "write",
+    "write_bytes",
+]
+
+
+def read_layout(path):
+    """Read a GDSII file directly into a :class:`repro.layout.Layout`."""
+    from ..layout.builder import layout_from_gdsii
+
+    return layout_from_gdsii(read(path))

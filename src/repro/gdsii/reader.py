@@ -1,0 +1,226 @@
+"""GDSII stream reader.
+
+Parses the flat record stream into the raw object model of
+:mod:`repro.gdsii.model`, enforcing the recursive grammar of the paper's
+Fig. 2 (library -> structure* -> element*). The reader is strict: malformed
+nesting, missing mandatory records, or unknown record types raise
+:class:`~repro.errors.GdsiiError` with the offending context.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+from ..errors import GdsiiError
+from .model import (
+    GdsAref,
+    GdsBoundary,
+    GdsLibrary,
+    GdsPath,
+    GdsSref,
+    GdsStrans,
+    GdsStructure,
+)
+from .records import Record, RecordType, unpack_records
+
+
+def read(path: Union[str, "os.PathLike"]) -> GdsLibrary:
+    """Read a GDSII stream file into a :class:`GdsLibrary`."""
+    with open(path, "rb") as f:
+        return read_bytes(f.read())
+
+
+def read_bytes(data: bytes) -> GdsLibrary:
+    """Parse in-memory GDSII stream bytes."""
+    records = unpack_records(data)
+    if not records:
+        raise GdsiiError("empty GDSII stream")
+    return _Parser(records).parse_library()
+
+
+class _Parser:
+    """Recursive-descent parser over the decoded record list."""
+
+    def __init__(self, records: List[Record]) -> None:
+        self._records = records
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Record:
+        if self._pos >= len(self._records):
+            raise GdsiiError("unexpected end of GDSII stream")
+        return self._records[self._pos]
+
+    def _next(self) -> Record:
+        record = self._peek()
+        self._pos += 1
+        return record
+
+    def _expect(self, rtype: RecordType) -> Record:
+        record = self._next()
+        if record.record_type is not rtype:
+            raise GdsiiError(
+                f"expected {rtype.name} record, found {record.record_type.name} "
+                f"(record #{self._pos - 1})"
+            )
+        return record
+
+    def _accept(self, rtype: RecordType):
+        if self._pos < len(self._records) and self._peek().record_type is rtype:
+            return self._next()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_library(self) -> GdsLibrary:
+        self._expect(RecordType.HEADER)
+        bgnlib = self._expect(RecordType.BGNLIB)
+        name = self._expect(RecordType.LIBNAME).text
+        units = self._expect(RecordType.UNITS).reals
+        if len(units) != 2:
+            raise GdsiiError(f"UNITS record must hold 2 reals, got {len(units)}")
+        library = GdsLibrary(
+            name=name,
+            user_unit=units[0],
+            meters_per_unit=units[1],
+            timestamp=tuple(bgnlib.ints[:6]),
+        )
+        while True:
+            record = self._next()
+            if record.record_type is RecordType.ENDLIB:
+                break
+            if record.record_type is not RecordType.BGNSTR:
+                raise GdsiiError(
+                    f"expected BGNSTR or ENDLIB at library level, found "
+                    f"{record.record_type.name}"
+                )
+            library.structures.append(self._parse_structure(record))
+        library.validate_references()
+        return library
+
+    def _parse_structure(self, bgnstr: Record) -> GdsStructure:
+        name = self._expect(RecordType.STRNAME).text
+        structure = GdsStructure(name=name, timestamp=tuple(bgnstr.ints[:6]))
+        while True:
+            record = self._next()
+            rtype = record.record_type
+            if rtype is RecordType.ENDSTR:
+                break
+            if rtype is RecordType.BOUNDARY:
+                structure.elements.append(self._parse_boundary())
+            elif rtype is RecordType.PATH:
+                structure.elements.append(self._parse_path())
+            elif rtype is RecordType.SREF:
+                structure.elements.append(self._parse_sref())
+            elif rtype is RecordType.AREF:
+                structure.elements.append(self._parse_aref())
+            elif rtype is RecordType.TEXT:
+                self._skip_element()  # texts carry no DRC geometry
+            else:
+                raise GdsiiError(
+                    f"unexpected {rtype.name} record inside structure {name!r}"
+                )
+        return structure
+
+    # -- elements -----------------------------------------------------------
+
+    def _parse_boundary(self) -> GdsBoundary:
+        layer = self._expect(RecordType.LAYER).ints[0]
+        datatype = self._expect(RecordType.DATATYPE).ints[0]
+        xy = self._parse_xy()
+        if len(xy) < 4:
+            raise GdsiiError("BOUNDARY with fewer than 4 points")
+        if xy[0] != xy[-1]:
+            raise GdsiiError("BOUNDARY XY list must repeat the first point")
+        properties = self._parse_properties()
+        self._expect(RecordType.ENDEL)
+        return GdsBoundary(layer=layer, datatype=datatype, xy=xy[:-1], properties=properties)
+
+    def _parse_path(self) -> GdsPath:
+        layer = self._expect(RecordType.LAYER).ints[0]
+        datatype = self._expect(RecordType.DATATYPE).ints[0]
+        pathtype_rec = self._accept(RecordType.PATHTYPE)
+        pathtype = pathtype_rec.ints[0] if pathtype_rec else 0
+        width_rec = self._accept(RecordType.WIDTH)
+        width = width_rec.ints[0] if width_rec else 0
+        xy = self._parse_xy()
+        if len(xy) < 2:
+            raise GdsiiError("PATH with fewer than 2 points")
+        properties = self._parse_properties()
+        self._expect(RecordType.ENDEL)
+        return GdsPath(
+            layer=layer,
+            datatype=datatype,
+            width=width,
+            xy=xy,
+            pathtype=pathtype,
+            properties=properties,
+        )
+
+    def _parse_sref(self) -> GdsSref:
+        sname = self._expect(RecordType.SNAME).text
+        strans = self._parse_strans()
+        xy = self._parse_xy()
+        if len(xy) != 1:
+            raise GdsiiError(f"SREF XY must hold exactly 1 point, got {len(xy)}")
+        properties = self._parse_properties()
+        self._expect(RecordType.ENDEL)
+        return GdsSref(sname=sname, origin=xy[0], strans=strans, properties=properties)
+
+    def _parse_aref(self) -> GdsAref:
+        sname = self._expect(RecordType.SNAME).text
+        strans = self._parse_strans()
+        colrow = self._expect(RecordType.COLROW).ints
+        if len(colrow) != 2:
+            raise GdsiiError("COLROW must hold exactly 2 int16 values")
+        xy = self._parse_xy()
+        if len(xy) != 3:
+            raise GdsiiError(f"AREF XY must hold exactly 3 points, got {len(xy)}")
+        properties = self._parse_properties()
+        self._expect(RecordType.ENDEL)
+        return GdsAref(
+            sname=sname,
+            columns=colrow[0],
+            rows=colrow[1],
+            xy=xy,
+            strans=strans,
+            properties=properties,
+        )
+
+    # -- shared pieces --------------------------------------------------------
+
+    def _parse_strans(self) -> GdsStrans:
+        strans = GdsStrans()
+        record = self._accept(RecordType.STRANS)
+        if record is None:
+            return strans
+        assert isinstance(record.payload, bytes)
+        strans.mirror_x = bool(record.payload[0] & 0x80)
+        mag = self._accept(RecordType.MAG)
+        if mag is not None:
+            strans.magnification = mag.reals[0]
+        angle = self._accept(RecordType.ANGLE)
+        if angle is not None:
+            strans.angle = angle.reals[0]
+        return strans
+
+    def _parse_xy(self):
+        flat = self._expect(RecordType.XY).ints
+        if len(flat) % 2:
+            raise GdsiiError("XY record with an odd coordinate count")
+        return [(flat[i], flat[i + 1]) for i in range(0, len(flat), 2)]
+
+    def _parse_properties(self):
+        properties = {}
+        while True:
+            attr = self._accept(RecordType.PROPATTR)
+            if attr is None:
+                return properties
+            value = self._expect(RecordType.PROPVALUE)
+            properties[attr.ints[0]] = value.text
+
+    def _skip_element(self) -> None:
+        while self._next().record_type is not RecordType.ENDEL:
+            pass

@@ -1,0 +1,233 @@
+"""GDSII stream record grammar.
+
+A GDSII file is a flat sequence of records; each record is a 2-byte
+big-endian length (including the 4-byte header), a 1-byte record type, and a
+1-byte data type, followed by payload. The recursive structure of Fig. 2 in
+the paper (library -> structures -> elements -> structure references) is a
+grammar *over* this flat record stream; :mod:`repro.gdsii.reader` implements
+that grammar.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import List, NamedTuple, Sequence, Union
+
+from ..errors import GdsiiError
+from .real8 import decode_real8, encode_real8
+
+
+class RecordType(enum.IntEnum):
+    """The subset of GDSII record types this codec understands."""
+
+    HEADER = 0x00
+    BGNLIB = 0x01
+    LIBNAME = 0x02
+    UNITS = 0x03
+    ENDLIB = 0x04
+    BGNSTR = 0x05
+    STRNAME = 0x06
+    ENDSTR = 0x07
+    BOUNDARY = 0x08
+    PATH = 0x09
+    SREF = 0x0A
+    AREF = 0x0B
+    TEXT = 0x0C
+    LAYER = 0x0D
+    DATATYPE = 0x0E
+    WIDTH = 0x0F
+    XY = 0x10
+    ENDEL = 0x11
+    SNAME = 0x12
+    COLROW = 0x13
+    TEXTTYPE = 0x16
+    PRESENTATION = 0x17
+    STRING = 0x19
+    STRANS = 0x1A
+    MAG = 0x1B
+    ANGLE = 0x1C
+    PATHTYPE = 0x21
+    PROPATTR = 0x2B
+    PROPVALUE = 0x2C
+
+
+class DataType(enum.IntEnum):
+    """GDSII payload data types."""
+
+    NO_DATA = 0x00
+    BIT_ARRAY = 0x01
+    INT16 = 0x02
+    INT32 = 0x03
+    REAL4 = 0x04
+    REAL8 = 0x05
+    ASCII = 0x06
+
+
+#: Payload data type each record type must carry.
+EXPECTED_DATA_TYPE = {
+    RecordType.HEADER: DataType.INT16,
+    RecordType.BGNLIB: DataType.INT16,
+    RecordType.LIBNAME: DataType.ASCII,
+    RecordType.UNITS: DataType.REAL8,
+    RecordType.ENDLIB: DataType.NO_DATA,
+    RecordType.BGNSTR: DataType.INT16,
+    RecordType.STRNAME: DataType.ASCII,
+    RecordType.ENDSTR: DataType.NO_DATA,
+    RecordType.BOUNDARY: DataType.NO_DATA,
+    RecordType.PATH: DataType.NO_DATA,
+    RecordType.SREF: DataType.NO_DATA,
+    RecordType.AREF: DataType.NO_DATA,
+    RecordType.TEXT: DataType.NO_DATA,
+    RecordType.LAYER: DataType.INT16,
+    RecordType.DATATYPE: DataType.INT16,
+    RecordType.WIDTH: DataType.INT32,
+    RecordType.XY: DataType.INT32,
+    RecordType.ENDEL: DataType.NO_DATA,
+    RecordType.SNAME: DataType.ASCII,
+    RecordType.COLROW: DataType.INT16,
+    RecordType.TEXTTYPE: DataType.INT16,
+    RecordType.PRESENTATION: DataType.BIT_ARRAY,
+    RecordType.STRING: DataType.ASCII,
+    RecordType.STRANS: DataType.BIT_ARRAY,
+    RecordType.MAG: DataType.REAL8,
+    RecordType.ANGLE: DataType.REAL8,
+    RecordType.PATHTYPE: DataType.INT16,
+    RecordType.PROPATTR: DataType.INT16,
+    RecordType.PROPVALUE: DataType.ASCII,
+}
+
+Payload = Union[None, bytes, str, List[int], List[float]]
+
+
+class Record(NamedTuple):
+    """One decoded stream record."""
+
+    record_type: RecordType
+    data_type: DataType
+    payload: Payload
+
+    @property
+    def ints(self) -> List[int]:
+        if not isinstance(self.payload, list):
+            raise GdsiiError(f"{self.record_type.name} carries no integer payload")
+        return self.payload  # type: ignore[return-value]
+
+    @property
+    def reals(self) -> List[float]:
+        if self.data_type is not DataType.REAL8 or not isinstance(self.payload, list):
+            raise GdsiiError(f"{self.record_type.name} carries no REAL8 payload")
+        return self.payload  # type: ignore[return-value]
+
+    @property
+    def text(self) -> str:
+        if not isinstance(self.payload, str):
+            raise GdsiiError(f"{self.record_type.name} carries no ASCII payload")
+        return self.payload
+
+
+def decode_payload(data_type: DataType, raw: bytes) -> Payload:
+    """Decode a record payload according to its data type."""
+    if data_type is DataType.NO_DATA:
+        if raw:
+            raise GdsiiError("NO_DATA record with a non-empty payload")
+        return None
+    if data_type is DataType.BIT_ARRAY:
+        if len(raw) != 2:
+            raise GdsiiError(f"BIT_ARRAY payload must be 2 bytes, got {len(raw)}")
+        return raw
+    if data_type is DataType.INT16:
+        if len(raw) % 2:
+            raise GdsiiError("INT16 payload length is odd")
+        return list(struct.unpack(f">{len(raw) // 2}h", raw))
+    if data_type is DataType.INT32:
+        if len(raw) % 4:
+            raise GdsiiError("INT32 payload length is not a multiple of 4")
+        return list(struct.unpack(f">{len(raw) // 4}i", raw))
+    if data_type is DataType.REAL8:
+        if len(raw) % 8:
+            raise GdsiiError("REAL8 payload length is not a multiple of 8")
+        return [decode_real8(raw[i : i + 8]) for i in range(0, len(raw), 8)]
+    if data_type is DataType.ASCII:
+        return raw.rstrip(b"\x00").decode("ascii")
+    raise GdsiiError(f"unsupported data type {data_type!r}")
+
+
+def encode_payload(data_type: DataType, payload: Payload) -> bytes:
+    """Encode a record payload; inverse of :func:`decode_payload`."""
+    if data_type is DataType.NO_DATA:
+        return b""
+    if data_type is DataType.BIT_ARRAY:
+        assert isinstance(payload, bytes)
+        return payload
+    if data_type is DataType.INT16:
+        assert isinstance(payload, list)
+        return struct.pack(f">{len(payload)}h", *payload)
+    if data_type is DataType.INT32:
+        assert isinstance(payload, list)
+        return struct.pack(f">{len(payload)}i", *payload)
+    if data_type is DataType.REAL8:
+        assert isinstance(payload, list)
+        return b"".join(encode_real8(v) for v in payload)
+    if data_type is DataType.ASCII:
+        assert isinstance(payload, str)
+        raw = payload.encode("ascii")
+        if len(raw) % 2:
+            raw += b"\x00"  # GDSII pads ASCII payloads to even length
+        return raw
+    raise GdsiiError(f"unsupported data type {data_type!r}")
+
+
+def pack_record(record: Record) -> bytes:
+    """Serialize one record to stream bytes."""
+    body = encode_payload(record.data_type, record.payload)
+    length = len(body) + 4
+    if length > 0xFFFF:
+        raise GdsiiError(f"record {record.record_type.name} payload too large ({length} bytes)")
+    return struct.pack(">HBB", length, record.record_type, record.data_type) + body
+
+
+def unpack_records(data: bytes) -> List[Record]:
+    """Split stream bytes into decoded records; stops at ENDLIB or end of data."""
+    records: List[Record] = []
+    offset = 0
+    size = len(data)
+    while offset + 4 <= size:
+        length, rtype_raw, dtype_raw = struct.unpack_from(">HBB", data, offset)
+        if length == 0:
+            break  # trailing null padding after ENDLIB
+        if length < 4 or offset + length > size:
+            raise GdsiiError(f"record at offset {offset} has bad length {length}")
+        try:
+            rtype = RecordType(rtype_raw)
+        except ValueError:
+            raise GdsiiError(f"unknown record type 0x{rtype_raw:02X} at offset {offset}") from None
+        try:
+            dtype = DataType(dtype_raw)
+        except ValueError:
+            raise GdsiiError(f"unknown data type 0x{dtype_raw:02X} at offset {offset}") from None
+        expected = EXPECTED_DATA_TYPE[rtype]
+        if dtype is not expected:
+            raise GdsiiError(
+                f"{rtype.name} record carries {dtype.name} payload, expected {expected.name}"
+            )
+        payload = decode_payload(dtype, data[offset + 4 : offset + length])
+        records.append(Record(rtype, dtype, payload))
+        offset += length
+        if rtype is RecordType.ENDLIB:
+            break
+    return records
+
+
+def make_record(rtype: RecordType, payload: Payload = None) -> Record:
+    """Build a record with the data type mandated for ``rtype``."""
+    return Record(rtype, EXPECTED_DATA_TYPE[rtype], payload)
+
+
+def xy_record(points: Sequence) -> Record:
+    """Build an XY record from a point sequence (closing point NOT added)."""
+    flat: List[int] = []
+    for p in points:
+        flat.append(int(p[0]))
+        flat.append(int(p[1]))
+    return make_record(RecordType.XY, flat)

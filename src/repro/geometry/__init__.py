@@ -1,0 +1,43 @@
+"""Geometry kernel: points, rects, edges, polygons, intervals, transforms.
+
+This is the lowest tier of the paper's infrastructure layer (§V-A); every
+other subsystem builds on these value types.
+"""
+
+from .booleans import (
+    RegionUnion,
+    decompose_rectilinear,
+    polygons_area,
+    union_polygons,
+    union_rects,
+)
+from .edge import Direction, Edge, Orientation
+from .interval import Interval, coalesce
+from .point import ORIGIN, Point, iter_points
+from .polygon import Polygon, signed_area2
+from .rect import EMPTY_RECT, Rect, bounding_rect, union_all
+from .transform import IDENTITY, Transform
+
+__all__ = [
+    "Direction",
+    "Edge",
+    "EMPTY_RECT",
+    "IDENTITY",
+    "Interval",
+    "ORIGIN",
+    "Orientation",
+    "Point",
+    "Polygon",
+    "Rect",
+    "RegionUnion",
+    "decompose_rectilinear",
+    "polygons_area",
+    "union_polygons",
+    "union_rects",
+    "Transform",
+    "bounding_rect",
+    "coalesce",
+    "iter_points",
+    "signed_area2",
+    "union_all",
+]

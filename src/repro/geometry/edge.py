@@ -1,0 +1,182 @@
+"""Directed rectilinear polygon edges.
+
+OpenDRC's check procedures are *edge-based* (paper §IV-D, §IV-E): distance
+rules are decided by pairs of parallel edges, and the positional relation of
+an edge (which side of it is polygon interior) is determined purely from the
+vertex order. Vertices are stored clockwise (negative Shoelace signed area),
+so the interior is always to the **right** of the travel direction; the
+interior normal of a direction ``(dx, dy)`` is ``(dy, -dx)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Optional, Tuple
+
+from ..errors import GeometryError
+from .point import Point
+from .rect import Rect
+
+
+class Orientation(enum.Enum):
+    """Axis of an edge."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+
+class Direction(enum.Enum):
+    """Compass direction of travel along a directed rectilinear edge."""
+
+    EAST = (1, 0)
+    WEST = (-1, 0)
+    NORTH = (0, 1)
+    SOUTH = (0, -1)
+
+    @property
+    def dx(self) -> int:
+        return self.value[0]
+
+    @property
+    def dy(self) -> int:
+        return self.value[1]
+
+    @property
+    def interior_normal(self) -> Tuple[int, int]:
+        """Unit vector pointing into the polygon (clockwise vertex order)."""
+        return (self.dy, -self.dx)
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+}
+
+
+class Edge(NamedTuple):
+    """A directed axis-parallel segment from ``start`` to ``end``.
+
+    The polygon interior lies to the right of the direction of travel.
+    """
+
+    start: Point
+    end: Point
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.start.y == self.end.y
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.start.x == self.end.x
+
+    @property
+    def orientation(self) -> Orientation:
+        if self.is_horizontal and not self.is_vertical:
+            return Orientation.HORIZONTAL
+        if self.is_vertical and not self.is_horizontal:
+            return Orientation.VERTICAL
+        raise GeometryError(f"degenerate or non-rectilinear edge: {self!r}")
+
+    @property
+    def direction(self) -> Direction:
+        if self.orientation is Orientation.HORIZONTAL:
+            return Direction.EAST if self.end.x > self.start.x else Direction.WEST
+        return Direction.NORTH if self.end.y > self.start.y else Direction.SOUTH
+
+    @property
+    def length(self) -> int:
+        return abs(self.end.x - self.start.x) + abs(self.end.y - self.start.y)
+
+    @property
+    def interior_side(self) -> Tuple[int, int]:
+        """Unit normal pointing into the polygon this edge belongs to."""
+        return self.direction.interior_normal
+
+    # -- coordinates convenient for sweep/check code -----------------------
+
+    @property
+    def fixed_coordinate(self) -> int:
+        """The coordinate shared by both endpoints (y if horizontal, x if vertical)."""
+        return self.start.y if self.is_horizontal else self.start.x
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """``(lo, hi)`` of the varying coordinate."""
+        if self.is_horizontal:
+            return (min(self.start.x, self.end.x), max(self.start.x, self.end.x))
+        return (min(self.start.y, self.end.y), max(self.start.y, self.end.y))
+
+    @property
+    def mbr(self) -> Rect:
+        return Rect(
+            min(self.start.x, self.end.x),
+            min(self.start.y, self.end.y),
+            max(self.start.x, self.end.x),
+            max(self.start.y, self.end.y),
+        )
+
+    # -- geometric relations -------------------------------------------------
+
+    def projection_overlap(self, other: "Edge") -> int:
+        """Length of the common projection of two parallel edges.
+
+        Returns 0 for disjoint or merely point-touching projections, and
+        raises :class:`GeometryError` for perpendicular edges.
+        """
+        if self.orientation is not other.orientation:
+            raise GeometryError("projection_overlap requires parallel edges")
+        alo, ahi = self.span
+        blo, bhi = other.span
+        return max(0, min(ahi, bhi) - max(alo, blo))
+
+    def separation(self, other: "Edge") -> int:
+        """Perpendicular distance between two parallel edges' supporting lines."""
+        if self.orientation is not other.orientation:
+            raise GeometryError("separation requires parallel edges")
+        return abs(self.fixed_coordinate - other.fixed_coordinate)
+
+    def faces(self, other: "Edge") -> bool:
+        """True if this edge's interior normal points toward ``other``.
+
+        Facing is the key positional relation for distance rules: a *width*
+        violation is two edges of one polygon that face each other (interior
+        between them), a *spacing* violation is two edges of different
+        polygons whose **exteriors** face each other — i.e. neither faces
+        the other.
+        """
+        if self.orientation is not other.orientation:
+            return False
+        nx, ny = self.interior_side
+        delta = other.fixed_coordinate - self.fixed_coordinate
+        return delta * (nx + ny) > 0
+
+    def translated(self, dx: int, dy: int) -> "Edge":
+        return Edge(self.start.translated(dx, dy), self.end.translated(dx, dy))
+
+    def overlap_region(self, other: "Edge", *, inflate: int = 0) -> Optional[Rect]:
+        """Bounding box of the strip between two parallel overlapping edges.
+
+        This is the region reported for a violation between the pair.
+        Returns ``None`` if the projections do not overlap.
+        """
+        if self.projection_overlap(other) <= 0:
+            return None
+        alo, ahi = self.span
+        blo, bhi = other.span
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        c1, c2 = sorted((self.fixed_coordinate, other.fixed_coordinate))
+        if self.is_horizontal:
+            region = Rect(lo, c1, hi, c2)
+        else:
+            region = Rect(c1, lo, c2, hi)
+        return region.inflated(inflate) if inflate else region
+
+    def __repr__(self) -> str:
+        return f"Edge({tuple(self.start)} -> {tuple(self.end)})"

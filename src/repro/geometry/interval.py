@@ -1,0 +1,70 @@
+"""Closed integer intervals.
+
+Intervals appear in three places in OpenDRC: as the events and status entries
+of the MBR sweepline (paper §IV-D), as the inputs of the pigeonhole interval
+merging behind adaptive row partition (paper §IV-B, Algorithm 1), and as edge
+projections in the check procedures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple
+
+
+class Interval(NamedTuple):
+    """Closed interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    @classmethod
+    def of(cls, a: int, b: int) -> "Interval":
+        """Build an interval from two endpoints in either order."""
+        return cls(a, b) if a <= b else cls(b, a)
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the closed intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def overlap_length(self, other: "Interval") -> int:
+        """Length of the common part (0 when disjoint or point-touching)."""
+        return max(0, min(self.hi, other.hi) - max(self.lo, other.lo))
+
+    def gap_to(self, other: "Interval") -> int:
+        """Distance between the intervals (0 when they touch or overlap)."""
+        return max(0, max(self.lo - other.hi, other.lo - self.hi))
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def inflated(self, margin: int) -> "Interval":
+        return Interval(self.lo - margin, self.hi + margin)
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def coalesce(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping/touching intervals into a sorted disjoint cover.
+
+    This is the reference (sort-based) semantics that the pigeonhole merge of
+    Algorithm 1 must agree with; tests and the merge ablation compare both.
+    """
+    items = sorted(intervals)
+    result: List[Interval] = []
+    for iv in items:
+        if result and iv.lo <= result[-1].hi:
+            result[-1] = Interval(result[-1].lo, max(result[-1].hi, iv.hi))
+        else:
+            result.append(iv)
+    return result

@@ -1,0 +1,59 @@
+"""Integer lattice points.
+
+All geometry in this package lives on an integer grid (database units).
+``Point`` is an immutable value type; arithmetic returns new points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+
+class Point(NamedTuple):
+    """A point on the integer grid.
+
+    Being a :class:`~typing.NamedTuple`, a ``Point`` unpacks as ``(x, y)``,
+    hashes by value, and compares lexicographically — which is exactly the
+    order sweepline algorithms want.
+    """
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return this point moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Point") -> int:
+        """L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def chebyshev_distance(self, other: "Point") -> int:
+        """L-infinity distance to ``other``."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def euclidean_distance_squared(self, other: "Point") -> int:
+        """Squared L2 distance to ``other`` (exact, stays integral)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def __repr__(self) -> str:
+        return f"Point({self.x}, {self.y})"
+
+
+ORIGIN = Point(0, 0)
+
+
+def iter_points(flat: Iterator[int]) -> Iterator[Point]:
+    """Pair up a flat iterator of coordinates ``x0, y0, x1, y1, ...``.
+
+    GDSII XY records store coordinates flattened this way.
+    """
+    it = iter(flat)
+    for x in it:
+        try:
+            y = next(it)
+        except StopIteration:
+            raise ValueError("odd number of coordinates in flat point list") from None
+        yield Point(x, y)

@@ -1,0 +1,250 @@
+"""Rectilinear polygons.
+
+A :class:`Polygon` stores its boundary as a list of vertices in **clockwise**
+order (the constructor normalizes orientation), without repeating the first
+vertex at the end. Edges derived from the boundary therefore carry a
+well-defined interior side (see :mod:`repro.geometry.edge`), which is what the
+paper's edge-based check procedures rely on (paper §IV-D: "Polygon vertices
+are stored in clockwise order, so that positional relations of edges are
+determined accordingly"). Areas use the Shoelace Theorem, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import GeometryError
+from .edge import Edge
+from .point import Point
+from .rect import Rect
+from .transform import Transform
+
+
+def signed_area2(vertices: Sequence[Point]) -> int:
+    """Twice the signed Shoelace area (positive for counter-clockwise)."""
+    total = 0
+    n = len(vertices)
+    for i in range(n):
+        p = vertices[i]
+        q = vertices[(i + 1) % n]
+        total += p.x * q.y - q.x * p.y
+    return total
+
+
+class Polygon:
+    """A simple rectilinear polygon on the integer grid.
+
+    Parameters
+    ----------
+    vertices:
+        Boundary vertices in either orientation; normalized to clockwise.
+        Collinear runs are merged so every stored edge is a maximal segment.
+    name:
+        Optional object name (GDSII allows named elements via PROPATTR; the
+        paper's Listing 1 third rule checks for non-empty names).
+    validate:
+        When true (default), reject non-rectilinear or degenerate input.
+    """
+
+    __slots__ = ("vertices", "name", "_mbr")
+
+    def __init__(
+        self,
+        vertices: Iterable[Point],
+        *,
+        name: str = "",
+        validate: bool = True,
+    ) -> None:
+        verts = [p if isinstance(p, Point) else Point(*p) for p in vertices]
+        if verts and verts[0] == verts[-1]:
+            verts = verts[:-1]  # tolerate GDSII-style closed rings
+        verts = _merge_collinear(verts)
+        if validate:
+            _validate_rectilinear(verts)
+        if signed_area2(verts) > 0:
+            verts.reverse()  # normalize to clockwise
+        self.vertices: Tuple[Point, ...] = tuple(verts)
+        self.name = name
+        self._mbr: Optional[Rect] = None
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_rect(cls, rect: Rect, *, name: str = "") -> "Polygon":
+        """Rectangle polygon covering ``rect`` (which must be non-degenerate)."""
+        if rect.is_empty or rect.width == 0 or rect.height == 0:
+            raise GeometryError(f"cannot build a polygon from degenerate {rect!r}")
+        return cls(
+            [
+                Point(rect.xlo, rect.ylo),
+                Point(rect.xlo, rect.yhi),
+                Point(rect.xhi, rect.yhi),
+                Point(rect.xhi, rect.ylo),
+            ],
+            name=name,
+        )
+
+    @classmethod
+    def from_rect_coords(
+        cls, xlo: int, ylo: int, xhi: int, yhi: int, *, name: str = ""
+    ) -> "Polygon":
+        """Rectangle polygon from corner coordinates."""
+        return cls.from_rect(Rect(xlo, ylo, xhi, yhi), name=name)
+
+    # -- fundamental properties -----------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    def edges(self) -> List[Edge]:
+        """Directed boundary edges, interior to the right of each."""
+        n = len(self.vertices)
+        return [Edge(self.vertices[i], self.vertices[(i + 1) % n]) for i in range(n)]
+
+    @property
+    def area(self) -> int:
+        """Enclosed area by the Shoelace Theorem (paper §IV-D)."""
+        return abs(signed_area2(self.vertices)) // 2
+
+    @property
+    def perimeter(self) -> int:
+        return sum(e.length for e in self.edges())
+
+    @property
+    def mbr(self) -> Rect:
+        if self._mbr is None:
+            xs = [p.x for p in self.vertices]
+            ys = [p.y for p in self.vertices]
+            self._mbr = Rect(min(xs), min(ys), max(xs), max(ys))
+        return self._mbr
+
+    @property
+    def is_rectilinear(self) -> bool:
+        """True if every edge is axis-parallel (the Listing-1 predicate)."""
+        n = len(self.vertices)
+        for i in range(n):
+            p = self.vertices[i]
+            q = self.vertices[(i + 1) % n]
+            if p.x != q.x and p.y != q.y:
+                return False
+        return True
+
+    @property
+    def is_rectangle(self) -> bool:
+        return len(self.vertices) == 4 and self.mbr.area == self.area
+
+    # -- point location ------------------------------------------------------
+
+    def contains_point(self, p: Point, *, include_boundary: bool = True) -> bool:
+        """Point-in-polygon via crossing number on the vertical edges."""
+        on_boundary = self._on_boundary(p)
+        if on_boundary:
+            return include_boundary
+        crossings = 0
+        for e in self.edges():
+            if not e.is_vertical:
+                continue
+            ylo, yhi = e.span
+            # Half-open rule avoids double-counting shared vertices.
+            if ylo <= p.y < yhi and e.start.x > p.x:
+                crossings += 1
+        return crossings % 2 == 1
+
+    def _on_boundary(self, p: Point) -> bool:
+        for e in self.edges():
+            if e.is_vertical:
+                ylo, yhi = e.span
+                if p.x == e.start.x and ylo <= p.y <= yhi:
+                    return True
+            else:
+                xlo, xhi = e.span
+                if p.y == e.start.y and xlo <= p.x <= xhi:
+                    return True
+        return False
+
+    # -- transformation ----------------------------------------------------------
+
+    def transformed(self, transform: Transform) -> "Polygon":
+        """Apply a placement transform; orientation is re-normalized."""
+        return Polygon(transform.apply_many(self.vertices), name=self.name, validate=False)
+
+    def translated(self, dx: int, dy: int) -> "Polygon":
+        return Polygon(
+            [v.translated(dx, dy) for v in self.vertices], name=self.name, validate=False
+        )
+
+    # -- value semantics ------------------------------------------------------------
+
+    def canonical_vertices(self) -> Tuple[Point, ...]:
+        """Vertices rotated so the lexicographically smallest comes first.
+
+        Two polygons are geometrically identical iff their canonical vertex
+        tuples match; used for memoisation keys and in tests.
+        """
+        if not self.vertices:
+            return ()
+        start = min(range(len(self.vertices)), key=lambda i: self.vertices[i])
+        return self.vertices[start:] + self.vertices[:start]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self.canonical_vertices() == other.canonical_vertices()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_vertices())
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Polygon({len(self.vertices)} vertices{label}, mbr={self.mbr!r})"
+
+
+def _merge_collinear(vertices: List[Point]) -> List[Point]:
+    """Drop straight-through vertices (collinear, same direction of travel).
+
+    Spikes that double back (collinear but reversing) and duplicate vertices
+    are kept so that validation can reject them with a clear error.
+    """
+    if len(vertices) < 3:
+        return list(vertices)
+    result: List[Point] = []
+    n = len(vertices)
+    for i in range(n):
+        prev = vertices[(i - 1) % n]
+        cur = vertices[i]
+        nxt = vertices[(i + 1) % n]
+        d1 = (cur.x - prev.x, cur.y - prev.y)
+        d2 = (nxt.x - cur.x, nxt.y - cur.y)
+        cross = d1[0] * d2[1] - d1[1] * d2[0]
+        dot = d1[0] * d2[0] + d1[1] * d2[1]
+        if cross == 0 and dot > 0:
+            continue
+        result.append(cur)
+    return result
+
+
+def _validate_rectilinear(vertices: Sequence[Point]) -> None:
+    if len(vertices) < 4:
+        raise GeometryError(f"polygon needs at least 4 vertices, got {len(vertices)}")
+    if len(set(vertices)) != len(vertices):
+        raise GeometryError("polygon has repeated vertices")
+    n = len(vertices)
+    for i in range(n):
+        p = vertices[i]
+        q = vertices[(i + 1) % n]
+        if p.x != q.x and p.y != q.y:
+            raise GeometryError(f"non-rectilinear edge {p} -> {q}")
+        if p == q:
+            raise GeometryError(f"degenerate zero-length edge at {p}")
+    # Rectilinear simple polygons alternate horizontal/vertical edges.
+    for i in range(n):
+        p = vertices[i]
+        q = vertices[(i + 1) % n]
+        r = vertices[(i + 2) % n]
+        first_horizontal = p.y == q.y
+        second_horizontal = q.y == r.y
+        if first_horizontal == second_horizontal:
+            raise GeometryError(f"consecutive parallel edges around {q}")
+    if signed_area2(vertices) == 0:
+        raise GeometryError("polygon has zero area")

@@ -1,0 +1,187 @@
+"""Axis-aligned rectangles / minimum bounding rectangles (MBRs).
+
+The hierarchy tree (paper §IV-A) augments every cell with per-layer MBRs, and
+the sequential mode (paper §IV-D) sweeps MBRs to find candidate pairs, so this
+type is the workhorse of the whole engine.
+
+A :class:`Rect` is half-open in neither axis: it covers the closed region
+``[xlo, xhi] x [ylo, yhi]``. Degenerate rects (zero width or height) are
+permitted — a horizontal edge's MBR is one. An *empty* rect is represented by
+the sentinel :data:`EMPTY_RECT`, for which ``is_empty`` is true; empty rects
+absorb nothing in unions and intersect nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Optional
+
+from .point import Point
+
+
+class Rect(NamedTuple):
+    """Closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True if this rect covers no points at all."""
+        return self.xlo > self.xhi or self.ylo > self.yhi
+
+    @property
+    def width(self) -> int:
+        """Extent along x (0 for a vertical segment)."""
+        return 0 if self.is_empty else self.xhi - self.xlo
+
+    @property
+    def height(self) -> int:
+        """Extent along y (0 for a horizontal segment)."""
+        return 0 if self.is_empty else self.yhi - self.ylo
+
+    @property
+    def area(self) -> int:
+        """Area of the covered region."""
+        return 0 if self.is_empty else self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Integer center (rounds toward the low corner)."""
+        return Point((self.xlo + self.xhi) // 2, (self.ylo + self.yhi) // 2)
+
+    # -- predicates --------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        if self.is_empty:
+            return False
+        return self.xlo <= p.x <= self.xhi and self.ylo <= p.y <= self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies fully inside this rect (boundary allowed)."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the closed regions share at least one point.
+
+        Touching edges count as overlap; the engine inflates MBRs by the rule
+        distance before calling this (paper §IV-C), so boundary contact must
+        not be lost.
+        """
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+
+    def overlaps_strictly(self, other: "Rect") -> bool:
+        """True if the *open* interiors intersect (touching does not count)."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    # -- constructive operations -------------------------------------------
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rect covering both operands; empty rects are identities."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """Common region of both operands (possibly :data:`EMPTY_RECT`)."""
+        if self.is_empty or other.is_empty:
+            return EMPTY_RECT
+        r = Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+        return r if not r.is_empty else EMPTY_RECT
+
+    def inflated(self, margin: int) -> "Rect":
+        """Grow (or shrink, for negative margins) by ``margin`` on every side.
+
+        Task pruning inflates MBRs by the minimum rule distance so that
+        MBR-disjointness soundly implies no violation (paper §IV-C).
+        """
+        if self.is_empty:
+            return EMPTY_RECT
+        r = Rect(self.xlo - margin, self.ylo - margin, self.xhi + margin, self.yhi + margin)
+        return r if not r.is_empty else EMPTY_RECT
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """Return this rect moved by ``(dx, dy)``."""
+        if self.is_empty:
+            return EMPTY_RECT
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    # -- distances -----------------------------------------------------------
+
+    def gap_to(self, other: "Rect") -> int:
+        """Chebyshev gap between two rects; 0 when they touch or overlap."""
+        if self.is_empty or other.is_empty:
+            raise ValueError("gap_to is undefined for empty rects")
+        dx = max(self.xlo - other.xhi, other.xlo - self.xhi, 0)
+        dy = max(self.ylo - other.yhi, other.ylo - self.yhi, 0)
+        return max(dx, dy)
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "Rect(EMPTY)"
+        return f"Rect({self.xlo}, {self.ylo}, {self.xhi}, {self.yhi})"
+
+
+#: The canonical empty rectangle. ``union`` treats it as an identity.
+EMPTY_RECT = Rect(1, 1, 0, 0)
+
+
+def bounding_rect(points: Iterable[Point]) -> Rect:
+    """MBR of a point cloud; :data:`EMPTY_RECT` for an empty iterable."""
+    result: Optional[Rect] = None
+    for p in points:
+        if result is None:
+            result = Rect(p.x, p.y, p.x, p.y)
+        else:
+            result = Rect(
+                min(result.xlo, p.x),
+                min(result.ylo, p.y),
+                max(result.xhi, p.x),
+                max(result.yhi, p.y),
+            )
+    return result if result is not None else EMPTY_RECT
+
+
+def union_all(rects: Iterable[Rect]) -> Rect:
+    """MBR of many rects; :data:`EMPTY_RECT` for an empty iterable."""
+    result = EMPTY_RECT
+    for r in rects:
+        result = result.union(r)
+    return result

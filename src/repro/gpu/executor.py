@@ -1,0 +1,52 @@
+"""Execution policies — the Python analog of the paper's type-trait dispatch.
+
+The paper's generic functors (Listing 2) take an *executor* that is either
+an ``odrc::sequenced_policy`` (CPU) or a wrapper over a ``cudaStream_t``
+(GPU), and dispatch with ``constexpr if`` on its type traits. Python has no
+compile-time dispatch, so the same design point is expressed as two policy
+classes and an :func:`is_device_policy` trait; generic algorithms branch on
+the trait exactly once at their top, keeping CPU and GPU code paths as
+separate as the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .device import Device, Stream
+
+
+class SequencedPolicy:
+    """Marker for sequential host execution (``odrc::sequenced_policy``)."""
+
+    is_device = False
+
+    def __repr__(self) -> str:
+        return "SequencedPolicy()"
+
+
+class StreamExecutor:
+    """Wrapper over a device stream: operations append to the stream."""
+
+    is_device = True
+
+    def __init__(self, stream: Stream) -> None:
+        self.stream = stream
+
+    @property
+    def device(self) -> Device:
+        return self.stream.device
+
+    def __repr__(self) -> str:
+        return f"StreamExecutor({self.stream!r})"
+
+
+ExecutionPolicy = Union[SequencedPolicy, StreamExecutor]
+
+#: The default sequential policy instance.
+seq = SequencedPolicy()
+
+
+def is_device_policy(executor: ExecutionPolicy) -> bool:
+    """The 'type trait' generic functors dispatch on (Listing 2, lines 5-8)."""
+    return getattr(executor, "is_device", False)

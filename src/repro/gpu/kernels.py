@@ -1,0 +1,479 @@
+"""Data-parallel check kernels (paper §IV-E) as NumPy array programs.
+
+Before checking, the engine packs the edges of the relevant polygons into
+flattened arrays (:func:`pack_edges`) that are copied to the simulated
+device. Two executors are provided per the paper:
+
+* the **brute-force** executor enumerates all edge pairs of a task at once —
+  right for smaller tasks;
+* the **sweepline** executor mirrors X-Check's two-kernel design: a first
+  parallel pass (sort + scan) determines each edge's *check range* — the
+  slice of edges within the rule distance — and a second pass checks every
+  edge against exactly the edges in its range. The two passes are separate
+  functions, as the paper separates the two kernel launches.
+
+Edge classification matches :mod:`repro.checks.edges` bit for bit: an edge
+carries the sign of its interior normal along the perpendicular axis, and
+
+* a *width* pair has interiors facing: ``interior[a] = +1``,
+  ``interior[b] = -1`` with ``fixed[b] > fixed[a]`` and the same polygon;
+* a *spacing* pair has exteriors facing: ``interior[a] = -1``,
+  ``interior[b] = +1`` with ``fixed[b] > fixed[a]``, any polygons (the
+  same-polygon case is a notch).
+
+All kernels return a :class:`PairHits` batch of violation strips; the engine
+converts them to :class:`~repro.checks.base.Violation` objects on the host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Polygon
+
+_INT = np.int64
+
+
+@dataclasses.dataclass
+class EdgeBuffer:
+    """Flattened edges of one orientation.
+
+    ``fixed`` is the supporting-line coordinate (x for vertical edges, y for
+    horizontal); ``lo``/``hi`` the span along the other axis; ``interior``
+    the +/-1 sign of the interior normal along the perpendicular axis;
+    ``poly`` the owning polygon id.
+    """
+
+    vertical: bool
+    fixed: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    interior: np.ndarray
+    poly: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.fixed)
+
+    @property
+    def nbytes(self) -> int:
+        return self.fixed.nbytes + self.lo.nbytes + self.hi.nbytes + (
+            self.interior.nbytes + self.poly.nbytes
+        )
+
+    def sorted_by_fixed(self) -> "EdgeBuffer":
+        """Stable-sorted copy by supporting-line coordinate (sweep pass 1a)."""
+        order = np.argsort(self.fixed, kind="stable")
+        return EdgeBuffer(
+            self.vertical,
+            self.fixed[order],
+            self.lo[order],
+            self.hi[order],
+            self.interior[order],
+            self.poly[order],
+        )
+
+
+@dataclasses.dataclass
+class PairHits:
+    """Violation strips found by a pair kernel (device-side result arrays)."""
+
+    xlo: np.ndarray
+    ylo: np.ndarray
+    xhi: np.ndarray
+    yhi: np.ndarray
+    measured: np.ndarray
+    poly_a: np.ndarray
+    poly_b: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.measured)
+
+    @classmethod
+    def empty(cls) -> "PairHits":
+        z = np.zeros(0, dtype=_INT)
+        return cls(z, z, z, z, z, z, z)
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["PairHits"]) -> "PairHits":
+        real = [b for b in batches if len(b)]
+        if not real:
+            return cls.empty()
+        return cls(*[np.concatenate([getattr(b, f.name) for b in real])
+                     for f in dataclasses.fields(cls)])
+
+
+def pack_edges(
+    polygons: Sequence[Polygon], poly_ids: Optional[Sequence[int]] = None
+) -> Dict[str, EdgeBuffer]:
+    """Pack polygon edges into per-orientation flattened arrays.
+
+    Returns ``{"v": vertical_buffer, "h": horizontal_buffer}``. ``poly_ids``
+    defaults to the polygon's index in the sequence.
+    """
+    v_rows: List[Tuple[int, int, int, int, int]] = []
+    h_rows: List[Tuple[int, int, int, int, int]] = []
+    for index, polygon in enumerate(polygons):
+        pid = poly_ids[index] if poly_ids is not None else index
+        vertices = polygon.vertices
+        n = len(vertices)
+        for i in range(n):
+            x1, y1 = vertices[i]
+            x2, y2 = vertices[(i + 1) % n]
+            if x1 == x2:  # vertical; NORTH (+y travel) has interior east (+1)
+                interior = 1 if y2 > y1 else -1
+                v_rows.append((x1, min(y1, y2), max(y1, y2), interior, pid))
+            else:  # horizontal; EAST (+x travel) has interior south (-1)
+                interior = -1 if x2 > x1 else 1
+                h_rows.append((y1, min(x1, x2), max(x1, x2), interior, pid))
+    return {
+        "v": _buffer_from_rows(v_rows, vertical=True),
+        "h": _buffer_from_rows(h_rows, vertical=False),
+    }
+
+
+def _buffer_from_rows(rows: List[Tuple[int, int, int, int, int]], *, vertical: bool) -> EdgeBuffer:
+    if not rows:
+        z = np.zeros(0, dtype=_INT)
+        return EdgeBuffer(vertical, z, z, z, z, z)
+    arr = np.asarray(rows, dtype=_INT)
+    return EdgeBuffer(vertical, arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3], arr[:, 4])
+
+
+# ---------------------------------------------------------------------------
+# Pair evaluation shared by all executors
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_pairs(
+    buf: EdgeBuffer,
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    threshold: int,
+    *,
+    want_width: bool,
+) -> PairHits:
+    """Classify candidate (a, b) pairs with ``fixed[b] >= fixed[a]`` intended.
+
+    Width pairs require ``interior[a] == +1`` and ``interior[b] == -1`` and
+    the same polygon; spacing pairs the opposite signs, a strictly positive
+    gap, and any polygons.
+    """
+    if len(idx_a) == 0:
+        return PairHits.empty()
+    fa = buf.fixed[idx_a]
+    fb = buf.fixed[idx_b]
+    gap = fb - fa
+    lo = np.maximum(buf.lo[idx_a], buf.lo[idx_b])
+    hi = np.minimum(buf.hi[idx_a], buf.hi[idx_b])
+    sign_a = 1 if want_width else -1
+    mask = (
+        (gap >= 1)  # facing needs a strictly positive separation (host parity)
+        & (gap < threshold)
+        & (hi > lo)
+        & (buf.interior[idx_a] == sign_a)
+        & (buf.interior[idx_b] == -sign_a)
+    )
+    if want_width:
+        mask &= buf.poly[idx_a] == buf.poly[idx_b]
+    if not mask.any():
+        return PairHits.empty()
+    fa, fb, lo, hi, gap = fa[mask], fb[mask], lo[mask], hi[mask], gap[mask]
+    pa = buf.poly[idx_a[mask]]
+    pb = buf.poly[idx_b[mask]]
+    if buf.vertical:
+        return PairHits(fa, lo, fb, hi, gap, pa, pb)
+    return PairHits(lo, fa, hi, fb, gap, pa, pb)
+
+
+# ---------------------------------------------------------------------------
+# Brute-force executor (smaller tasks)
+# ---------------------------------------------------------------------------
+
+
+def kernel_pairs_bruteforce(
+    buf: EdgeBuffer, threshold: int, *, want_width: bool, chunk: int = 1024
+) -> PairHits:
+    """All-pairs kernel: one simulated thread per edge pair.
+
+    Pairs are oriented so ``fixed[b] >= fixed[a]`` (with a deterministic
+    tie-break) so every geometric pair is evaluated exactly once. ``chunk``
+    bounds the materialized pair block, standing in for the thread-block
+    size of the CUDA grid.
+    """
+    n = len(buf)
+    if n < 2:
+        return PairHits.empty()
+    batches: List[PairHits] = []
+    all_idx = np.arange(n, dtype=_INT)
+    for start in range(0, n, chunk):
+        rows = all_idx[start : start + chunk]
+        a = np.repeat(rows, n)
+        b = np.tile(all_idx, len(rows))
+        keep = buf.fixed[a] < buf.fixed[b]  # orient pairs once; gap >= 1 anyway
+        batches.append(
+            _evaluate_pairs(buf, a[keep], b[keep], threshold, want_width=want_width)
+        )
+    return PairHits.concatenate(batches)
+
+
+# ---------------------------------------------------------------------------
+# Sweepline executor (larger tasks): two kernels, as in X-Check / the paper
+# ---------------------------------------------------------------------------
+
+
+def kernel_sweep_ranges(sorted_buf: EdgeBuffer, threshold: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Kernel 1: per-edge check range over the fixed-coordinate-sorted buffer.
+
+    For each edge ``i`` the range is the index slice ``[begin[i], end[i])``
+    of edges whose supporting line lies within ``threshold - 1`` beyond
+    edge ``i``'s (strictly to its right for spacing, inclusively at equal
+    coordinates handled by the caller's tie rule). Computed with two
+    vectorized binary searches — the parallel-scan stand-in.
+    """
+    fixed = sorted_buf.fixed
+    begin = np.searchsorted(fixed, fixed, side="right")
+    end = np.searchsorted(fixed, fixed + (threshold - 1), side="right")
+    return begin.astype(_INT), end.astype(_INT)
+
+
+def kernel_sweep_check(
+    sorted_buf: EdgeBuffer,
+    begin: np.ndarray,
+    end: np.ndarray,
+    threshold: int,
+    *,
+    want_width: bool,
+) -> PairHits:
+    """Kernel 2: one simulated thread per edge checks its whole range."""
+    counts = (end - begin).clip(min=0)
+    total = int(counts.sum())
+    if total == 0:
+        return PairHits.empty()
+    idx_a = np.repeat(np.arange(len(sorted_buf), dtype=_INT), counts)
+    # offsets within each range: arange concatenation without a Python loop
+    cum = np.cumsum(counts)
+    offsets = np.arange(total, dtype=_INT) - np.repeat(cum - counts, counts)
+    idx_b = np.repeat(begin, counts) + offsets
+    return _evaluate_pairs(sorted_buf, idx_a, idx_b, threshold, want_width=want_width)
+
+
+def kernel_pairs_sweep(buf: EdgeBuffer, threshold: int, *, want_width: bool) -> PairHits:
+    """Both sweep kernels back to back (sort -> ranges -> checks)."""
+    sorted_buf = buf.sorted_by_fixed()
+    begin, end = kernel_sweep_ranges(sorted_buf, threshold)
+    return kernel_sweep_check(sorted_buf, begin, end, threshold, want_width=want_width)
+
+
+# ---------------------------------------------------------------------------
+# Area kernel
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class VertexBuffer:
+    """Flattened polygon vertices with per-polygon offsets (for reduceat)."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    offsets: np.ndarray  # start index of each polygon; len == npolys
+    counts: np.ndarray
+    poly: np.ndarray  # polygon ids, len == npolys
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+
+def pack_vertices(
+    polygons: Sequence[Polygon], poly_ids: Optional[Sequence[int]] = None
+) -> VertexBuffer:
+    """Pack polygon vertex lists into one flat buffer."""
+    xs: List[int] = []
+    ys: List[int] = []
+    offsets: List[int] = []
+    counts: List[int] = []
+    ids: List[int] = []
+    for index, polygon in enumerate(polygons):
+        offsets.append(len(xs))
+        counts.append(len(polygon.vertices))
+        ids.append(poly_ids[index] if poly_ids is not None else index)
+        for p in polygon.vertices:
+            xs.append(p.x)
+            ys.append(p.y)
+    return VertexBuffer(
+        np.asarray(xs, dtype=_INT),
+        np.asarray(ys, dtype=_INT),
+        np.asarray(offsets, dtype=_INT),
+        np.asarray(counts, dtype=_INT),
+        np.asarray(ids, dtype=_INT),
+    )
+
+
+def kernel_area(buf: VertexBuffer) -> np.ndarray:
+    """Shoelace areas of all packed polygons (one simulated thread each)."""
+    if len(buf) == 0:
+        return np.zeros(0, dtype=_INT)
+    nxt = np.arange(len(buf.xs), dtype=_INT) + 1
+    ends = buf.offsets + buf.counts
+    # The successor of each polygon's last vertex wraps to its first.
+    nxt[ends - 1] = buf.offsets
+    cross = buf.xs * buf.ys[nxt] - buf.xs[nxt] * buf.ys
+    sums = np.add.reduceat(cross, buf.offsets)
+    return np.abs(sums) // 2
+
+
+# ---------------------------------------------------------------------------
+# Enclosure kernel (rectangle fast path)
+# ---------------------------------------------------------------------------
+
+
+def kernel_enclosure_margins(
+    via_rects: np.ndarray, metal_rects: np.ndarray, pair_via: np.ndarray, pair_metal: np.ndarray
+) -> np.ndarray:
+    """Per-candidate-pair enclosure margins for rectangle geometry.
+
+    ``*_rects`` are ``(n, 4)`` arrays of ``xlo, ylo, xhi, yhi``. A negative
+    margin means the metal rectangle does not contain the via.
+    """
+    if len(pair_via) == 0:
+        return np.zeros(0, dtype=_INT)
+    v = via_rects[pair_via]
+    m = metal_rects[pair_metal]
+    margins = np.minimum.reduce(
+        [
+            v[:, 0] - m[:, 0],
+            v[:, 1] - m[:, 1],
+            m[:, 2] - v[:, 2],
+            m[:, 3] - v[:, 3],
+        ]
+    )
+    return margins.astype(_INT)
+
+
+def reduce_enclosure_best(
+    num_vias: int, pair_via: np.ndarray, margins: np.ndarray
+) -> np.ndarray:
+    """Best containing-margin per via (-1 where nothing contains it)."""
+    best = np.full(num_vias, -1, dtype=_INT)
+    containing = margins >= 0
+    if containing.any():
+        np.maximum.at(best, pair_via[containing], margins[containing])
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Corner-spacing kernel (roadmap extension: diagonal corner-to-corner checks)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CornerBuffer:
+    """Flattened convex corners: position, exterior-quadrant signs, owner."""
+
+    x: np.ndarray
+    y: np.ndarray
+    qx: np.ndarray
+    qy: np.ndarray
+    poly: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+def pack_corners(
+    polygons: Sequence[Polygon], poly_ids: Optional[Sequence[int]] = None
+) -> CornerBuffer:
+    """Pack every polygon's convex corners into flat arrays."""
+    from ..checks.corner import convex_corners
+
+    xs: List[int] = []
+    ys: List[int] = []
+    qxs: List[int] = []
+    qys: List[int] = []
+    ids: List[int] = []
+    for index, polygon in enumerate(polygons):
+        pid = poly_ids[index] if poly_ids is not None else index
+        for corner in convex_corners(polygon):
+            xs.append(corner.x)
+            ys.append(corner.y)
+            qxs.append(corner.qx)
+            qys.append(corner.qy)
+            ids.append(pid)
+    return CornerBuffer(
+        np.asarray(xs, dtype=_INT),
+        np.asarray(ys, dtype=_INT),
+        np.asarray(qxs, dtype=_INT),
+        np.asarray(qys, dtype=_INT),
+        np.asarray(ids, dtype=_INT),
+    )
+
+
+@dataclasses.dataclass
+class CornerHits:
+    """Violating corner pairs (positions of both corners + floor distance)."""
+
+    ax: np.ndarray
+    ay: np.ndarray
+    bx: np.ndarray
+    by: np.ndarray
+    measured: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.measured)
+
+    @classmethod
+    def empty(cls) -> "CornerHits":
+        z = np.zeros(0, dtype=_INT)
+        return cls(z, z, z, z, z)
+
+
+def kernel_corner_pairs(buf: CornerBuffer, threshold: int, chunk: int = 2048) -> CornerHits:
+    """All mutually-facing diagonal corner pairs closer than ``threshold``.
+
+    One simulated thread per corner pair, chunked; pairs are oriented by
+    ``x`` so each unordered pair is evaluated once. Distances compare on
+    exact squared integers; the reported measurement is the floor of the
+    true Euclidean distance (matching the host procedure).
+    """
+    n = len(buf)
+    if n < 2:
+        return CornerHits.empty()
+    limit = threshold * threshold
+    out = []
+    all_idx = np.arange(n, dtype=_INT)
+    for start in range(0, n, chunk):
+        rows = all_idx[start : start + chunk]
+        a = np.repeat(rows, n)
+        b = np.tile(all_idx, len(rows))
+        dx = buf.x[b] - buf.x[a]
+        dy = buf.y[b] - buf.y[a]
+        keep = (dx > 0) & (dy != 0)
+        a, b, dx, dy = a[keep], b[keep], dx[keep], dy[keep]
+        d2 = dx * dx + dy * dy
+        sy = np.sign(dy)
+        mask = (
+            (d2 < limit)
+            & (buf.qx[a] == 1)
+            & (buf.qy[a] == sy)
+            & (buf.qx[b] == -1)
+            & (buf.qy[b] == -sy)
+        )
+        if not mask.any():
+            continue
+        a, b, d2 = a[mask], b[mask], d2[mask]
+        measured = np.sqrt(d2.astype(np.float64)).astype(_INT)
+        # Guard against float rounding at perfect squares.
+        measured = np.where((measured + 1) ** 2 <= d2, measured + 1, measured)
+        measured = np.where(measured ** 2 > d2, measured - 1, measured)
+        out.append(CornerHits(buf.x[a], buf.y[a], buf.x[b], buf.y[b], measured))
+    if not out:
+        return CornerHits.empty()
+    return CornerHits(
+        np.concatenate([h.ax for h in out]),
+        np.concatenate([h.ay for h in out]),
+        np.concatenate([h.bx for h in out]),
+        np.concatenate([h.by for h in out]),
+        np.concatenate([h.measured for h in out]),
+    )

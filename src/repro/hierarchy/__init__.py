@@ -1,0 +1,36 @@
+"""Hierarchy tree, layer views, range queries, and task pruning (paper §IV-A/§IV-C)."""
+
+from .layerview import LayerView
+from .pruning import (
+    IntraCheckScheduler,
+    LevelItem,
+    PruningStats,
+    SubtreeWindow,
+    always_invariant,
+    area_invariant,
+    distance_invariant,
+    gather_pair_polygons,
+    level_items,
+)
+from .query import QueryStats, count_layer_range, invert, iter_layer_range, layer_range_query
+from .tree import HierarchyTree, reference_mbr
+
+__all__ = [
+    "HierarchyTree",
+    "IntraCheckScheduler",
+    "LayerView",
+    "LevelItem",
+    "PruningStats",
+    "QueryStats",
+    "SubtreeWindow",
+    "always_invariant",
+    "area_invariant",
+    "count_layer_range",
+    "distance_invariant",
+    "gather_pair_polygons",
+    "invert",
+    "iter_layer_range",
+    "layer_range_query",
+    "level_items",
+    "reference_mbr",
+]

@@ -1,0 +1,167 @@
+"""Layer range queries over the MBR-augmented hierarchy tree (paper §IV-A).
+
+``layer_range_query`` descends from the top structure and prunes every
+subtree whose MBR for the queried layer is empty or disjoint from the query
+window, achieving the paper's O(min(n, kh)) bound — ``n`` leaves, ``k``
+outputs, ``h`` tree height. The returned :class:`QueryStats` exposes the
+visit counts the complexity tests assert on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..geometry import Polygon, Rect, Transform
+from ..layout.cell import Cell
+from .tree import HierarchyTree
+
+
+@dataclasses.dataclass
+class QueryStats:
+    """Instrumentation of one range query."""
+
+    cells_visited: int = 0
+    cells_pruned: int = 0
+    polygons_tested: int = 0
+    polygons_reported: int = 0
+
+
+def layer_range_query(
+    tree: HierarchyTree,
+    layer: int,
+    window: Rect,
+    *,
+    stats: Optional[QueryStats] = None,
+) -> List[Polygon]:
+    """All polygons of ``layer`` whose MBRs overlap ``window`` (top coordinates).
+
+    Polygons are returned transformed into top-cell coordinates.
+    """
+    out: List[Polygon] = []
+    for polygon, transform in iter_layer_range(tree, layer, window, stats=stats):
+        out.append(polygon.transformed(transform))
+    return out
+
+
+def iter_layer_range(
+    tree: HierarchyTree,
+    layer: int,
+    window: Rect,
+    *,
+    stats: Optional[QueryStats] = None,
+):
+    """Lazy variant yielding ``(local_polygon, accumulated_transform)`` pairs.
+
+    Callers that only need counts or MBRs avoid materializing transformed
+    polygons.
+    """
+    if stats is None:
+        stats = QueryStats()
+    if window.is_empty:
+        return
+
+    def visit(cell: Cell, transform: Transform, local_window: Rect):
+        stats.cells_visited += 1
+        for polygon in cell.polygons(layer):
+            stats.polygons_tested += 1
+            if polygon.mbr.overlaps(local_window):
+                stats.polygons_reported += 1
+                yield polygon, transform
+        for ref in cell.references:
+            child_mbr = tree.layer_mbr(ref.cell_name, layer)
+            if child_mbr.is_empty:
+                stats.cells_pruned += 1
+                continue
+            child = tree.layout.cell(ref.cell_name)
+            for placement in ref.placements():
+                placed_mbr = placement.apply_rect(child_mbr)
+                if not placed_mbr.overlaps(local_window):
+                    stats.cells_pruned += 1
+                    continue
+                child_window = _pull_back(placement, local_window)
+                yield from visit(child, transform.compose(placement), child_window)
+
+    top_mbr = tree.layer_mbr(tree.top.name, layer)
+    if top_mbr.is_empty or not top_mbr.overlaps(window):
+        stats.cells_pruned += 1
+        return
+    yield from visit(tree.top, Transform(), window)
+
+
+def count_layer_range(
+    tree: HierarchyTree, layer: int, window: Rect
+) -> Tuple[int, QueryStats]:
+    """Number of layer polygons overlapping ``window`` plus instrumentation."""
+    stats = QueryStats()
+    count = sum(1 for _ in iter_layer_range(tree, layer, window, stats=stats))
+    return count, stats
+
+
+def _pull_back(placement: Transform, window: Rect) -> Rect:
+    """Map a parent-coordinate window into the child's local coordinates."""
+    return pull_back_window(placement, window)
+
+
+def pull_back_window(placement: Transform, window: Rect) -> Rect:
+    """Inverse-map a window, rounding outward onto the integer grid.
+
+    For magnified placements the exact inverse image may have fractional
+    corners; rounding outward only enlarges the window, which is always safe
+    for MBR-gathering (a superset of candidates, never a miss).
+    """
+    import math
+    from fractions import Fraction
+
+    if window.is_empty:
+        return window
+    a, b, c, d = placement._matrix
+    det = Fraction(a) * Fraction(d) - Fraction(b) * Fraction(c)
+    inv = (
+        Fraction(d) / det,
+        Fraction(-b) / det,
+        Fraction(-c) / det,
+        Fraction(a) / det,
+    )
+    xs = []
+    ys = []
+    for x, y in (
+        (window.xlo, window.ylo),
+        (window.xhi, window.yhi),
+        (window.xlo, window.yhi),
+        (window.xhi, window.ylo),
+    ):
+        px = Fraction(x - placement.dx)
+        py = Fraction(y - placement.dy)
+        xs.append(inv[0] * px + inv[1] * py)
+        ys.append(inv[2] * px + inv[3] * py)
+    return Rect(
+        math.floor(min(xs)), math.floor(min(ys)),
+        math.ceil(max(xs)), math.ceil(max(ys)),
+    )
+
+
+def invert(transform: Transform) -> Transform:
+    """Inverse of a placement transform (magnification must be invertible)."""
+    from fractions import Fraction
+
+    mag = Fraction(transform.magnification)
+    inv_mag = 1 / mag
+    # Inverse linear part: undo rotation then mirror; composed directly.
+    if transform.mirror_x:
+        rotation = transform.rotation % 360
+    else:
+        rotation = (-transform.rotation) % 360
+    linear_inverse = Transform(
+        0, 0, rotation, transform.mirror_x, inv_mag if inv_mag.denominator != 1 else int(inv_mag)
+    )
+    origin = linear_inverse.apply_rect(
+        Rect(transform.dx, transform.dy, transform.dx, transform.dy)
+    )
+    return Transform(
+        -origin.xlo,
+        -origin.ylo,
+        linear_inverse.rotation,
+        linear_inverse.mirror_x,
+        linear_inverse.magnification,
+    )

@@ -1,0 +1,28 @@
+"""Hierarchical layout database.
+
+Cells, references (SREF/AREF kept compact), the library-level
+:class:`Layout`, GDSII conversions, flattening for the flat-mode baselines,
+and statistics.
+"""
+
+from .builder import gdsii_from_layout, layout_from_gdsii, path_outline
+from .cell import Cell, CellReference, Repetition
+from .flatten import count_flat_polygons, flatten, flatten_layer, iter_flat_polygons
+from .library import Layout
+from .stats import LayoutStats, compute_stats
+
+__all__ = [
+    "Cell",
+    "CellReference",
+    "Layout",
+    "LayoutStats",
+    "Repetition",
+    "compute_stats",
+    "count_flat_polygons",
+    "flatten",
+    "flatten_layer",
+    "gdsii_from_layout",
+    "iter_flat_polygons",
+    "layout_from_gdsii",
+    "path_outline",
+]

@@ -1,0 +1,228 @@
+"""Conversions between the GDSII stream model and the layout database.
+
+``layout_from_gdsii`` turns raw stream structures into cells (converting
+PATH elements to their outline polygons, since DRC operates on filled
+geometry), and ``gdsii_from_layout`` serializes a layout back, so that
+workload layouts can be persisted as genuine GDSII files and re-read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import GdsiiError
+from ..gdsii.model import (
+    GdsAref,
+    GdsBoundary,
+    GdsLibrary,
+    GdsPath,
+    GdsSref,
+    GdsStrans,
+    GdsStructure,
+    magnification_scalar,
+    strans_angle_to_rotation,
+)
+from ..geometry import Point, Polygon, Transform
+from .cell import CellReference, Repetition
+from .library import Layout
+
+
+def layout_from_gdsii(library: GdsLibrary) -> Layout:
+    """Build a hierarchical layout database from a parsed GDSII library."""
+    library.validate_references()
+    layout = Layout(
+        library.name,
+        meters_per_unit=library.meters_per_unit,
+        user_unit=library.user_unit,
+    )
+    for structure in library.structures:
+        cell = layout.new_cell(structure.name)
+        for element in structure.elements:
+            if isinstance(element, GdsBoundary):
+                polygon = Polygon(
+                    [Point(x, y) for x, y in element.xy],
+                    name=element.properties.get(1, ""),
+                )
+                cell.add_polygon(element.layer, polygon)
+            elif isinstance(element, GdsPath):
+                polygon = path_outline(element.xy, element.width)
+                polygon.name = element.properties.get(1, "")
+                cell.add_polygon(element.layer, polygon)
+            elif isinstance(element, GdsSref):
+                cell.add_reference(
+                    CellReference(element.sname, _transform_from_strans(element))
+                )
+            elif isinstance(element, GdsAref):
+                cell.add_reference(_reference_from_aref(element))
+            else:  # pragma: no cover - the reader only emits the above
+                raise GdsiiError(f"unsupported element {type(element).__name__}")
+    layout.validate()
+    return layout
+
+
+def gdsii_from_layout(layout: Layout) -> GdsLibrary:
+    """Serialize a layout database back to the raw GDSII model."""
+    layout.validate()
+    library = GdsLibrary(
+        name=layout.name,
+        user_unit=layout.user_unit,
+        meters_per_unit=layout.meters_per_unit,
+    )
+    # Children-first ordering keeps references resolvable by simple readers.
+    for cell in layout.topological_order():
+        structure = GdsStructure(name=cell.name)
+        for layer, polygon in cell.all_polygons():
+            properties = {1: polygon.name} if polygon.name else {}
+            structure.elements.append(
+                GdsBoundary(
+                    layer=layer,
+                    datatype=0,
+                    xy=[(p.x, p.y) for p in polygon.vertices],
+                    properties=properties,
+                )
+            )
+        for ref in cell.references:
+            structure.elements.append(_element_from_reference(ref))
+        library.structures.append(structure)
+    return library
+
+
+def path_outline(xy: List[Tuple[int, int]], width: int) -> Polygon:
+    """Outline polygon of a rectilinear PATH with flush (pathtype 0) ends.
+
+    Supports any axis-parallel polyline with 90-degree turns (square miter
+    joins): the left side is traced forward, the right side backward, and
+    endpoints are capped flush. Every segment must be at least ``width``
+    long so the outline stays a simple polygon; collinear runs are merged.
+    """
+    if width <= 0:
+        raise GdsiiError(f"PATH requires a positive width, got {width}")
+    half = width // 2
+    if 2 * half != width:
+        raise GdsiiError(f"odd PATH width {width} is off the manufacturing grid")
+
+    points = _merge_collinear_waypoints(xy)
+    if len(points) < 2:
+        raise GdsiiError(f"PATH needs at least 2 distinct points, got {xy}")
+
+    directions: List[Tuple[int, int]] = []
+    for (x1, y1), (x2, y2) in zip(points, points[1:]):
+        if x1 == x2 and y1 != y2:
+            directions.append((0, 1 if y2 > y1 else -1))
+        elif y1 == y2 and x1 != x2:
+            directions.append((1 if x2 > x1 else -1, 0))
+        else:
+            raise GdsiiError(f"non-rectilinear or degenerate PATH segment in {xy}")
+        if abs(x2 - x1) + abs(y2 - y1) < width and len(points) > 2:
+            raise GdsiiError(
+                f"PATH segment shorter than its width ({width}) in {xy}; "
+                "the outline would self-intersect"
+            )
+
+    def side(sign: int) -> List[Tuple[int, int]]:
+        """Offset waypoints on one side (+1 left of travel, -1 right)."""
+        out: List[Tuple[int, int]] = []
+        # Left normal of direction (dx, dy) is (-dy, dx).
+        first = directions[0]
+        out.append(
+            (
+                points[0][0] - sign * first[1] * half,
+                points[0][1] + sign * first[0] * half,
+            )
+        )
+        for i in range(1, len(points) - 1):
+            before = directions[i - 1]
+            after = directions[i]
+            if before[0] == -after[0] and before[1] == -after[1]:
+                raise GdsiiError(f"PATH doubles back on itself at {points[i]}")
+            # Square miter: sum of both segments' normal offsets.
+            nx = -sign * (before[1] + after[1]) * half
+            ny = sign * (before[0] + after[0]) * half
+            out.append((points[i][0] + nx, points[i][1] + ny))
+        last = directions[-1]
+        out.append(
+            (
+                points[-1][0] - sign * last[1] * half,
+                points[-1][1] + sign * last[0] * half,
+            )
+        )
+        return out
+
+    outline = side(+1) + list(reversed(side(-1)))
+    return Polygon(outline)
+
+
+def _merge_collinear_waypoints(xy: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    points = [xy[0]]
+    for p in xy[1:]:
+        if p != points[-1]:
+            points.append(p)
+    merged = [points[0]]
+    for i in range(1, len(points) - 1):
+        prev, cur, nxt = merged[-1], points[i], points[i + 1]
+        d1 = (cur[0] - prev[0], cur[1] - prev[1])
+        d2 = (nxt[0] - cur[0], nxt[1] - cur[1])
+        # Drop only straight-through waypoints (same direction of travel);
+        # reversals must survive so they can be rejected explicitly.
+        straight = d1[0] * d2[1] == d1[1] * d2[0] and (
+            d1[0] * d2[0] > 0 or d1[1] * d2[1] > 0
+        )
+        if not straight:
+            merged.append(cur)
+    merged.append(points[-1])
+    return merged
+
+
+def _transform_from_strans(element) -> Transform:
+    strans: GdsStrans = element.strans
+    return Transform(
+        dx=element.origin[0],
+        dy=element.origin[1],
+        rotation=strans_angle_to_rotation(strans.angle),
+        mirror_x=strans.mirror_x,
+        magnification=magnification_scalar(strans.magnification),
+    )
+
+
+def _reference_from_aref(element: GdsAref) -> CellReference:
+    transform = Transform(
+        dx=element.origin[0],
+        dy=element.origin[1],
+        rotation=strans_angle_to_rotation(element.strans.angle),
+        mirror_x=element.strans.mirror_x,
+        magnification=magnification_scalar(element.strans.magnification),
+    )
+    repetition = Repetition(
+        columns=element.columns,
+        rows=element.rows,
+        column_step=element.column_step,
+        row_step=element.row_step,
+    )
+    return CellReference(element.sname, transform, repetition)
+
+
+def _element_from_reference(ref: CellReference):
+    strans = GdsStrans(
+        mirror_x=ref.transform.mirror_x,
+        magnification=float(ref.transform.magnification),
+        angle=float(ref.transform.rotation),
+    )
+    origin = (ref.transform.dx, ref.transform.dy)
+    if ref.repetition is None:
+        return GdsSref(sname=ref.cell_name, origin=origin, strans=strans)
+    rep = ref.repetition
+    col_corner = (
+        origin[0] + rep.columns * rep.column_step[0],
+        origin[1] + rep.columns * rep.column_step[1],
+    )
+    row_corner = (
+        origin[0] + rep.rows * rep.row_step[0],
+        origin[1] + rep.rows * rep.row_step[1],
+    )
+    return GdsAref(
+        sname=ref.cell_name,
+        columns=rep.columns,
+        rows=rep.rows,
+        xy=[origin, col_corner, row_corner],
+        strans=strans,
+    )

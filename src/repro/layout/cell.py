@@ -1,0 +1,116 @@
+"""Cells and cell references.
+
+A *cell* (the paper uses "cell" and "structure" interchangeably) owns local
+geometry per layer plus references to other cells. A reference stores the
+referenced cell's **name** and a placement transform — the Python analog of
+the paper's "a structure reference effectively stores a pointer to the
+structure definition to reduce memory consumption" (§IV-A): geometry is never
+copied per instance. Array references (AREF) keep their compact
+``columns x rows`` form and expand on demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..geometry import Polygon, Transform
+
+
+@dataclasses.dataclass(frozen=True)
+class Repetition:
+    """Regular ``columns x rows`` array of placements (GDSII AREF)."""
+
+    columns: int
+    rows: int
+    column_step: Tuple[int, int]
+    row_step: Tuple[int, int]
+
+    @property
+    def count(self) -> int:
+        return self.columns * self.rows
+
+    def offsets(self) -> Iterator[Tuple[int, int]]:
+        """All array offsets relative to the reference origin."""
+        csx, csy = self.column_step
+        rsx, rsy = self.row_step
+        for row in range(self.rows):
+            for col in range(self.columns):
+                yield (col * csx + row * rsx, col * csy + row * rsy)
+
+
+@dataclasses.dataclass(frozen=True)
+class CellReference:
+    """One SREF/AREF: an instantiation of ``cell_name`` under ``transform``."""
+
+    cell_name: str
+    transform: Transform = Transform()
+    repetition: Optional[Repetition] = None
+
+    @property
+    def placement_count(self) -> int:
+        return self.repetition.count if self.repetition else 1
+
+    def placements(self) -> Iterator[Transform]:
+        """Expand to one transform per placement (a single one for SREF)."""
+        if self.repetition is None:
+            yield self.transform
+            return
+        t = self.transform
+        for dx, dy in self.repetition.offsets():
+            # Array offsets apply in the *parent* coordinate system, i.e.
+            # after the reference's own rotate/mirror, so they add to the
+            # translation part directly.
+            yield Transform(t.dx + dx, t.dy + dy, t.rotation, t.mirror_x, t.magnification)
+
+
+class Cell:
+    """A named structure: per-layer polygons plus child references."""
+
+    __slots__ = ("name", "_polygons", "references")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._polygons: Dict[int, List[Polygon]] = {}
+        self.references: List[CellReference] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_polygon(self, layer: int, polygon: Polygon) -> None:
+        """Attach a polygon to ``layer`` of this cell (local coordinates)."""
+        self._polygons.setdefault(layer, []).append(polygon)
+
+    def add_reference(self, reference: CellReference) -> None:
+        """Attach a child reference."""
+        self.references.append(reference)
+
+    # -- queries ------------------------------------------------------------
+
+    def local_layers(self) -> List[int]:
+        """Layers with geometry defined directly in this cell (sorted)."""
+        return sorted(self._polygons)
+
+    def polygons(self, layer: int) -> List[Polygon]:
+        """Local polygons on ``layer`` (empty list if none)."""
+        return self._polygons.get(layer, [])
+
+    def all_polygons(self) -> Iterator[Tuple[int, Polygon]]:
+        """All local ``(layer, polygon)`` pairs."""
+        for layer in sorted(self._polygons):
+            for polygon in self._polygons[layer]:
+                yield layer, polygon
+
+    @property
+    def num_local_polygons(self) -> int:
+        return sum(len(polys) for polys in self._polygons.values())
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if this cell references no other cells."""
+        return not self.references
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell({self.name!r}, {self.num_local_polygons} polygons, "
+            f"{len(self.references)} references)"
+        )

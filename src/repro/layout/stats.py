@@ -1,0 +1,66 @@
+"""Layout statistics: the numbers benchmarks and reports summarize."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from .flatten import count_flat_polygons
+from .library import Layout
+
+
+@dataclasses.dataclass(frozen=True)
+class LayoutStats:
+    """Summary statistics of one layout database."""
+
+    name: str
+    num_cells: int
+    num_references: int
+    num_instances: int
+    num_local_polygons: int
+    flat_polygons_per_layer: Dict[int, int]
+    hierarchy_depth: int
+
+    @property
+    def num_flat_polygons(self) -> int:
+        return sum(self.flat_polygons_per_layer.values())
+
+    @property
+    def reuse_factor(self) -> float:
+        """Flat polygons per locally-defined polygon — the hierarchy leverage."""
+        if self.num_local_polygons == 0:
+            return 0.0
+        return self.num_flat_polygons / self.num_local_polygons
+
+    def summary(self) -> str:
+        layer_parts = ", ".join(
+            f"L{layer}:{count}" for layer, count in sorted(self.flat_polygons_per_layer.items())
+        )
+        return (
+            f"{self.name}: {self.num_cells} cells, {self.num_instances} instances, "
+            f"{self.num_flat_polygons} flat polygons ({layer_parts}), "
+            f"depth {self.hierarchy_depth}, reuse {self.reuse_factor:.1f}x"
+        )
+
+
+def compute_stats(layout: Layout, *, top: Optional[str] = None) -> LayoutStats:
+    """Compute :class:`LayoutStats` for ``layout`` (under its top cell)."""
+    layout.validate()
+    counts = layout.instance_counts(top)
+    depth: Dict[str, int] = {}
+    for cell in layout.topological_order():
+        child_depth = max(
+            (depth[ref.cell_name] for ref in cell.references),
+            default=0,
+        )
+        depth[cell.name] = child_depth + 1
+    top_cell = layout.cell(top) if top else layout.top_cell()
+    return LayoutStats(
+        name=layout.name,
+        num_cells=len(layout.cells),
+        num_references=sum(len(c.references) for c in layout.cells.values()),
+        num_instances=sum(counts.values()),
+        num_local_polygons=sum(c.num_local_polygons for c in layout.cells.values()),
+        flat_polygons_per_layer=count_flat_polygons(layout, top=top),
+        hierarchy_depth=depth[top_cell.name],
+    )

@@ -1,0 +1,17 @@
+"""Adaptive row-based layout partition (paper §IV-B)."""
+
+from .rows import (
+    Row,
+    RowPartition,
+    margin_for_rule,
+    partition_rects,
+    partition_sorted_baseline,
+)
+
+__all__ = [
+    "Row",
+    "RowPartition",
+    "margin_for_rule",
+    "partition_rects",
+    "partition_sorted_baseline",
+]

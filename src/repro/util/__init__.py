@@ -1,0 +1,32 @@
+"""Program utilities (the paper's infrastructure layer: timer, logger, etc.)."""
+
+from .logging import configure, get_logger
+from .profile import (
+    PHASE_EDGE_CHECKS,
+    PHASE_ORDER,
+    PHASE_OTHER,
+    PHASE_PARTITION,
+    PHASE_SWEEPLINE,
+    PhaseProfile,
+)
+from .render import render_window
+from .report import format_seconds, format_table, geometric_mean, normalized_row
+from .timer import Timer, time_call
+
+__all__ = [
+    "PHASE_EDGE_CHECKS",
+    "PHASE_ORDER",
+    "PHASE_OTHER",
+    "PHASE_PARTITION",
+    "PHASE_SWEEPLINE",
+    "PhaseProfile",
+    "Timer",
+    "configure",
+    "format_seconds",
+    "format_table",
+    "geometric_mean",
+    "get_logger",
+    "normalized_row",
+    "render_window",
+    "time_call",
+]

@@ -1,0 +1,26 @@
+"""Package logger (paper §V-A infrastructure layer: 'timer, logger, etc.')."""
+
+from __future__ import annotations
+
+import logging
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(child: str = "") -> logging.Logger:
+    """The package logger, or a named child of it."""
+    name = f"{_LOGGER_NAME}.{child}" if child else _LOGGER_NAME
+    return logging.getLogger(name)
+
+
+def configure(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple stderr handler (idempotent) and set the level."""
+    logger = logging.getLogger(_LOGGER_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

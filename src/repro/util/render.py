@@ -1,0 +1,82 @@
+"""ASCII layout rendering (debugging / example output).
+
+Renders a window of a layout to a character grid: one glyph per layer
+(assigned in layer order), ``#`` where layers overlap, and ``X`` over
+violation-marker regions. Intended for small windows — cell-level debugging
+and documentation — not chip plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..checks.base import Violation
+from ..geometry import Rect
+from ..layout.flatten import iter_flat_polygons
+from ..layout.library import Layout
+
+#: Glyphs assigned to layers in ascending layer order.
+LAYER_GLYPHS = "abcdefghijklmnopqrstuvwxyz"
+OVERLAP_GLYPH = "#"
+VIOLATION_GLYPH = "X"
+EMPTY_GLYPH = "."
+
+
+def render_window(
+    layout: Layout,
+    window: Rect,
+    *,
+    width: int = 80,
+    height: int = 40,
+    layers: Optional[Sequence[int]] = None,
+    violations: Iterable[Violation] = (),
+) -> str:
+    """Render ``window`` of ``layout`` to a ``width x height`` text grid."""
+    if window.is_empty or window.width == 0 or window.height == 0:
+        raise ValueError("render window must have positive extent")
+    width = max(2, width)
+    height = max(2, height)
+    chosen = sorted(layers) if layers is not None else layout.layers()
+    glyph_of: Dict[int, str] = {
+        layer: LAYER_GLYPHS[i % len(LAYER_GLYPHS)] for i, layer in enumerate(chosen)
+    }
+
+    grid: List[List[str]] = [[EMPTY_GLYPH] * width for _ in range(height)]
+
+    def cell_range(rect: Rect):
+        """Grid cells whose sample region intersects ``rect``."""
+        cx0 = max(0, (rect.xlo - window.xlo) * width // max(1, window.width))
+        cx1 = min(width - 1, (rect.xhi - window.xlo) * width // max(1, window.width))
+        cy0 = max(0, (rect.ylo - window.ylo) * height // max(1, window.height))
+        cy1 = min(height - 1, (rect.yhi - window.ylo) * height // max(1, window.height))
+        return cx0, cx1, cy0, cy1
+
+    for layer, polygon in iter_flat_polygons(layout, layers=chosen):
+        mbr = polygon.mbr
+        if not mbr.overlaps(window):
+            continue
+        clipped = mbr.intersection(window)
+        cx0, cx1, cy0, cy1 = cell_range(clipped)
+        glyph = glyph_of[layer]
+        for cy in range(cy0, cy1 + 1):
+            row = grid[cy]
+            for cx in range(cx0, cx1 + 1):
+                row[cx] = OVERLAP_GLYPH if row[cx] not in (EMPTY_GLYPH, glyph) else glyph
+
+    for violation in violations:
+        region = violation.region.intersection(window)
+        if region.is_empty:
+            continue
+        cx0, cx1, cy0, cy1 = cell_range(region)
+        for cy in range(cy0, cy1 + 1):
+            for cx in range(cx0, cx1 + 1):
+                grid[cy][cx] = VIOLATION_GLYPH
+
+    # y grows upward in layout space: print rows top-down.
+    lines = ["".join(row) for row in reversed(grid)]
+    legend = "  ".join(f"{glyph_of[layer]}=L{layer}" for layer in chosen)
+    header = (
+        f"window [{window.xlo},{window.ylo}]..[{window.xhi},{window.yhi}]  "
+        f"{legend}  {OVERLAP_GLYPH}=overlap  {VIOLATION_GLYPH}=violation"
+    )
+    return "\n".join([header] + lines)

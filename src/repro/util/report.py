@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark reports (paper Tables I/II style)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Runtime cell in the paper's style: '< 0.01' below the print resolution."""
+    if seconds < 0.005:
+        return "< 0.01"
+    return f"{seconds:.2f}"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's aggregation ('we value all checks equally')."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def normalized_row(
+    column_geomeans: Sequence[float], baseline_index: int
+) -> List[str]:
+    """The paper's 'average' row: each column's geomean over the baseline's."""
+    base = column_geomeans[baseline_index]
+    out: List[str] = []
+    for value in column_geomeans:
+        if base <= 0 or value <= 0:
+            out.append("-")
+        else:
+            out.append(f"{value / base * 100:.1f}%")
+    return out
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return format_seconds(value)
+    return str(value)

@@ -1,0 +1,58 @@
+"""Wall-clock timing utilities (paper §V-A infrastructure layer)."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """A start/stop accumulating wall-clock timer.
+
+    Usable directly or as a context manager; ``elapsed`` accumulates across
+    multiple start/stop cycles, which is what per-phase profiling needs.
+    """
+
+    def __init__(self) -> None:
+        self._started: Optional[float] = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError("timer already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("timer not running")
+        self._elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._started = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated seconds (includes the current running span, if any)."""
+        extra = time.perf_counter() - self._started if self._started is not None else 0.0
+        return self._elapsed + extra
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def time_call(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

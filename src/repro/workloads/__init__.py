@@ -1,0 +1,28 @@
+"""Benchmark workloads: ASAP7-like PDK, standard cells, the six paper designs."""
+
+from . import asap7
+from .designs import DESIGN_NAMES, DesignSpec, build_all, build_design, design_spec
+from .generator import (
+    InjectionPlan,
+    inject_violations,
+    random_hierarchical_layout,
+    random_rect_layout,
+)
+from .stdcells import LIBRARY, PLACEABLE, build_cell, build_library
+
+__all__ = [
+    "DESIGN_NAMES",
+    "DesignSpec",
+    "InjectionPlan",
+    "LIBRARY",
+    "PLACEABLE",
+    "asap7",
+    "build_all",
+    "build_cell",
+    "build_design",
+    "build_library",
+    "design_spec",
+    "inject_violations",
+    "random_hierarchical_layout",
+    "random_rect_layout",
+]

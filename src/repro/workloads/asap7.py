@@ -1,0 +1,131 @@
+"""ASAP7-like process constants and the benchmark rule deck.
+
+The paper evaluates BEOL rules (width, spacing, area, enclosure) on layers
+M1, M2, M3, V1, V2 of the ASAP7 PDK. The real PDK is not redistributable, so
+this module defines a *synthetic but dimensionally faithful* stand-in: layer
+numbers, wire widths/pitches, via sizes, and rule values in the same regime
+(nanometre units, 1 dbu = 1 nm), chosen so that the generated layouts are
+violation-free by construction (violations are injected explicitly by
+:mod:`repro.workloads.generator`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.rules import Rule, layer
+
+# -- layer map (GDS layer numbers) -------------------------------------------
+
+M1 = 19
+M2 = 20
+M3 = 30
+V1 = 21
+V2 = 22
+
+LAYER_NAMES: Dict[int, str] = {M1: "M1", M2: "M2", M3: "M3", V1: "V1", V2: "V2"}
+METAL_LAYERS = (M1, M2, M3)
+VIA_LAYERS = (V1, V2)
+
+# -- geometry constants (nm) ---------------------------------------------------
+
+#: Standard cell row height.
+CELL_HEIGHT = 250
+#: Placement grid: cell widths are multiples of this, and M1 fingers /
+#: M2 routing tracks sit on this pitch.
+SITE = 54
+#: M1 finger width inside standard cells.
+M1_FINGER_WIDTH = 18
+#: M1 power rail height (top and bottom of every cell).
+M1_RAIL_HEIGHT = 20
+#: Vertical extent of M1 fingers inside a cell.
+M1_FINGER_Y = (40, 210)
+
+#: M2 vertical routing wires.
+M2_WIDTH = 18
+#: M3 horizontal routing wires.
+M3_WIDTH = 24
+#: M3 track pitch; the 26 nm gap clears both the 24 nm spacing rule and the
+#: 2*margin+1 = 25 nm row-independence bound, so M3 tracks partition cleanly.
+M3_PITCH = M3_WIDTH + 26
+
+#: Via sizes (square).
+V1_SIZE = 10
+V2_SIZE = 12
+
+# -- rule values ---------------------------------------------------------------
+
+WIDTH_RULES: Dict[int, int] = {M1: 18, M2: 18, M3: 24}
+SPACING_RULES: Dict[int, int] = {M1: 18, M2: 20, M3: 24}
+AREA_RULES: Dict[int, int] = {M1: 1000, M2: 1000, M3: 1000}
+#: (via layer, metal layer) -> minimum enclosure.
+ENCLOSURE_RULES: Dict[tuple, int] = {
+    (V1, M1): 3,
+    (V1, M2): 3,
+    (V2, M2): 3,
+    (V2, M3): 4,
+}
+
+
+def rule_name(kind: str, layer_num: int, other: int = None) -> str:
+    """Deck-style rule names: ``M1.W.1``, ``M2.S.1``, ``V1.M1.EN.1``."""
+    if kind == "EN":
+        return f"{LAYER_NAMES[layer_num]}.{LAYER_NAMES[other]}.EN.1"
+    return f"{LAYER_NAMES[layer_num]}.{kind}.1"
+
+
+def width_rule(metal: int) -> Rule:
+    return layer(metal).width().greater_than(WIDTH_RULES[metal]).named(
+        rule_name("W", metal)
+    )
+
+
+def spacing_rule(metal: int) -> Rule:
+    return layer(metal).spacing().greater_than(SPACING_RULES[metal]).named(
+        rule_name("S", metal)
+    )
+
+
+def area_rule(metal: int) -> Rule:
+    return layer(metal).area().greater_than(AREA_RULES[metal]).named(
+        rule_name("A", metal)
+    )
+
+
+def enclosure_rule(via: int, metal: int) -> Rule:
+    value = ENCLOSURE_RULES[(via, metal)]
+    return layer(via).enclosure(layer(metal)).greater_than(value).named(
+        rule_name("EN", via, metal)
+    )
+
+
+def full_deck() -> List[Rule]:
+    """Every rule the benchmarks exercise (the Tables I + II deck)."""
+    deck: List[Rule] = []
+    for metal in METAL_LAYERS:
+        deck.append(width_rule(metal))
+        deck.append(area_rule(metal))
+    for metal in METAL_LAYERS:
+        deck.append(spacing_rule(metal))
+    for via, metal in ((V1, M1), (V2, M2), (V2, M3)):
+        deck.append(enclosure_rule(via, metal))
+    return deck
+
+
+def intra_deck() -> List[Rule]:
+    """Table I rules: width + area on M1/M2/M3."""
+    deck: List[Rule] = []
+    for metal in METAL_LAYERS:
+        deck.append(width_rule(metal))
+        deck.append(area_rule(metal))
+    return deck
+
+
+def spacing_deck() -> List[Rule]:
+    """Table II (left half) rules: spacing on M1/M2/M3."""
+    return [spacing_rule(metal) for metal in METAL_LAYERS]
+
+
+def enclosure_deck() -> List[Rule]:
+    """Table II (right half) rules: the three via enclosures."""
+    return [enclosure_rule(V1, M1), enclosure_rule(V2, M2), enclosure_rule(V2, M3)]

@@ -1,0 +1,300 @@
+"""Synthesis of the six paper benchmark designs (aes, ethmac, ibex, jpeg, sha3, uart).
+
+The paper benchmarks OpenROAD-synthesized ASAP7 layouts. This module builds
+behaviourally equivalent synthetic designs: a deterministic placer fills
+standard-cell rows (one unique row cell per row, heavy standard-cell
+definition reuse, AREF filler runs), and a deterministic router adds M2
+vertical wires on the site grid, M3 horizontal wires on their own track
+grid, V1 vias where M2 wires land on cell fingers, and V2 vias at M2 x M3
+crossings — all DRC-clean by construction against the deck in
+:mod:`repro.workloads.asap7`.
+
+Relative design sizes follow the paper (uart smallest, jpeg largest with a
+pathologically dense M3, reproducing the Table II blow-up row). ``scale``
+selects "ci" (seconds-scale benchmarks) or "paper" (approaching the paper's
+polygon counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Set, Tuple
+
+from ..geometry import Polygon
+from ..layout.cell import Cell, CellReference, Repetition
+from ..layout.library import Layout
+from ..geometry.transform import Transform
+from . import asap7
+from .stdcells import LIBRARY, PLACEABLE, build_library
+
+DESIGN_NAMES = ("aes", "ethmac", "ibex", "jpeg", "sha3", "uart")
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignSpec:
+    """Size parameters of one synthetic design."""
+
+    name: str
+    rows: int
+    sites_per_row: int
+    m2_wires: int
+    m3_tracks: int
+    m3_segments_per_track: int
+
+    @property
+    def width(self) -> int:
+        return self.sites_per_row * asap7.SITE
+
+    @property
+    def height(self) -> int:
+        return self.rows * asap7.CELL_HEIGHT
+
+    def scaled(self, factor: int) -> "DesignSpec":
+        return DesignSpec(
+            self.name,
+            self.rows * factor,
+            self.sites_per_row * factor,
+            self.m2_wires * factor * factor,
+            self.m3_tracks * factor,
+            self.m3_segments_per_track * factor,
+        )
+
+
+_CI_SPECS: Dict[str, DesignSpec] = {
+    spec.name: spec
+    for spec in (
+        DesignSpec("uart", rows=4, sites_per_row=30, m2_wires=16,
+                   m3_tracks=6, m3_segments_per_track=3),
+        DesignSpec("ibex", rows=6, sites_per_row=45, m2_wires=40,
+                   m3_tracks=10, m3_segments_per_track=4),
+        DesignSpec("sha3", rows=10, sites_per_row=64, m2_wires=80,
+                   m3_tracks=14, m3_segments_per_track=6),
+        DesignSpec("aes", rows=10, sites_per_row=70, m2_wires=90,
+                   m3_tracks=16, m3_segments_per_track=6),
+        DesignSpec("ethmac", rows=14, sites_per_row=100, m2_wires=180,
+                   m3_tracks=24, m3_segments_per_track=7),
+        # jpeg's M3 is pathologically dense: the Table II blow-up row.
+        DesignSpec("jpeg", rows=16, sites_per_row=120, m2_wires=220,
+                   m3_tracks=40, m3_segments_per_track=14),
+    )
+}
+
+SCALES = {"ci": 1, "paper": 3}
+
+
+def design_spec(name: str, scale: str = "ci") -> DesignSpec:
+    """Size spec of one design at one scale."""
+    try:
+        base = _CI_SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown design {name!r}; choose from {DESIGN_NAMES}") from None
+    factor = SCALES[scale] if isinstance(scale, str) else int(scale)
+    return base if factor == 1 else base.scaled(factor)
+
+
+def build_design(name: str, scale: str = "ci") -> Layout:
+    """Synthesize one benchmark design as a hierarchical layout."""
+    return _Builder(design_spec(name, scale)).build()
+
+
+def build_all(scale: str = "ci") -> Dict[str, Layout]:
+    """All six designs at one scale."""
+    return {name: build_design(name, scale) for name in DESIGN_NAMES}
+
+
+class _Builder:
+    """Deterministic placer + router for one design spec."""
+
+    def __init__(self, spec: DesignSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(f"opendrc-{spec.name}")
+        self.layout = Layout(spec.name)
+        #: finger-bearing global columns per row (left edge of the finger).
+        self.finger_columns: List[List[int]] = []
+        #: occupied y spans per M2 track column (for same-track separation).
+        self.m2_track_usage: Dict[int, List[Tuple[int, int]]] = {}
+        self.top = Cell("top")
+
+    # -- entry point -----------------------------------------------------------
+
+    def build(self) -> Layout:
+        for cell in build_library().values():
+            self.layout.add_cell(cell)
+        self._place_rows()
+        self._route_m2_and_v1()
+        self._route_m3_and_v2()
+        self.layout.add_cell(self.top)
+        self.layout.set_top("top")
+        self.layout.validate()
+        return self.layout
+
+    # -- placement ----------------------------------------------------------------
+
+    def _place_rows(self) -> None:
+        """Rows reuse a small set of patterns, as in datapath/array-heavy
+        designs — this instance reuse is what hierarchical inter-polygon
+        memoisation (paper §IV-C) exploits."""
+        num_patterns = max(2, self.spec.rows // 3)
+        patterns: List[Tuple[Cell, List[int]]] = []
+        for pattern_index in range(num_patterns):
+            row_cell, columns = self._build_row(pattern_index)
+            self.layout.add_cell(row_cell)
+            patterns.append((row_cell, columns))
+        for row_index in range(self.spec.rows):
+            row_cell, columns = patterns[row_index % num_patterns]
+            self.top.add_reference(
+                CellReference(
+                    row_cell.name,
+                    Transform(dx=0, dy=row_index * asap7.CELL_HEIGHT),
+                )
+            )
+            self.finger_columns.append(columns)
+
+    def _build_row(self, row_index: int) -> Tuple[Cell, List[int]]:
+        """One unique row cell: abutting standard cells plus AREF filler runs."""
+        row = Cell(f"row_{row_index}")
+        columns: List[int] = []
+        site = 0
+        while site < self.spec.sites_per_row:
+            remaining = self.spec.sites_per_row - site
+            # Occasionally insert a filler run (exercises AREF handling).
+            if remaining >= 2 and self.rng.random() < 0.15:
+                run = self.rng.randint(1, min(4, remaining))
+                row.add_reference(
+                    CellReference(
+                        "FILLERx1",
+                        Transform(dx=site * asap7.SITE, dy=0),
+                        Repetition(
+                            columns=run, rows=1, column_step=(asap7.SITE, 0), row_step=(0, 0)
+                        ),
+                    )
+                )
+                site += run
+                continue
+            candidates = [n for n in PLACEABLE if LIBRARY[n].sites <= remaining]
+            if not candidates:
+                row.add_reference(
+                    CellReference("FILLERx1", Transform(dx=site * asap7.SITE, dy=0))
+                )
+                site += 1
+                continue
+            name = self.rng.choice(candidates)
+            x = site * asap7.SITE
+            # Mirror about x occasionally, as placers flip rows/cells; the
+            # cell geometry is y-symmetric so the result stays clean.
+            mirror = self.rng.random() < 0.3
+            transform = (
+                Transform(dx=x, dy=asap7.CELL_HEIGHT, mirror_x=True)
+                if mirror
+                else Transform(dx=x, dy=0)
+            )
+            row.add_reference(CellReference(name, transform))
+            for local in LIBRARY[name].finger_columns:
+                columns.append(x + local)
+            site += LIBRARY[name].sites
+        return row, sorted(columns)
+
+    # -- M2 routing + V1 vias ----------------------------------------------------------
+
+    def _route_m2_and_v1(self) -> None:
+        """Vertical M2 wires on finger columns, with V1 vias at both ends."""
+        placed = 0
+        attempts = 0
+        max_attempts = self.spec.m2_wires * 20
+        while placed < self.spec.m2_wires and attempts < max_attempts:
+            attempts += 1
+            r0 = self.rng.randrange(self.spec.rows)
+            span = self.rng.randint(1, min(4, self.spec.rows - r0))
+            r1 = r0 + span - 1
+            start_columns = self.finger_columns[r0]
+            if not start_columns:
+                continue
+            column = self.rng.choice(start_columns)
+            ylo = r0 * asap7.CELL_HEIGHT + 40
+            yhi = (r1 + 1) * asap7.CELL_HEIGHT - 40
+            if not self._claim_m2(column, ylo, yhi):
+                continue
+            self.top.add_polygon(
+                asap7.M2,
+                Polygon.from_rect_coords(column, ylo, column + asap7.M2_WIDTH, yhi),
+            )
+            self._drop_v1(column, r0)
+            if r1 != r0 and column in self.finger_columns[r1]:
+                self._drop_v1(column, r1, at_top=True)
+            placed += 1
+
+    def _claim_m2(self, column: int, ylo: int, yhi: int) -> bool:
+        """Reserve a same-track span, keeping >= 30 nm to existing segments."""
+        spans = self.m2_track_usage.setdefault(column, [])
+        for other_lo, other_hi in spans:
+            if ylo - 30 < other_hi and other_lo < yhi + 30:
+                return False
+        spans.append((ylo, yhi))
+        return True
+
+    def _drop_v1(self, column: int, row_index: int, *, at_top: bool = False) -> None:
+        """A V1 via on the finger at ``column`` in ``row_index``.
+
+        Via x: finger + 4 (margin 4 >= V1.M1.EN); via y: 20 nm inside the
+        wire end, which lands inside the finger's [40, 210] band.
+        """
+        base = row_index * asap7.CELL_HEIGHT
+        if at_top:
+            y0 = base + asap7.CELL_HEIGHT - 40 - 20 - asap7.V1_SIZE
+        else:
+            y0 = base + 40 + 20
+        self.top.add_polygon(
+            asap7.V1,
+            Polygon.from_rect_coords(
+                column + 4, y0, column + 4 + asap7.V1_SIZE, y0 + asap7.V1_SIZE
+            ),
+        )
+
+    # -- M3 routing + V2 vias ------------------------------------------------------------
+
+    def _route_m3_and_v2(self) -> None:
+        """Horizontal M3 wires on their own track grid, V2 vias at crossings."""
+        min_gap = asap7.SPACING_RULES[asap7.M3] + 2  # clean and row-separable
+        v2_spots: Set[Tuple[int, int]] = set()
+        for track in range(self.spec.m3_tracks):
+            y0 = 60 + track * asap7.M3_PITCH
+            if y0 + asap7.M3_WIDTH > self.spec.height - 20:
+                break
+            x = 20
+            for _ in range(self.spec.m3_segments_per_track):
+                length = self.rng.randint(4, 12) * asap7.SITE
+                if x + length > self.spec.width - 20:
+                    break
+                self.top.add_polygon(
+                    asap7.M3,
+                    Polygon.from_rect_coords(x, y0, x + length, y0 + asap7.M3_WIDTH),
+                )
+                self._drop_v2(x, x + length, y0, v2_spots)
+                x += length + min_gap + self.rng.randint(0, 3) * asap7.SITE
+        # V2 vias also require M2 enclosure; _drop_v2 only places a via when
+        # an M2 wire crosses with sufficient margin, so the layout is clean.
+
+    def _drop_v2(
+        self, xlo: int, xhi: int, track_y: int, used: Set[Tuple[int, int]]
+    ) -> None:
+        """V2 at the first M2 crossing covered with enough margin, if any."""
+        m2_required = asap7.ENCLOSURE_RULES[(asap7.V2, asap7.M2)]
+        m3_required = asap7.ENCLOSURE_RULES[(asap7.V2, asap7.M3)]
+        via = asap7.V2_SIZE
+        via_y = track_y + (asap7.M3_WIDTH - via) // 2
+        for column, spans in sorted(self.m2_track_usage.items()):
+            via_x = column + (asap7.M2_WIDTH - via) // 2
+            if via_x - xlo < m3_required or xhi - (via_x + via) < m3_required:
+                continue
+            for span_lo, span_hi in spans:
+                if span_lo + m2_required <= via_y and via_y + via + m2_required <= span_hi:
+                    spot = (via_x, via_y)
+                    if spot in used:
+                        return
+                    used.add(spot)
+                    self.top.add_polygon(
+                        asap7.V2,
+                        Polygon.from_rect_coords(via_x, via_y, via_x + via, via_y + via),
+                    )
+                    return

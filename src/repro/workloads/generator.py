@@ -1,0 +1,216 @@
+"""Workload helpers: violation injection and random layouts for tests.
+
+The benchmark designs are DRC-clean by construction; recall testing needs
+layouts with *known* violations. :func:`inject_violations` plants dirty
+geometry in a scratch strip above a design and returns the exact violations
+every checker must recover. :func:`random_rect_layout` provides quick random
+populations for property-based and stress tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from ..checks.base import Violation, ViolationKind
+from ..geometry import Polygon, Rect
+from ..layout.cell import CellReference
+from ..layout.library import Layout
+from ..geometry.transform import Transform
+from . import asap7
+
+
+@dataclasses.dataclass
+class InjectionPlan:
+    """How many violations of each kind to plant."""
+
+    spacing: int = 0
+    width: int = 0
+    area: int = 0
+    enclosure: int = 0
+
+
+def inject_violations(
+    layout: Layout,
+    plan: InjectionPlan,
+    *,
+    layer: int = asap7.M2,
+    via_layer: int = asap7.V2,
+    metal_layer: int = asap7.M2,
+    seed: int = 0,
+) -> List[Violation]:
+    """Plant violations in a scratch strip above the layout's geometry.
+
+    Geometry goes into the top cell; the returned list holds the exact
+    violations (kind, region, measured, required) a correct checker reports
+    for them. Each planted pattern is isolated (>= 2x the largest rule value
+    from anything else), so expected violations are independent.
+    """
+    rng = random.Random(seed)
+    top = layout.top_cell()
+    from ..hierarchy.tree import HierarchyTree
+
+    tree = HierarchyTree(layout)
+    base_y = 0
+    for check_layer in layout.layers():
+        mbr = tree.top_mbr(check_layer)
+        if not mbr.is_empty:
+            base_y = max(base_y, mbr.yhi)
+    y = base_y + 500  # scratch strip, clear of everything
+    pitch = 400
+    expected: List[Violation] = []
+
+    space_rule = asap7.SPACING_RULES[layer]
+    width_rule = asap7.WIDTH_RULES[layer]
+    area_rule = asap7.AREA_RULES[layer]
+    enc_rule = asap7.ENCLOSURE_RULES[(via_layer, metal_layer)]
+
+    x = 100
+    for _ in range(plan.spacing):
+        gap = rng.randint(1, space_rule - 1)
+        a = Polygon.from_rect_coords(x, y, x + 60, y + 60)
+        b = Polygon.from_rect_coords(x + 60 + gap, y, x + 120 + gap, y + 60)
+        top.add_polygon(layer, a)
+        top.add_polygon(layer, b)
+        expected.append(
+            Violation(
+                kind=ViolationKind.SPACING,
+                layer=layer,
+                region=Rect(x + 60, y, x + 60 + gap, y + 60),
+                measured=gap,
+                required=space_rule,
+            )
+        )
+        x += pitch
+
+    for _ in range(plan.width):
+        w = rng.randint(1, width_rule - 1)
+        # Long enough that the sliver trips only the width rule, not area.
+        length = max(400, area_rule)
+        sliver = Polygon.from_rect_coords(x, y, x + w, y + length)
+        top.add_polygon(layer, sliver)
+        expected.append(
+            Violation(
+                kind=ViolationKind.WIDTH,
+                layer=layer,
+                region=Rect(x, y, x + w, y + length),
+                measured=w,
+                required=width_rule,
+            )
+        )
+        x += pitch
+
+    for _ in range(plan.area):
+        # Width-rule wide, but short of the area rule: trips exactly one rule.
+        w = width_rule
+        max_h = (area_rule - 1) // w
+        if max_h < w:
+            raise ValueError(
+                f"area rule {area_rule} on layer {layer} admits no area-only "
+                f"violation at width {w}"
+            )
+        h = rng.randint(w, max_h)
+        patch = Polygon.from_rect_coords(x, y, x + w, y + h)
+        top.add_polygon(layer, patch)
+        expected.append(
+            Violation(
+                kind=ViolationKind.AREA,
+                layer=layer,
+                region=patch.mbr,
+                measured=w * h,
+                required=area_rule,
+            )
+        )
+        x += pitch
+
+    for _ in range(plan.enclosure):
+        margin = rng.randint(0, enc_rule - 1)
+        via_size = 2 * asap7.V2_SIZE
+        # A generous pad (no width/area side effects) with the via pushed to
+        # its lower-left so the minimum side margin is exactly ``margin``.
+        pad_side = 60
+        pad = Polygon.from_rect_coords(x, y, x + pad_side, y + pad_side)
+        via = Polygon.from_rect_coords(
+            x + margin, y + margin, x + margin + via_size, y + margin + via_size
+        )
+        top.add_polygon(metal_layer, pad)
+        top.add_polygon(via_layer, via)
+        expected.append(
+            Violation(
+                kind=ViolationKind.ENCLOSURE,
+                layer=via_layer,
+                other_layer=metal_layer,
+                region=via.mbr.inflated(enc_rule),
+                measured=margin,
+                required=enc_rule,
+            )
+        )
+        x += pitch
+
+    return expected
+
+
+def random_rect_layout(
+    num_rects: int,
+    *,
+    layer: int = 1,
+    extent: int = 2000,
+    max_size: int = 60,
+    seed: int = 0,
+    name: str = "random",
+) -> Layout:
+    """A flat layout of random rectangles on one layer (tests/benches)."""
+    rng = random.Random(seed)
+    layout = Layout(name)
+    top = layout.new_cell("top")
+    for _ in range(num_rects):
+        x = rng.randint(0, extent)
+        yv = rng.randint(0, extent)
+        w = rng.randint(2, max_size)
+        h = rng.randint(2, max_size)
+        top.add_polygon(layer, Polygon.from_rect_coords(x, yv, x + w, yv + h))
+    layout.set_top("top")
+    return layout
+
+
+def random_hierarchical_layout(
+    *,
+    num_leaf_kinds: int = 4,
+    instances: int = 50,
+    layer: int = 1,
+    extent: int = 5000,
+    seed: int = 0,
+    name: str = "random-hier",
+) -> Layout:
+    """Random leaf cells instantiated many times (hierarchy stress tests)."""
+    rng = random.Random(seed)
+    layout = Layout(name)
+    for kind in range(num_leaf_kinds):
+        leaf = layout.new_cell(f"leaf_{kind}")
+        for _ in range(rng.randint(1, 5)):
+            x = rng.randint(0, 150)
+            yv = rng.randint(0, 150)
+            leaf.add_polygon(
+                layer,
+                Polygon.from_rect_coords(
+                    x, yv, x + rng.randint(4, 40), yv + rng.randint(4, 40)
+                ),
+            )
+    top = layout.new_cell("top")
+    rotations = (0, 90, 180, 270)
+    for _ in range(instances):
+        kind = rng.randrange(num_leaf_kinds)
+        top.add_reference(
+            CellReference(
+                f"leaf_{kind}",
+                Transform(
+                    dx=rng.randint(0, extent),
+                    dy=rng.randint(0, extent),
+                    rotation=rng.choice(rotations),
+                    mirror_x=rng.random() < 0.5,
+                ),
+            )
+        )
+    layout.set_top("top")
+    return layout

@@ -1,0 +1,87 @@
+"""Synthetic standard-cell library.
+
+Eight cell archetypes with deterministic, DRC-clean M1 geometry in the
+ASAP7-like regime of :mod:`repro.workloads.asap7`:
+
+* two power rails (full cell width, 20 nm tall) at the bottom and top;
+* vertical M1 fingers, 18 nm wide on the 54 nm site grid, y in [40, 210].
+
+Every finger column global position lands on the site grid, which is what
+lets the router (in :mod:`repro.workloads.designs`) drop V1 vias on fingers
+under M2 tracks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..geometry import Polygon
+from ..layout.cell import Cell
+from . import asap7
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """One standard-cell archetype."""
+
+    name: str
+    sites: int  # width in SITE units
+
+    @property
+    def width(self) -> int:
+        return self.sites * asap7.SITE
+
+    @property
+    def finger_columns(self) -> List[int]:
+        """Local x of each finger's left edge (one per interior site line)."""
+        return [18 + k * asap7.SITE for k in range(self.sites - 1)]
+
+
+#: The library: name -> spec. Widths chosen to mix small and large cells.
+LIBRARY: Dict[str, CellSpec] = {
+    spec.name: spec
+    for spec in (
+        CellSpec("INVx1", 2),
+        CellSpec("BUFx2", 2),
+        CellSpec("NAND2x1", 3),
+        CellSpec("NOR2x1", 3),
+        CellSpec("AND2x2", 4),
+        CellSpec("AOI21x1", 5),
+        CellSpec("MUX2x1", 6),
+        CellSpec("DFFx1", 8),
+        CellSpec("FILLERx1", 1),
+    )
+}
+
+#: Cells drawn by the placer (filler is handled separately via AREF runs).
+PLACEABLE = [name for name in LIBRARY if name != "FILLERx1"]
+
+
+def build_cell(spec: CellSpec) -> Cell:
+    """Materialize one library cell's geometry."""
+    cell = Cell(spec.name)
+    width = spec.width
+    # Power rails: VSS at the bottom, VDD at the top.
+    cell.add_polygon(
+        asap7.M1,
+        Polygon.from_rect_coords(0, 0, width, asap7.M1_RAIL_HEIGHT, name="VSS"),
+    )
+    cell.add_polygon(
+        asap7.M1,
+        Polygon.from_rect_coords(
+            0, asap7.CELL_HEIGHT - asap7.M1_RAIL_HEIGHT, width, asap7.CELL_HEIGHT, name="VDD"
+        ),
+    )
+    y_lo, y_hi = asap7.M1_FINGER_Y
+    for x in spec.finger_columns:
+        cell.add_polygon(
+            asap7.M1,
+            Polygon.from_rect_coords(x, y_lo, x + asap7.M1_FINGER_WIDTH, y_hi),
+        )
+    return cell
+
+
+def build_library() -> Dict[str, Cell]:
+    """All library cells, keyed by name."""
+    return {name: build_cell(spec) for name, spec in LIBRARY.items()}

@@ -1,0 +1,15 @@
+"""Shared fixtures: small designs are expensive enough to cache per session."""
+
+import pytest
+
+from repro.workloads import build_design
+
+
+@pytest.fixture(scope="session")
+def uart_layout():
+    return build_design("uart")
+
+
+@pytest.fixture(scope="session")
+def ibex_layout():
+    return build_design("ibex")

@@ -1,0 +1,108 @@
+import pytest
+
+from repro.cli import main
+from repro.gdsii import write
+from repro.layout import gdsii_from_layout
+from repro.workloads import InjectionPlan, asap7, build_design, inject_violations
+
+
+@pytest.fixture()
+def uart_gds(tmp_path):
+    path = tmp_path / "uart.gds"
+    write(gdsii_from_layout(build_design("uart")), path)
+    return str(path)
+
+
+@pytest.fixture()
+def dirty_gds(tmp_path):
+    layout = build_design("uart")
+    inject_violations(layout, InjectionPlan(spacing=2), layer=asap7.M2, seed=1)
+    path = tmp_path / "dirty.gds"
+    write(gdsii_from_layout(layout), path)
+    return str(path)
+
+
+class TestCheckCommand:
+    def test_clean_design_exit_zero(self, uart_gds, capsys):
+        code = main(["check", uart_gds, "--top", "top"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "M1.S.1" in out
+
+    def test_dirty_design_exit_one(self, dirty_gds, capsys):
+        code = main(["check", dirty_gds, "--top", "top"])
+        assert code == 1
+        assert "violations" in capsys.readouterr().out
+
+    def test_parallel_mode(self, uart_gds):
+        assert main(["check", uart_gds, "--top", "top", "--mode", "parallel"]) == 0
+
+    def test_csv_output(self, dirty_gds, capsys):
+        main(["check", dirty_gds, "--top", "top", "--csv"])
+        out = capsys.readouterr().out
+        assert out.startswith("rule,kind")
+        assert "spacing" in out
+
+    def test_breakdown_output(self, uart_gds, capsys):
+        main(["check", uart_gds, "--top", "top", "--breakdown"])
+        out = capsys.readouterr().out
+        assert "edge-checks" in out
+
+    def test_custom_deck(self, uart_gds, tmp_path, capsys):
+        deck = tmp_path / "deck.py"
+        deck.write_text(
+            "from repro.core.rules import layer\n"
+            "RULES = [layer(19).width().greater_than(18).named('ONLY')]\n"
+        )
+        assert main(["check", uart_gds, "--top", "top", "--deck", str(deck)]) == 0
+        out = capsys.readouterr().out
+        assert "ONLY" in out and "M1.S.1" not in out
+
+    def test_bad_deck_rejected(self, uart_gds, tmp_path):
+        deck = tmp_path / "deck.py"
+        deck.write_text("RULES = 'not a list'\n")
+        with pytest.raises(SystemExit):
+            main(["check", uart_gds, "--deck", str(deck)])
+
+
+class TestStatsCommand:
+    def test_stats(self, uart_gds, capsys):
+        assert main(["stats", uart_gds, "--top", "top"]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out and "flat polygons" in out
+
+
+class TestSynthCommand:
+    def test_synth_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "ibex.gds"
+        assert main(["synth", "ibex", str(out_path)]) == 0
+        assert out_path.exists() and out_path.stat().st_size > 1000
+        assert main(["stats", str(out_path), "--top", "top"]) == 0
+
+    def test_unknown_design_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["synth", "riscv", str(tmp_path / "x.gds")])
+
+
+class TestMarkerOutput:
+    def test_output_marker_database(self, dirty_gds, tmp_path, capsys):
+        out = tmp_path / "markers.json"
+        code = main(["check", dirty_gds, "--top", "top", "--output", str(out)])
+        assert code == 1 and out.exists()
+        from repro.core.markers import load_markers
+
+        report = load_markers(out)
+        assert report.total_violations == 2
+
+
+class TestWaiverFlag:
+    def test_waivers_applied(self, dirty_gds, tmp_path, capsys):
+        import json
+
+        waiver_path = tmp_path / "waivers.json"
+        waiver_path.write_text(json.dumps({
+            "format": 1,
+            "waivers": [{"rule": "*", "region": [-10**9, -10**9, 10**9, 10**9]}],
+        }))
+        code = main(["check", dirty_gds, "--top", "top", "--waivers", str(waiver_path)])
+        assert code == 0  # everything waived -> clean exit

@@ -1,0 +1,120 @@
+"""All five checkers must report identical violation sets.
+
+This is the repository's strongest correctness statement: OpenDRC
+sequential, OpenDRC parallel, KLayout-like flat/deep/tile, and X-Check all
+share one violation vocabulary and must agree exactly — on clean designs,
+on designs with injected violations, and on random layouts.
+"""
+
+import pytest
+
+from repro.baselines import KLayoutLikeChecker, XCheckChecker
+from repro.core import Engine
+from repro.core.rules import layer
+from repro.workloads import (
+    InjectionPlan,
+    asap7,
+    build_design,
+    inject_violations,
+    random_hierarchical_layout,
+    random_rect_layout,
+)
+
+
+def all_checker_sets(layout, rule):
+    """Violation sets from every checker that supports the rule."""
+    results = {}
+    results["seq"] = (
+        Engine(mode="sequential").check(layout, rules=[rule]).results[0].violation_set()
+    )
+    results["par"] = (
+        Engine(mode="parallel").check(layout, rules=[rule]).results[0].violation_set()
+    )
+    for mode in ("flat", "deep", "tile"):
+        violations, _ = KLayoutLikeChecker(layout, mode).run(rule)
+        results[f"klayout-{mode}"] = frozenset(violations)
+    xcheck = XCheckChecker(layout)
+    if xcheck.supports(rule):
+        violations, _ = xcheck.run(rule)
+        results["xcheck"] = frozenset(violations)
+    return results
+
+
+def assert_all_agree(layout, rule, expected=None):
+    results = all_checker_sets(layout, rule)
+    reference = results["seq"]
+    for name, got in results.items():
+        assert got == reference, (
+            f"{name} disagrees on {rule.name}: "
+            f"only-in-{name}={got - reference}, missing={reference - got}"
+        )
+    if expected is not None:
+        assert reference == frozenset(expected)
+
+
+class TestCleanDesigns:
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            asap7.width_rule(asap7.M1),
+            asap7.spacing_rule(asap7.M1),
+            asap7.spacing_rule(asap7.M2),
+            asap7.area_rule(asap7.M3),
+            asap7.enclosure_rule(asap7.V1, asap7.M1),
+            asap7.enclosure_rule(asap7.V2, asap7.M3),
+        ],
+        ids=lambda r: r.name,
+    )
+    def test_uart_all_checkers_agree(self, uart_layout, rule):
+        assert_all_agree(uart_layout, rule)
+
+
+class TestInjectedViolations:
+    def test_spacing_recall(self):
+        layout = build_design("uart")
+        expected = inject_violations(
+            layout, InjectionPlan(spacing=5), layer=asap7.M2, seed=21
+        )
+        assert_all_agree(layout, asap7.spacing_rule(asap7.M2), expected)
+
+    def test_width_recall(self):
+        layout = build_design("uart")
+        expected = inject_violations(
+            layout, InjectionPlan(width=5), layer=asap7.M2, seed=22
+        )
+        assert_all_agree(layout, asap7.width_rule(asap7.M2), expected)
+
+    def test_enclosure_recall(self):
+        layout = build_design("uart")
+        expected = inject_violations(
+            layout,
+            InjectionPlan(enclosure=5),
+            via_layer=asap7.V2,
+            metal_layer=asap7.M2,
+            seed=23,
+        )
+        assert_all_agree(layout, asap7.enclosure_rule(asap7.V2, asap7.M2), expected)
+
+    def test_area_recall_without_xcheck(self):
+        layout = build_design("uart")
+        expected = inject_violations(
+            layout, InjectionPlan(area=5), layer=asap7.M2, seed=24
+        )
+        assert_all_agree(layout, asap7.area_rule(asap7.M2), expected)
+
+
+class TestRandomLayouts:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_flat_random_rects(self, seed):
+        layout = random_rect_layout(120, extent=1500, seed=seed)
+        assert_all_agree(layout, layer(1).spacing().greater_than(9))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hierarchical_random(self, seed):
+        layout = random_hierarchical_layout(instances=40, seed=seed)
+        assert_all_agree(layout, layer(1).spacing().greater_than(7))
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_hierarchical_width(self, seed):
+        layout = random_hierarchical_layout(instances=30, seed=10 + seed)
+        assert_all_agree(layout, layer(1).width().greater_than(8))

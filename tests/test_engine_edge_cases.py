@@ -1,0 +1,65 @@
+"""Engine robustness: absent layers, empty cells, degenerate decks."""
+
+import pytest
+
+from repro.core import Engine
+from repro.core.rules import layer, polygons
+from repro.geometry import Polygon
+from repro.layout import Layout
+
+
+def empty_layout():
+    layout = Layout("empty")
+    layout.new_cell("top")
+    layout.set_top("top")
+    return layout
+
+
+def one_shape():
+    layout = Layout("one")
+    top = layout.new_cell("top")
+    top.add_polygon(1, Polygon.from_rect_coords(0, 0, 100, 100))
+    layout.set_top("top")
+    return layout
+
+
+ALL_RULES = [
+    layer(1).width().greater_than(10),
+    layer(1).spacing().greater_than(10),
+    layer(1).area().greater_than(10),
+    layer(1).corner_spacing().greater_than(10),
+    layer(1).same_mask_spacing().greater_than(10),
+    layer(2).enclosure(layer(1)).greater_than(3),
+    layer(2).overlap(layer(1)).greater_than(10),
+    polygons().is_rectilinear(),
+    layer(1).polygons().ensures(lambda p: True),
+]
+
+
+@pytest.mark.parametrize("mode", ["sequential", "parallel"])
+class TestDegenerateLayouts:
+    def test_empty_layout_all_rules_pass(self, mode):
+        report = Engine(mode=mode).check(empty_layout(), rules=ALL_RULES)
+        assert report.passed
+
+    def test_single_shape_layout(self, mode):
+        report = Engine(mode=mode).check(one_shape(), rules=ALL_RULES[:5] + ALL_RULES[7:])
+        assert report.passed
+
+    def test_rule_on_absent_layer(self, mode):
+        report = Engine(mode=mode).check(
+            one_shape(), rules=[layer(99).spacing().greater_than(10)]
+        )
+        assert report.passed
+
+    def test_enclosure_with_no_vias(self, mode):
+        report = Engine(mode=mode).check(
+            one_shape(), rules=[layer(99).enclosure(layer(1)).greater_than(3)]
+        )
+        assert report.passed
+
+    def test_enclosure_with_no_metal_flags_all(self, mode):
+        report = Engine(mode=mode).check(
+            one_shape(), rules=[layer(1).enclosure(layer(99)).greater_than(3)]
+        )
+        assert report.results[0].num_violations == 1

@@ -1,0 +1,76 @@
+"""Option-matrix coverage: every engine configuration yields the same
+violations on a dirty design (configuration changes performance, never
+results)."""
+
+import pytest
+
+from repro.core import Engine, EngineOptions
+from repro.workloads import InjectionPlan, asap7, build_design, inject_violations
+
+
+@pytest.fixture(scope="module")
+def dirty():
+    layout = build_design("uart")
+    inject_violations(
+        layout,
+        InjectionPlan(spacing=3, width=2, area=2, enclosure=2),
+        layer=asap7.M2,
+        via_layer=asap7.V2,
+        metal_layer=asap7.M2,
+        seed=99,
+    )
+    deck = [
+        asap7.spacing_rule(asap7.M2),
+        asap7.width_rule(asap7.M2),
+        asap7.area_rule(asap7.M2),
+        asap7.enclosure_rule(asap7.V2, asap7.M2),
+    ]
+    reference = Engine(mode="sequential").check(layout, rules=deck)
+    return layout, deck, reference
+
+
+CONFIGS = [
+    EngineOptions(mode="sequential", use_rows=True),
+    EngineOptions(mode="sequential", use_rows=False),
+    EngineOptions(mode="parallel", use_rows=True),
+    EngineOptions(mode="parallel", use_rows=False),
+    EngineOptions(mode="parallel", num_streams=1),
+    EngineOptions(mode="parallel", num_streams=4),
+    EngineOptions(mode="parallel", brute_force_threshold=0),
+    EngineOptions(mode="parallel", brute_force_threshold=10 ** 9),
+]
+
+
+@pytest.mark.parametrize(
+    "options",
+    CONFIGS,
+    ids=[
+        "seq-rows",
+        "seq-norows",
+        "par-rows",
+        "par-norows",
+        "par-1stream",
+        "par-4stream",
+        "par-sweep-only",
+        "par-brute-only",
+    ],
+)
+def test_configuration_invariance(dirty, options):
+    layout, deck, reference = dirty
+    report = Engine(options=options).check(layout, rules=deck)
+    for got, want in zip(report.results, reference.results):
+        assert got.violation_set() == want.violation_set(), got.rule.name
+
+
+def test_stats_present_in_results(dirty):
+    layout, deck, _ = dirty
+    report = Engine(mode="parallel").check(layout, rules=deck)
+    spacing_stats = report.result("M2.S.1").stats
+    assert "kernels_bruteforce" in spacing_stats or "kernels_sweepline" in spacing_stats
+
+
+def test_reports_deterministic(dirty):
+    layout, deck, _ = dirty
+    a = Engine(mode="parallel").check(layout, rules=deck)
+    b = Engine(mode="parallel").check(layout, rules=deck)
+    assert a.to_csv() == b.to_csv()

@@ -1,0 +1,196 @@
+"""Malformed-stream corpus: the reader must fail loudly, never mis-parse."""
+
+import struct
+
+import pytest
+
+from repro.errors import GdsiiError
+from repro.gdsii import (
+    GdsBoundary,
+    GdsLibrary,
+    GdsStructure,
+    read_bytes,
+    write_bytes,
+)
+from repro.gdsii.records import DataType, RecordType, make_record, pack_record
+
+
+def records(*recs):
+    return b"".join(pack_record(r) for r in recs)
+
+
+def header():
+    return [
+        make_record(RecordType.HEADER, [600]),
+        make_record(RecordType.BGNLIB, [2023, 1, 1, 0, 0, 0] * 2),
+        make_record(RecordType.LIBNAME, "L"),
+        make_record(RecordType.UNITS, [0.001, 1e-9]),
+    ]
+
+
+class TestLibraryLevel:
+    def test_missing_header(self):
+        data = records(make_record(RecordType.BGNLIB, [0] * 12))
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_missing_units(self):
+        data = records(
+            make_record(RecordType.HEADER, [600]),
+            make_record(RecordType.BGNLIB, [0] * 12),
+            make_record(RecordType.LIBNAME, "L"),
+            make_record(RecordType.ENDLIB),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_units_wrong_arity(self):
+        data = records(
+            make_record(RecordType.HEADER, [600]),
+            make_record(RecordType.BGNLIB, [0] * 12),
+            make_record(RecordType.LIBNAME, "L"),
+            make_record(RecordType.UNITS, [0.001]),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_truncated_before_endlib(self):
+        data = records(*header())
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_element_at_library_level(self):
+        data = records(*header(), make_record(RecordType.BOUNDARY))
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+
+class TestStructureLevel:
+    def _with_structure(self, *body):
+        return records(
+            *header(),
+            make_record(RecordType.BGNSTR, [0] * 12),
+            make_record(RecordType.STRNAME, "S"),
+            *body,
+        )
+
+    def test_boundary_without_closing_point(self):
+        data = self._with_structure(
+            make_record(RecordType.BOUNDARY),
+            make_record(RecordType.LAYER, [1]),
+            make_record(RecordType.DATATYPE, [0]),
+            make_record(RecordType.XY, [0, 0, 0, 10, 10, 10, 10, 0]),  # not closed
+            make_record(RecordType.ENDEL),
+            make_record(RecordType.ENDSTR),
+            make_record(RecordType.ENDLIB),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_boundary_too_few_points(self):
+        data = self._with_structure(
+            make_record(RecordType.BOUNDARY),
+            make_record(RecordType.LAYER, [1]),
+            make_record(RecordType.DATATYPE, [0]),
+            make_record(RecordType.XY, [0, 0, 10, 10, 0, 0]),
+            make_record(RecordType.ENDEL),
+            make_record(RecordType.ENDSTR),
+            make_record(RecordType.ENDLIB),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_boundary_missing_layer(self):
+        data = self._with_structure(
+            make_record(RecordType.BOUNDARY),
+            make_record(RecordType.DATATYPE, [0]),
+            make_record(RecordType.XY, [0, 0, 0, 10, 10, 10, 0, 0]),
+            make_record(RecordType.ENDEL),
+            make_record(RecordType.ENDSTR),
+            make_record(RecordType.ENDLIB),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_sref_with_two_points(self):
+        data = self._with_structure(
+            make_record(RecordType.SREF),
+            make_record(RecordType.SNAME, "S"),
+            make_record(RecordType.XY, [0, 0, 5, 5]),
+            make_record(RecordType.ENDEL),
+            make_record(RecordType.ENDSTR),
+            make_record(RecordType.ENDLIB),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_aref_with_two_points(self):
+        data = self._with_structure(
+            make_record(RecordType.AREF),
+            make_record(RecordType.SNAME, "S"),
+            make_record(RecordType.COLROW, [2, 2]),
+            make_record(RecordType.XY, [0, 0, 10, 0]),
+            make_record(RecordType.ENDEL),
+            make_record(RecordType.ENDSTR),
+            make_record(RecordType.ENDLIB),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_dangling_reference(self):
+        data = self._with_structure(
+            make_record(RecordType.SREF),
+            make_record(RecordType.SNAME, "GHOST"),
+            make_record(RecordType.XY, [0, 0]),
+            make_record(RecordType.ENDEL),
+            make_record(RecordType.ENDSTR),
+            make_record(RecordType.ENDLIB),
+        )
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_text_elements_skipped(self):
+        data = self._with_structure(
+            make_record(RecordType.TEXT),
+            make_record(RecordType.LAYER, [1]),
+            make_record(RecordType.TEXTTYPE, [0]),
+            make_record(RecordType.XY, [5, 5]),
+            make_record(RecordType.STRING, "label"),
+            make_record(RecordType.ENDEL),
+            make_record(RecordType.ENDSTR),
+            make_record(RecordType.ENDLIB),
+        )
+        library = read_bytes(data)
+        assert library.structure("S").elements == []
+
+
+class TestRecordCorruption:
+    def test_garbage_bytes(self):
+        with pytest.raises(GdsiiError):
+            read_bytes(b"\xde\xad\xbe\xef" * 10)
+
+    def test_record_length_past_end(self):
+        data = struct.pack(">HBB", 5000, RecordType.HEADER, DataType.INT16)
+        with pytest.raises(GdsiiError):
+            read_bytes(data)
+
+    def test_bit_flip_in_valid_stream_is_caught_or_parses(self):
+        """Flipping record-type bytes must raise GdsiiError, never crash."""
+        lib = GdsLibrary(
+            structures=[
+                GdsStructure(
+                    "S",
+                    [GdsBoundary(1, 0, [(0, 0), (0, 10), (10, 10), (10, 0)])],
+                )
+            ]
+        )
+        data = bytearray(write_bytes(lib))
+        for offset in range(2, len(data), 7):
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0xFF
+            try:
+                read_bytes(bytes(corrupted))
+            except GdsiiError:
+                pass  # expected: loud failure
+            except (ValueError, OverflowError):
+                pass  # REAL8 decode errors are also acceptable

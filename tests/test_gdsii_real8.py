@@ -1,0 +1,54 @@
+import math
+
+import pytest
+
+from repro.gdsii.real8 import decode_real8, encode_real8
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, 1.0, -1.0, 0.001, 1e-9, 1e-3, 2.0, 0.5, 123456.0, -0.25, 1e12, 7e-11],
+    )
+    def test_round_trip_exact_enough(self, value):
+        decoded = decode_real8(encode_real8(value))
+        if value == 0:
+            assert decoded == 0
+        else:
+            assert math.isclose(decoded, value, rel_tol=1e-14)
+
+    def test_zero_encodes_as_zero_bytes(self):
+        assert encode_real8(0.0) == b"\x00" * 8
+
+    def test_sign_bit(self):
+        assert encode_real8(-1.0)[0] & 0x80
+        assert not encode_real8(1.0)[0] & 0x80
+
+
+class TestKnownValues:
+    def test_one(self):
+        # 1.0 = 0x4110000000000000 in excess-64 base-16.
+        assert encode_real8(1.0) == bytes.fromhex("4110000000000000")
+        assert decode_real8(bytes.fromhex("4110000000000000")) == 1.0
+
+    def test_micron_user_unit(self):
+        # 0.001 is the classic GDSII user unit; decode(encode(x)) stable.
+        data = encode_real8(0.001)
+        assert math.isclose(decode_real8(data), 0.001, rel_tol=1e-15)
+
+    def test_nanometer_db_unit(self):
+        data = encode_real8(1e-9)
+        assert math.isclose(decode_real8(data), 1e-9, rel_tol=1e-15)
+
+
+class TestErrors:
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError):
+            decode_real8(b"\x00" * 7)
+
+    def test_overflow(self):
+        with pytest.raises(OverflowError):
+            encode_real8(16.0 ** 70)
+
+    def test_underflow_flushes_to_zero(self):
+        assert decode_real8(encode_real8(16.0 ** -70)) == 0.0

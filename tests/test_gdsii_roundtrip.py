@@ -1,0 +1,128 @@
+import pytest
+
+from repro.errors import GdsiiError
+from repro.gdsii import (
+    GdsAref,
+    GdsBoundary,
+    GdsLibrary,
+    GdsPath,
+    GdsSref,
+    GdsStrans,
+    GdsStructure,
+    aref_origins,
+    read_bytes,
+    write_bytes,
+)
+
+
+def sample_library() -> GdsLibrary:
+    leaf = GdsStructure(
+        name="LEAF",
+        elements=[
+            GdsBoundary(1, 0, [(0, 0), (0, 10), (10, 10), (10, 0)], properties={1: "pad"}),
+            GdsPath(2, 0, width=4, xy=[(0, 0), (30, 0)]),
+        ],
+    )
+    top = GdsStructure(
+        name="TOP",
+        elements=[
+            GdsSref("LEAF", (100, 200), GdsStrans(mirror_x=True, angle=90.0)),
+            GdsAref(
+                "LEAF",
+                columns=3,
+                rows=2,
+                xy=[(0, 0), (150, 0), (0, 80)],
+                strans=GdsStrans(),
+            ),
+        ],
+    )
+    return GdsLibrary(name="RT", structures=[leaf, top])
+
+
+class TestRoundTrip:
+    def test_structure_names_survive(self):
+        lib = read_bytes(write_bytes(sample_library()))
+        assert lib.structure_names() == ["LEAF", "TOP"]
+
+    def test_units_survive(self):
+        source = sample_library()
+        source.user_unit = 0.001
+        source.meters_per_unit = 1e-9
+        lib = read_bytes(write_bytes(source))
+        assert lib.user_unit == pytest.approx(0.001)
+        assert lib.meters_per_unit == pytest.approx(1e-9)
+
+    def test_boundary_geometry_and_properties(self):
+        lib = read_bytes(write_bytes(sample_library()))
+        boundary = lib.structure("LEAF").elements[0]
+        assert isinstance(boundary, GdsBoundary)
+        assert boundary.layer == 1
+        assert boundary.xy == [(0, 0), (0, 10), (10, 10), (10, 0)]
+        assert boundary.properties == {1: "pad"}
+
+    def test_path_survives(self):
+        lib = read_bytes(write_bytes(sample_library()))
+        path = lib.structure("LEAF").elements[1]
+        assert isinstance(path, GdsPath)
+        assert path.width == 4 and path.xy == [(0, 0), (30, 0)]
+
+    def test_sref_strans(self):
+        lib = read_bytes(write_bytes(sample_library()))
+        sref = lib.structure("TOP").elements[0]
+        assert isinstance(sref, GdsSref)
+        assert sref.origin == (100, 200)
+        assert sref.strans.mirror_x and sref.strans.angle == 90.0
+
+    def test_aref_geometry(self):
+        lib = read_bytes(write_bytes(sample_library()))
+        aref = lib.structure("TOP").elements[1]
+        assert isinstance(aref, GdsAref)
+        assert (aref.columns, aref.rows) == (3, 2)
+        assert aref.column_step == (50, 0)
+        assert aref.row_step == (0, 40)
+
+    def test_double_round_trip_stable(self):
+        once = write_bytes(sample_library())
+        twice = write_bytes(read_bytes(once))
+        assert once == twice
+
+
+class TestArefExpansion:
+    def test_origins_grid(self):
+        aref = GdsAref("X", columns=2, rows=2, xy=[(10, 20), (30, 20), (10, 50)])
+        assert aref_origins(aref) == [(10, 20), (20, 20), (10, 35), (20, 35)]
+
+
+class TestValidation:
+    def test_undefined_reference_rejected_on_write(self):
+        lib = GdsLibrary(
+            structures=[GdsStructure("TOP", [GdsSref("MISSING", (0, 0))])]
+        )
+        with pytest.raises(GdsiiError):
+            write_bytes(lib)
+
+    def test_undefined_reference_rejected_on_read(self):
+        lib = sample_library()
+        lib.structures[1].elements.append(GdsSref("NOPE", (0, 0)))
+        data = None
+        with pytest.raises(GdsiiError):
+            data = write_bytes(lib)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(GdsiiError):
+            read_bytes(b"")
+
+    def test_top_structures(self):
+        lib = sample_library()
+        tops = lib.top_structures()
+        assert [s.name for s in tops] == ["TOP"]
+
+
+class TestFileIO:
+    def test_read_write_file(self, tmp_path):
+        from repro.gdsii import read, write
+
+        path = tmp_path / "sample.gds"
+        write(sample_library(), path)
+        lib = read(path)
+        assert lib.structure_names() == ["LEAF", "TOP"]

@@ -1,0 +1,165 @@
+from repro.geometry import Polygon, Rect
+from repro.geometry.booleans import (
+    decompose_rectilinear,
+    polygons_area,
+    union_polygons,
+    union_rects,
+)
+
+
+class TestDecompose:
+    def test_rectangle_is_itself(self):
+        rect = Polygon.from_rect_coords(0, 0, 10, 4)
+        assert decompose_rectilinear(rect) == [Rect(0, 0, 10, 4)]
+
+    def test_l_shape_area_preserved(self):
+        poly = Polygon([(0, 0), (0, 30), (10, 30), (10, 10), (25, 10), (25, 0)])
+        rects = decompose_rectilinear(poly)
+        assert sum(r.area for r in rects) == poly.area
+
+    def test_pieces_are_disjoint(self):
+        poly = Polygon([(0, 0), (0, 30), (10, 30), (10, 10), (25, 10), (25, 0)])
+        rects = decompose_rectilinear(poly)
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps_strictly(b)
+
+    def test_u_shape(self):
+        u = Polygon(
+            [(0, 0), (0, 20), (5, 20), (5, 5), (15, 5), (15, 20), (20, 20), (20, 0)]
+        )
+        rects = decompose_rectilinear(u)
+        assert sum(r.area for r in rects) == u.area
+
+
+class TestUnionRects:
+    def test_disjoint(self):
+        u = union_rects([Rect(0, 0, 5, 5), Rect(10, 10, 15, 15)])
+        assert u.area == 50 and u.region_count == 2
+
+    def test_overlap_counted_once(self):
+        u = union_rects([Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)])
+        assert u.area == 100 + 100 - 25
+        assert u.region_count == 1
+
+    def test_abutting_connects(self):
+        u = union_rects([Rect(0, 0, 5, 5), Rect(5, 0, 9, 5)])
+        assert u.region_count == 1 and u.area == 45
+
+    def test_corner_touch_does_not_connect(self):
+        u = union_rects([Rect(0, 0, 5, 5), Rect(5, 5, 9, 9)])
+        assert u.region_count == 2
+
+    def test_vertical_stacking_connects(self):
+        u = union_rects([Rect(0, 0, 5, 5), Rect(0, 5, 5, 10)])
+        assert u.region_count == 1 and u.area == 50
+
+    def test_duplicate_rects(self):
+        u = union_rects([Rect(0, 0, 5, 5)] * 3)
+        assert u.area == 25 and u.region_count == 1
+
+    def test_empty_input(self):
+        u = union_rects([])
+        assert u.area == 0 and u.region_count == 0
+
+    def test_degenerate_ignored(self):
+        u = union_rects([Rect(0, 0, 0, 5), Rect(1, 1, 2, 2)])
+        assert u.area == 1 and u.region_count == 1
+
+    def test_contains_point(self):
+        u = union_rects([Rect(0, 0, 5, 5), Rect(10, 0, 15, 5)])
+        assert u.contains_point(3, 3)
+        assert u.contains_point(5, 5)  # boundary
+        assert not u.contains_point(7, 3)
+
+    def test_bridge_merges_regions(self):
+        u = union_rects(
+            [Rect(0, 0, 4, 10), Rect(8, 0, 12, 10), Rect(3, 4, 9, 6)]
+        )
+        assert u.region_count == 1
+
+
+class TestUnionPolygons:
+    def test_mixed_shapes(self):
+        l_shape = Polygon([(0, 0), (0, 30), (10, 30), (10, 10), (25, 10), (25, 0)])
+        square = Polygon.from_rect_coords(100, 100, 110, 110)
+        u = union_polygons([l_shape, square])
+        assert u.area == l_shape.area + 100
+        assert u.region_count == 2
+
+    def test_polygons_area_overlap(self):
+        a = Polygon.from_rect_coords(0, 0, 10, 10)
+        b = Polygon.from_rect_coords(5, 0, 15, 10)
+        assert polygons_area([a, b]) == 150
+
+
+class TestRegionAlgebra:
+    def _regions(self):
+        from repro.geometry.booleans import union_rects
+
+        a = union_rects([Rect(0, 0, 10, 10)])
+        b = union_rects([Rect(5, 5, 15, 15)])
+        return a, b
+
+    def test_intersection(self):
+        from repro.geometry.booleans import intersect_regions
+
+        a, b = self._regions()
+        result = intersect_regions(a, b)
+        assert result.area == 25 and result.region_count == 1
+        assert result.contains_point(7, 7)
+        assert not result.contains_point(2, 2)
+
+    def test_subtraction(self):
+        from repro.geometry.booleans import subtract_regions
+
+        a, b = self._regions()
+        result = subtract_regions(a, b)
+        assert result.area == 75
+        assert result.contains_point(2, 2)
+        assert not result.contains_point(7, 7)
+
+    def test_xor(self):
+        from repro.geometry.booleans import xor_regions
+
+        a, b = self._regions()
+        assert xor_regions(a, b).area == 100 + 100 - 2 * 25
+
+    def test_or_matches_union(self):
+        from repro.geometry.booleans import or_regions, union_rects
+
+        a, b = self._regions()
+        direct = union_rects([Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)])
+        assert or_regions(a, b).area == direct.area
+
+    def test_disjoint_intersection_empty(self):
+        from repro.geometry.booleans import intersect_regions, union_rects
+
+        a = union_rects([Rect(0, 0, 5, 5)])
+        b = union_rects([Rect(50, 50, 55, 55)])
+        assert intersect_regions(a, b).area == 0
+
+    def test_empty_operand(self):
+        from repro.geometry.booleans import subtract_regions, union_rects
+
+        a = union_rects([Rect(0, 0, 5, 5)])
+        empty = union_rects([])
+        assert subtract_regions(a, empty).area == 25
+        assert subtract_regions(empty, a).area == 0
+
+    def test_not_cut_between_layers(self):
+        """The paper's intro example: the NOT CUT result between layers."""
+        from repro.geometry.booleans import subtract_regions, union_polygons
+
+        metal = [Polygon.from_rect_coords(0, 0, 100, 20)]
+        cut = [Polygon.from_rect_coords(40, 5, 60, 15)]
+        not_cut = subtract_regions(union_polygons(metal), union_polygons(cut))
+        assert not_cut.area == 100 * 20 - 20 * 10
+        assert not_cut.contains_point(10, 10)
+        assert not not_cut.contains_point(50, 10)
+
+    def test_self_subtraction_empty(self):
+        from repro.geometry.booleans import subtract_regions
+
+        a, _ = self._regions()
+        assert subtract_regions(a, a).area == 0

@@ -1,0 +1,129 @@
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Direction, Edge, Orientation, Point, Rect
+
+
+def edge(x1, y1, x2, y2):
+    return Edge(Point(x1, y1), Point(x2, y2))
+
+
+class TestOrientationAndDirection:
+    def test_horizontal(self):
+        e = edge(0, 5, 10, 5)
+        assert e.is_horizontal and not e.is_vertical
+        assert e.orientation is Orientation.HORIZONTAL
+        assert e.direction is Direction.EAST
+
+    def test_vertical(self):
+        e = edge(3, 0, 3, 10)
+        assert e.is_vertical and e.orientation is Orientation.VERTICAL
+        assert e.direction is Direction.NORTH
+
+    def test_west_and_south(self):
+        assert edge(10, 5, 0, 5).direction is Direction.WEST
+        assert edge(3, 10, 3, 0).direction is Direction.SOUTH
+
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            edge(1, 1, 1, 1).orientation
+
+    def test_diagonal_raises(self):
+        with pytest.raises(GeometryError):
+            edge(0, 0, 3, 4).orientation
+
+
+class TestInteriorSide:
+    """Clockwise vertex order: interior is to the right of travel."""
+
+    def test_north_edge_interior_east(self):
+        assert edge(0, 0, 0, 10).interior_side == (1, 0)
+
+    def test_south_edge_interior_west(self):
+        assert edge(0, 10, 0, 0).interior_side == (-1, 0)
+
+    def test_east_edge_interior_south(self):
+        assert edge(0, 0, 10, 0).interior_side == (0, -1)
+
+    def test_west_edge_interior_north(self):
+        assert edge(10, 0, 0, 0).interior_side == (0, 1)
+
+    def test_opposite_directions(self):
+        assert Direction.NORTH.opposite is Direction.SOUTH
+        assert Direction.EAST.opposite is Direction.WEST
+
+
+class TestMeasures:
+    def test_length(self):
+        assert edge(0, 0, 0, 7).length == 7
+        assert edge(2, 5, 9, 5).length == 7
+
+    def test_fixed_coordinate_and_span(self):
+        e = edge(3, 10, 3, 2)
+        assert e.fixed_coordinate == 3
+        assert e.span == (2, 10)
+
+    def test_mbr(self):
+        assert edge(5, 9, 5, 1).mbr == Rect(5, 1, 5, 9)
+
+    def test_projection_overlap(self):
+        a = edge(0, 0, 0, 10)
+        b = edge(5, 5, 5, 20)
+        assert a.projection_overlap(b) == 5
+
+    def test_projection_touching_is_zero(self):
+        a = edge(0, 0, 0, 10)
+        b = edge(5, 10, 5, 20)
+        assert a.projection_overlap(b) == 0
+
+    def test_projection_perpendicular_raises(self):
+        with pytest.raises(GeometryError):
+            edge(0, 0, 0, 10).projection_overlap(edge(0, 0, 10, 0))
+
+    def test_separation(self):
+        assert edge(0, 0, 0, 10).separation(edge(7, 0, 7, 10)) == 7
+
+
+class TestFacing:
+    def test_interiors_facing(self):
+        # Left edge of a strip (interior east) faces a right edge beyond it.
+        left = edge(0, 0, 0, 10)  # north: interior east
+        right = edge(5, 10, 5, 0)  # south: interior west
+        assert left.faces(right) and right.faces(left)
+
+    def test_exteriors_facing(self):
+        # Two polygons' near sides: neither faces the other.
+        a_right = edge(5, 10, 5, 0)  # interior west (polygon A is left)
+        b_left = edge(9, 0, 9, 10)  # interior east (polygon B is right)
+        assert not a_right.faces(b_left) and not b_left.faces(a_right)
+
+    def test_perpendicular_never_faces(self):
+        assert not edge(0, 0, 0, 10).faces(edge(0, 0, 10, 0))
+
+    def test_zero_separation_never_faces(self):
+        a = edge(0, 0, 0, 10)
+        b = edge(0, 10, 0, 0)
+        assert not a.faces(b)
+
+
+class TestOverlapRegion:
+    def test_vertical_pair_region(self):
+        a = edge(0, 0, 0, 10)
+        b = edge(5, 2, 5, 20)
+        assert a.overlap_region(b) == Rect(0, 2, 5, 10)
+
+    def test_horizontal_pair_region(self):
+        a = edge(0, 0, 10, 0)
+        b = edge(2, 4, 20, 4)
+        assert a.overlap_region(b) == Rect(2, 0, 10, 4)
+
+    def test_no_overlap_returns_none(self):
+        assert edge(0, 0, 0, 5).overlap_region(edge(3, 6, 3, 9)) is None
+
+    def test_inflated_region(self):
+        a = edge(0, 0, 0, 10)
+        b = edge(5, 0, 5, 10)
+        assert a.overlap_region(b, inflate=1) == Rect(-1, -1, 6, 11)
+
+    def test_translated(self):
+        assert edge(0, 0, 0, 5).translated(2, 3) == edge(2, 3, 2, 8)

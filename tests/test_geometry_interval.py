@@ -1,0 +1,54 @@
+from repro.geometry import Interval, coalesce
+
+
+class TestInterval:
+    def test_of_orders_endpoints(self):
+        assert Interval.of(9, 2) == Interval(2, 9)
+
+    def test_length(self):
+        assert Interval(2, 9).length == 7
+
+    def test_contains(self):
+        iv = Interval(2, 9)
+        assert iv.contains(2) and iv.contains(9) and not iv.contains(10)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(3, 7))
+        assert not Interval(0, 10).contains_interval(Interval(3, 11))
+
+    def test_overlaps_closed(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+        assert not Interval(0, 5).overlaps(Interval(6, 9))
+
+    def test_overlap_length(self):
+        assert Interval(0, 10).overlap_length(Interval(5, 20)) == 5
+        assert Interval(0, 5).overlap_length(Interval(5, 9)) == 0
+
+    def test_gap_to(self):
+        assert Interval(0, 5).gap_to(Interval(9, 12)) == 4
+        assert Interval(0, 5).gap_to(Interval(5, 12)) == 0
+        assert Interval(0, 5).gap_to(Interval(3, 12)) == 0
+
+    def test_union(self):
+        assert Interval(0, 5).union(Interval(9, 12)) == Interval(0, 12)
+
+    def test_inflated(self):
+        assert Interval(3, 5).inflated(2) == Interval(1, 7)
+
+
+class TestCoalesce:
+    def test_merges_overlapping(self):
+        assert coalesce([Interval(0, 5), Interval(3, 9)]) == [Interval(0, 9)]
+
+    def test_merges_touching(self):
+        assert coalesce([Interval(0, 5), Interval(5, 9)]) == [Interval(0, 9)]
+
+    def test_keeps_disjoint(self):
+        result = coalesce([Interval(6, 9), Interval(0, 5)])
+        assert result == [Interval(0, 5), Interval(6, 9)]
+
+    def test_empty_input(self):
+        assert coalesce([]) == []
+
+    def test_nested_absorbed(self):
+        assert coalesce([Interval(0, 10), Interval(2, 3)]) == [Interval(0, 10)]

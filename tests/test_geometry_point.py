@@ -1,0 +1,48 @@
+import pytest
+
+from repro.geometry import ORIGIN, Point, iter_points
+
+
+class TestPoint:
+    def test_unpacking(self):
+        x, y = Point(3, 4)
+        assert (x, y) == (3, 4)
+
+    def test_lexicographic_order(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(10, -5) == Point(11, -3)
+
+    def test_translation_does_not_mutate(self):
+        p = Point(1, 2)
+        p.translated(5, 5)
+        assert p == Point(1, 2)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance(Point(3, -4)) == 7
+
+    def test_chebyshev_distance(self):
+        assert Point(0, 0).chebyshev_distance(Point(3, -4)) == 4
+
+    def test_euclidean_distance_squared(self):
+        assert Point(1, 1).euclidean_distance_squared(Point(4, 5)) == 25
+
+    def test_origin(self):
+        assert ORIGIN == Point(0, 0)
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestIterPoints:
+    def test_pairs_flat_coordinates(self):
+        assert list(iter_points(iter([1, 2, 3, 4]))) == [Point(1, 2), Point(3, 4)]
+
+    def test_empty(self):
+        assert list(iter_points(iter([]))) == []
+
+    def test_odd_count_raises(self):
+        with pytest.raises(ValueError):
+            list(iter_points(iter([1, 2, 3])))

@@ -1,0 +1,144 @@
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Polygon, Rect, Transform, signed_area2
+
+
+SQUARE = Polygon.from_rect_coords(0, 0, 10, 10)
+L_SHAPE = Polygon([(0, 0), (0, 30), (10, 30), (10, 10), (25, 10), (25, 0)])
+
+
+class TestConstruction:
+    def test_normalizes_to_clockwise(self):
+        ccw = [(0, 0), (10, 0), (10, 10), (0, 10)]
+        cw = [(0, 0), (0, 10), (10, 10), (10, 0)]
+        assert signed_area2(Polygon(ccw).vertices) < 0
+        assert Polygon(ccw) == Polygon(cw)
+
+    def test_tolerates_closed_ring(self):
+        ring = [(0, 0), (0, 10), (10, 10), (10, 0), (0, 0)]
+        assert Polygon(ring).num_vertices == 4
+
+    def test_merges_collinear_vertices(self):
+        verts = [(0, 0), (0, 5), (0, 10), (10, 10), (10, 0)]
+        assert Polygon(verts).num_vertices == 4
+
+    def test_rejects_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (0, 10), (10, 10)])
+
+    def test_rejects_non_rectilinear(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (0, 10), (10, 11), (10, 0)])
+
+    def test_rejects_repeated_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (0, 10), (0, 10), (10, 10), (10, 0)])
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (0, 10), (0, 20), (0, 10)])
+
+    def test_rejects_spike(self):
+        # Doubling-back collinear run is not a simple rectilinear polygon.
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (0, 20), (0, 10), (10, 10), (10, 0)])
+
+    def test_from_rect_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_rect_coords(0, 0, 0, 10)
+
+
+class TestProperties:
+    def test_square_area(self):
+        assert SQUARE.area == 100
+
+    def test_l_shape_area_by_shoelace(self):
+        # 10x30 bar + 15x10 foot
+        assert L_SHAPE.area == 300 + 150
+
+    def test_perimeter(self):
+        assert SQUARE.perimeter == 40
+
+    def test_mbr(self):
+        assert L_SHAPE.mbr == Rect(0, 0, 25, 30)
+
+    def test_is_rectangle(self):
+        assert SQUARE.is_rectangle
+        assert not L_SHAPE.is_rectangle
+
+    def test_is_rectilinear(self):
+        assert L_SHAPE.is_rectilinear
+
+    def test_edges_alternate_orientation(self):
+        orientations = [e.is_horizontal for e in L_SHAPE.edges()]
+        for a, b in zip(orientations, orientations[1:]):
+            assert a != b
+
+    def test_edges_interior_right_of_travel(self):
+        # For the unit square, each edge's interior normal points inward.
+        for e in SQUARE.edges():
+            nx, ny = e.interior_side
+            mid_x = (e.start.x + e.end.x) // 2 + nx
+            mid_y = (e.start.y + e.end.y) // 2 + ny
+            assert SQUARE.contains_point(Point(mid_x, mid_y))
+
+
+class TestContainsPoint:
+    def test_interior(self):
+        assert L_SHAPE.contains_point(Point(5, 5))
+
+    def test_exterior(self):
+        assert not L_SHAPE.contains_point(Point(20, 20))
+
+    def test_notch_exterior(self):
+        assert not L_SHAPE.contains_point(Point(15, 15))
+
+    def test_boundary_included_by_default(self):
+        assert L_SHAPE.contains_point(Point(0, 5))
+        assert L_SHAPE.contains_point(Point(25, 0))
+
+    def test_boundary_excluded_on_request(self):
+        assert not L_SHAPE.contains_point(Point(0, 5), include_boundary=False)
+
+    def test_vertex(self):
+        assert L_SHAPE.contains_point(Point(10, 10))
+
+
+class TestTransformed:
+    def test_translation(self):
+        moved = SQUARE.transformed(Transform(dx=5, dy=7))
+        assert moved.mbr == Rect(5, 7, 15, 17)
+
+    def test_rotation_90(self):
+        tall = Polygon.from_rect_coords(0, 0, 2, 10)
+        rotated = tall.transformed(Transform(rotation=90))
+        assert rotated.mbr == Rect(-10, 0, 0, 2)
+
+    def test_mirror_keeps_clockwise_order(self):
+        mirrored = L_SHAPE.transformed(Transform(mirror_x=True))
+        assert signed_area2(mirrored.vertices) < 0
+        assert mirrored.area == L_SHAPE.area
+
+    def test_area_preserved_under_rigid_transforms(self):
+        t = Transform(dx=3, dy=-9, rotation=270, mirror_x=True)
+        assert L_SHAPE.transformed(t).area == L_SHAPE.area
+
+    def test_magnification_scales_area(self):
+        big = SQUARE.transformed(Transform(magnification=3))
+        assert big.area == 900
+
+
+class TestValueSemantics:
+    def test_equality_ignores_vertex_rotation(self):
+        a = Polygon([(0, 0), (0, 10), (10, 10), (10, 0)])
+        b = Polygon([(10, 10), (10, 0), (0, 0), (0, 10)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert SQUARE != Polygon.from_rect_coords(0, 0, 10, 11)
+
+    def test_name_does_not_affect_equality(self):
+        named = Polygon.from_rect_coords(0, 0, 10, 10, name="pad")
+        assert named == SQUARE
+        assert named.name == "pad"

@@ -1,0 +1,122 @@
+import pytest
+
+from repro.geometry import EMPTY_RECT, Point, Rect, bounding_rect, union_all
+
+
+class TestBasics:
+    def test_dimensions(self):
+        r = Rect(0, 0, 10, 4)
+        assert (r.width, r.height, r.area) == (10, 4, 40)
+
+    def test_degenerate_rect_is_not_empty(self):
+        r = Rect(5, 0, 5, 10)  # vertical segment
+        assert not r.is_empty
+        assert r.width == 0 and r.height == 10 and r.area == 0
+
+    def test_empty_rect(self):
+        assert EMPTY_RECT.is_empty
+        assert EMPTY_RECT.area == 0
+
+    def test_center(self):
+        assert Rect(0, 0, 10, 10).center == Point(5, 5)
+        assert Rect(0, 0, 11, 11).center == Point(5, 5)  # rounds low
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(10, 10))
+        assert not r.contains_point(Point(11, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(2, 2, 12, 8))
+
+    def test_empty_contains_nothing(self):
+        assert not EMPTY_RECT.contains_rect(Rect(0, 0, 1, 1))
+        assert not Rect(0, 0, 5, 5).contains_rect(EMPTY_RECT)
+
+    def test_overlaps_closed(self):
+        # Touching edges count (the engine inflates by the rule distance).
+        assert Rect(0, 0, 5, 5).overlaps(Rect(5, 0, 10, 5))
+        assert Rect(0, 0, 5, 5).overlaps(Rect(5, 5, 10, 10))  # corner touch
+
+    def test_overlaps_strictly_excludes_touching(self):
+        assert not Rect(0, 0, 5, 5).overlaps_strictly(Rect(5, 0, 10, 5))
+        assert Rect(0, 0, 5, 5).overlaps_strictly(Rect(4, 0, 10, 5))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 5, 5).overlaps(Rect(6, 0, 10, 5))
+
+    def test_empty_never_overlaps(self):
+        assert not EMPTY_RECT.overlaps(Rect(0, 0, 5, 5))
+        assert not Rect(0, 0, 5, 5).overlaps(EMPTY_RECT)
+
+
+class TestConstructive:
+    def test_union(self):
+        assert Rect(0, 0, 2, 2).union(Rect(5, 5, 8, 9)) == Rect(0, 0, 8, 9)
+
+    def test_union_empty_identity(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.union(EMPTY_RECT) == r
+        assert EMPTY_RECT.union(r) == r
+
+    def test_intersection(self):
+        assert Rect(0, 0, 10, 10).intersection(Rect(5, 5, 20, 20)) == Rect(5, 5, 10, 10)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(5, 5, 8, 8)).is_empty
+
+    def test_intersection_touching_is_degenerate(self):
+        r = Rect(0, 0, 5, 5).intersection(Rect(5, 0, 10, 5))
+        assert not r.is_empty and r.width == 0
+
+    def test_inflated(self):
+        assert Rect(5, 5, 10, 10).inflated(2) == Rect(3, 3, 12, 12)
+
+    def test_deflate_to_empty(self):
+        assert Rect(0, 0, 2, 2).inflated(-3).is_empty
+
+    def test_inflate_empty_stays_empty(self):
+        assert EMPTY_RECT.inflated(100).is_empty
+
+    def test_translated(self):
+        assert Rect(0, 0, 2, 2).translated(5, -1) == Rect(5, -1, 7, 1)
+
+
+class TestGap:
+    def test_gap_disjoint(self):
+        assert Rect(0, 0, 2, 2).gap_to(Rect(7, 0, 9, 2)) == 5
+
+    def test_gap_touching_is_zero(self):
+        assert Rect(0, 0, 2, 2).gap_to(Rect(2, 0, 4, 2)) == 0
+
+    def test_gap_overlapping_is_zero(self):
+        assert Rect(0, 0, 5, 5).gap_to(Rect(3, 3, 8, 8)) == 0
+
+    def test_gap_diagonal_is_chebyshev(self):
+        assert Rect(0, 0, 2, 2).gap_to(Rect(5, 6, 7, 8)) == 4
+
+    def test_gap_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY_RECT.gap_to(Rect(0, 0, 1, 1))
+
+
+class TestHelpers:
+    def test_bounding_rect(self):
+        pts = [Point(3, 1), Point(-2, 7), Point(0, 0)]
+        assert bounding_rect(pts) == Rect(-2, 0, 3, 7)
+
+    def test_bounding_rect_empty(self):
+        assert bounding_rect([]).is_empty
+
+    def test_union_all(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, 5, 6, 6), EMPTY_RECT]
+        assert union_all(rects) == Rect(0, 0, 6, 6)
+
+    def test_union_all_empty(self):
+        assert union_all([]).is_empty

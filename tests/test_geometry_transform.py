@@ -1,0 +1,103 @@
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import IDENTITY, Point, Rect, Transform
+from repro.hierarchy import invert
+
+
+class TestApply:
+    def test_identity(self):
+        assert IDENTITY.apply(Point(3, 4)) == Point(3, 4)
+
+    def test_translation(self):
+        assert Transform(dx=10, dy=-2).apply(Point(1, 1)) == Point(11, -1)
+
+    def test_rotation_90_ccw(self):
+        assert Transform(rotation=90).apply(Point(1, 0)) == Point(0, 1)
+
+    def test_rotation_180(self):
+        assert Transform(rotation=180).apply(Point(3, 4)) == Point(-3, -4)
+
+    def test_rotation_270(self):
+        assert Transform(rotation=270).apply(Point(1, 0)) == Point(0, -1)
+
+    def test_mirror_before_rotation(self):
+        # GDSII order: reflect about x first, then rotate.
+        t = Transform(rotation=90, mirror_x=True)
+        assert t.apply(Point(0, 1)) == Point(1, 0)
+
+    def test_magnification(self):
+        assert Transform(magnification=3).apply(Point(2, 5)) == Point(6, 15)
+
+    def test_fractional_magnification_off_grid_raises(self):
+        t = Transform(magnification=Fraction(1, 2))
+        with pytest.raises(GeometryError):
+            t.apply(Point(3, 0))
+
+    def test_fractional_magnification_on_grid(self):
+        t = Transform(magnification=Fraction(1, 2))
+        assert t.apply(Point(4, 8)) == Point(2, 4)
+
+    def test_invalid_rotation_rejected(self):
+        with pytest.raises(GeometryError):
+            Transform(rotation=45).apply(Point(1, 1))
+
+    def test_non_positive_magnification_rejected(self):
+        with pytest.raises(GeometryError):
+            Transform(magnification=0).apply(Point(1, 1))
+
+
+class TestApplyRect:
+    def test_rotation_rebuilds_corners(self):
+        r = Transform(rotation=90).apply_rect(Rect(0, 0, 4, 2))
+        assert r == Rect(-2, 0, 0, 4)
+
+    def test_empty_rect_stays_empty(self):
+        from repro.geometry import EMPTY_RECT
+
+        assert Transform(dx=5).apply_rect(EMPTY_RECT).is_empty
+
+
+class TestCompose:
+    @pytest.mark.parametrize("rotation", [0, 90, 180, 270])
+    @pytest.mark.parametrize("mirror", [False, True])
+    def test_compose_matches_sequential_application(self, rotation, mirror):
+        outer = Transform(dx=7, dy=-3, rotation=rotation, mirror_x=mirror)
+        inner = Transform(dx=2, dy=5, rotation=90, mirror_x=True)
+        composed = outer.compose(inner)
+        for p in (Point(0, 0), Point(3, 1), Point(-4, 9)):
+            assert composed.apply(p) == outer.apply(inner.apply(p))
+
+    def test_compose_magnifications_multiply(self):
+        outer = Transform(magnification=2)
+        inner = Transform(magnification=3)
+        assert outer.compose(inner).magnification == 6
+
+
+class TestInvert:
+    @pytest.mark.parametrize("rotation", [0, 90, 180, 270])
+    @pytest.mark.parametrize("mirror", [False, True])
+    def test_inverse_roundtrip(self, rotation, mirror):
+        t = Transform(dx=11, dy=-7, rotation=rotation, mirror_x=mirror)
+        inverse = invert(t)
+        for p in (Point(0, 0), Point(5, 3), Point(-2, 8)):
+            assert inverse.apply(t.apply(p)) == p
+            assert t.apply(inverse.apply(p)) == p
+
+
+class TestInvariants:
+    def test_rigid_transform_preserves_distances(self):
+        assert Transform(dx=5, rotation=90, mirror_x=True).preserves_distances
+
+    def test_magnification_breaks_distances(self):
+        assert not Transform(magnification=2).preserves_distances
+
+    def test_area_scale(self):
+        assert Transform(magnification=3).area_scale == 9
+        assert Transform(rotation=90).area_scale == 1
+
+    def test_repr_mentions_components(self):
+        text = repr(Transform(dx=1, dy=2, rotation=90, mirror_x=True))
+        assert "rot=90" in text and "mirror" in text

@@ -1,0 +1,92 @@
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry import Polygon
+from repro.gpu import pack_edges
+from repro.gpu.compression import (
+    CompressionReport,
+    compress_edge_buffer,
+    measure_compression,
+    narrowest_signed_dtype,
+)
+
+
+def random_polys(seed=0, n=100, extent=50_000):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.randint(0, extent), rng.randint(0, extent)
+        out.append(Polygon.from_rect_coords(x, y, x + rng.randint(2, 60), y + rng.randint(2, 60)))
+    return out
+
+
+class TestDtypeNarrowing:
+    def test_small_range_int8(self):
+        assert narrowest_signed_dtype(-100, 100) == np.int8
+
+    def test_medium_range_int16(self):
+        assert narrowest_signed_dtype(0, 30_000) == np.int16
+
+    def test_large_range_int32(self):
+        assert narrowest_signed_dtype(0, 100_000) == np.int32
+
+    def test_huge_range_int64(self):
+        assert narrowest_signed_dtype(0, 2 ** 40) == np.int64
+
+    def test_overflow(self):
+        with pytest.raises(OverflowError):
+            narrowest_signed_dtype(0, 2 ** 70)
+
+
+class TestLossless:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_round_trip_exact(self, seed):
+        buffers = pack_edges(random_polys(seed))
+        for buf in buffers.values():
+            restored = compress_edge_buffer(buf).decompress()
+            reference = buf.sorted_by_fixed()
+            assert np.array_equal(restored.fixed, reference.fixed)
+            assert np.array_equal(restored.lo, reference.lo)
+            assert np.array_equal(restored.hi, reference.hi)
+            assert np.array_equal(restored.interior, reference.interior)
+            assert np.array_equal(restored.poly, reference.poly)
+            assert restored.fixed.dtype == np.int64
+
+    def test_kernels_agree_on_decompressed(self):
+        from repro.gpu import kernel_pairs_sweep
+
+        buf = pack_edges(random_polys(7))["v"]
+        direct = kernel_pairs_sweep(buf, 15, want_width=False)
+        via_compressed = kernel_pairs_sweep(
+            compress_edge_buffer(buf).decompress(), 15, want_width=False
+        )
+        def canon(hits):
+            return sorted(zip(hits.xlo.tolist(), hits.ylo.tolist(), hits.xhi.tolist(),
+                              hits.yhi.tolist(), hits.measured.tolist()))
+        assert canon(direct) == canon(via_compressed)
+
+    def test_empty_buffer(self):
+        buf = pack_edges([])["v"]
+        compressed = compress_edge_buffer(buf)
+        assert compressed.count == 0
+        assert len(compressed.decompress()) == 0
+
+
+class TestFootprint:
+    def test_compression_saves_memory(self):
+        # Dense layout on a coarse grid: deltas and spans are tiny.
+        polys = random_polys(1, n=400, extent=30_000)
+        report = measure_compression(pack_edges(polys))
+        assert report.ratio > 2.0
+        assert report.buffers == 2
+
+    def test_ratio_empty(self):
+        assert CompressionReport().ratio == 1.0
+
+    def test_report_counts_bytes(self):
+        buffers = pack_edges(random_polys(2, n=50))
+        report = measure_compression(buffers)
+        assert report.raw_bytes == sum(b.nbytes for b in buffers.values())
+        assert 0 < report.compressed_bytes < report.raw_bytes

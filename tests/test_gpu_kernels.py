@@ -1,0 +1,186 @@
+import random
+
+import numpy as np
+import pytest
+
+from repro.checks import check_spacing, check_width
+from repro.geometry import Polygon, Rect
+from repro.gpu import (
+    kernel_area,
+    kernel_enclosure_margins,
+    kernel_pairs_bruteforce,
+    kernel_pairs_sweep,
+    kernel_sweep_ranges,
+    pack_edges,
+    pack_vertices,
+    reduce_enclosure_best,
+)
+
+
+def random_rects(seed, n=60, extent=400):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.randint(0, extent), rng.randint(0, extent)
+        out.append(
+            Polygon.from_rect_coords(x, y, x + rng.randint(2, 30), y + rng.randint(2, 30))
+        )
+    return out
+
+
+def hits_to_set(hits_list):
+    out = set()
+    for hits in hits_list:
+        for k in range(len(hits)):
+            out.add(
+                (
+                    Rect(int(hits.xlo[k]), int(hits.ylo[k]), int(hits.xhi[k]), int(hits.yhi[k])),
+                    int(hits.measured[k]),
+                )
+            )
+    return out
+
+
+class TestPackEdges:
+    def test_rectangle_split_by_orientation(self):
+        bufs = pack_edges([Polygon.from_rect_coords(0, 0, 10, 4)])
+        assert len(bufs["v"]) == 2 and len(bufs["h"]) == 2
+
+    def test_interior_signs(self):
+        bufs = pack_edges([Polygon.from_rect_coords(0, 0, 10, 4)])
+        v = bufs["v"]
+        by_x = dict(zip(v.fixed.tolist(), v.interior.tolist()))
+        assert by_x == {0: 1, 10: -1}  # left edge interior east, right west
+        h = bufs["h"]
+        by_y = dict(zip(h.fixed.tolist(), h.interior.tolist()))
+        assert by_y == {0: 1, 4: -1}
+
+    def test_poly_ids_default_to_index(self):
+        bufs = pack_edges(random_rects(0, n=5))
+        assert set(bufs["v"].poly.tolist()) == set(range(5))
+
+    def test_explicit_poly_ids(self):
+        bufs = pack_edges(random_rects(0, n=3), poly_ids=[7, 8, 9])
+        assert set(bufs["v"].poly.tolist()) == {7, 8, 9}
+
+    def test_empty(self):
+        bufs = pack_edges([])
+        assert len(bufs["v"]) == 0 and len(bufs["h"]) == 0
+
+
+class TestPairKernelsAgainstHost:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("threshold", [5, 12, 25])
+    def test_spacing_bruteforce_matches_host(self, seed, threshold):
+        polys = random_rects(seed)
+        host = {(v.region, v.measured) for v in check_spacing(polys, 1, threshold)}
+        bufs = pack_edges(polys)
+        hits = [
+            kernel_pairs_bruteforce(bufs["v"], threshold, want_width=False),
+            kernel_pairs_bruteforce(bufs["h"], threshold, want_width=False),
+        ]
+        assert hits_to_set(hits) == host
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("threshold", [5, 12, 25])
+    def test_sweep_matches_bruteforce(self, seed, threshold):
+        polys = random_rects(seed + 50, n=120)
+        bufs = pack_edges(polys)
+        for key in ("v", "h"):
+            brute = hits_to_set([kernel_pairs_bruteforce(bufs[key], threshold, want_width=False)])
+            sweep = hits_to_set([kernel_pairs_sweep(bufs[key], threshold, want_width=False)])
+            assert brute == sweep
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_width_matches_host(self, seed):
+        rng = random.Random(seed)
+        polys = []
+        for i in range(30):
+            x = i * 100
+            polys.append(
+                Polygon.from_rect_coords(x, 0, x + rng.randint(2, 20), rng.randint(30, 90))
+            )
+        threshold = 12
+        host = {(v.region, v.measured) for v in check_width(polys, 1, threshold)}
+        bufs = pack_edges(polys)
+        hits = [
+            kernel_pairs_bruteforce(bufs["v"], threshold, want_width=True),
+            kernel_pairs_bruteforce(bufs["h"], threshold, want_width=True),
+        ]
+        assert hits_to_set(hits) == host
+
+    def test_width_requires_same_polygon(self):
+        # Two narrow rects close together: interior-facing pairs exist only
+        # within each polygon, not across.
+        polys = [
+            Polygon.from_rect_coords(0, 0, 5, 100),
+            Polygon.from_rect_coords(8, 0, 13, 100),
+        ]
+        bufs = pack_edges(polys)
+        hits = kernel_pairs_bruteforce(bufs["v"], 50, want_width=True)
+        assert sorted(hits.measured.tolist()) == [5, 5]
+
+    def test_chunking_does_not_change_results(self):
+        polys = random_rects(9, n=80)
+        bufs = pack_edges(polys)
+        a = hits_to_set([kernel_pairs_bruteforce(bufs["v"], 15, want_width=False, chunk=7)])
+        b = hits_to_set([kernel_pairs_bruteforce(bufs["v"], 15, want_width=False, chunk=4096)])
+        assert a == b
+
+    def test_empty_buffer(self):
+        bufs = pack_edges([])
+        assert len(kernel_pairs_bruteforce(bufs["v"], 10, want_width=False)) == 0
+        assert len(kernel_pairs_sweep(bufs["v"], 10, want_width=False)) == 0
+
+
+class TestSweepRanges:
+    def test_ranges_cover_rule_window(self):
+        polys = random_rects(3, n=40)
+        buf = pack_edges(polys)["v"].sorted_by_fixed()
+        begin, end = kernel_sweep_ranges(buf, 10)
+        fixed = buf.fixed
+        for i in range(len(buf)):
+            for j in range(len(buf)):
+                gap = fixed[j] - fixed[i]
+                if 1 <= gap <= 9:
+                    assert begin[i] <= j < end[i]
+                if gap <= 0:
+                    assert not (begin[i] <= j < end[i])
+
+
+class TestAreaKernel:
+    def test_matches_shoelace(self):
+        polys = random_rects(4, n=30)
+        polys.append(Polygon([(0, 500), (0, 530), (10, 530), (10, 510), (25, 510), (25, 500)]))
+        buf = pack_vertices(polys)
+        areas = kernel_area(buf)
+        assert [int(a) for a in areas] == [p.area for p in polys]
+
+    def test_empty(self):
+        assert len(kernel_area(pack_vertices([]))) == 0
+
+
+class TestEnclosureKernel:
+    def test_margins(self):
+        vias = np.asarray([[10, 10, 14, 14]], dtype=np.int64)
+        metals = np.asarray([[5, 5, 19, 19], [9, 12, 15, 16]], dtype=np.int64)
+        pair_via = np.asarray([0, 0], dtype=np.int64)
+        pair_metal = np.asarray([0, 1], dtype=np.int64)
+        margins = kernel_enclosure_margins(vias, metals, pair_via, pair_metal)
+        # Second metal does not contain the via: its margin is negative.
+        assert margins.tolist() == [5, -2]
+
+    def test_reduce_best(self):
+        pair_via = np.asarray([0, 0, 1], dtype=np.int64)
+        margins = np.asarray([2, 5, -3], dtype=np.int64)
+        best = reduce_enclosure_best(3, pair_via, margins)
+        assert best.tolist() == [5, -1, -1]
+
+    def test_empty_pairs(self):
+        margins = kernel_enclosure_margins(
+            np.zeros((2, 4), dtype=np.int64),
+            np.zeros((0, 4), dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+        assert len(margins) == 0

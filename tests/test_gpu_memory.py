@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import StreamOrderedAllocator
+
+
+class TestAllocator:
+    def test_alloc_free_reuse(self):
+        allocator = StreamOrderedAllocator()
+        a = allocator.malloc(1000, stream_id=0)
+        allocator.free(a, stream_id=0)
+        b = allocator.malloc(900, stream_id=0)
+        assert b is a  # pooled buffer reused
+        assert allocator.stats.pool_hits == 1
+
+    def test_size_classes_power_of_two(self):
+        allocator = StreamOrderedAllocator()
+        buf = allocator.malloc(1000)
+        assert buf.size_class == 1024
+        small = allocator.malloc(10)
+        assert small.size_class == 256  # minimum class
+
+    def test_different_streams_do_not_share_pools(self):
+        allocator = StreamOrderedAllocator()
+        a = allocator.malloc(512, stream_id=0)
+        allocator.free(a, stream_id=0)
+        b = allocator.malloc(512, stream_id=1)
+        assert b is not a
+
+    def test_double_free_rejected(self):
+        allocator = StreamOrderedAllocator()
+        buf = allocator.malloc(100)
+        allocator.free(buf)
+        with pytest.raises(DeviceError):
+            allocator.free(buf)
+
+    def test_use_after_free_rejected(self):
+        allocator = StreamOrderedAllocator()
+        buf = allocator.malloc(100)
+        allocator.free(buf)
+        with pytest.raises(DeviceError):
+            buf.view(np.uint8)
+
+    def test_view_dtype(self):
+        allocator = StreamOrderedAllocator()
+        buf = allocator.malloc(64)
+        view = buf.view(np.int64)
+        assert view.dtype == np.int64 and len(view) == 8
+
+    def test_peak_tracking(self):
+        allocator = StreamOrderedAllocator()
+        a = allocator.malloc(256)
+        b = allocator.malloc(256)
+        allocator.free(a)
+        allocator.free(b)
+        allocator.malloc(256)
+        assert allocator.stats.peak_bytes == 512
+        assert allocator.stats.live_bytes == 256
+
+    def test_hit_ratio(self):
+        allocator = StreamOrderedAllocator()
+        a = allocator.malloc(100)
+        allocator.free(a)
+        allocator.malloc(100)
+        assert allocator.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_trim_releases_pooled(self):
+        allocator = StreamOrderedAllocator()
+        a = allocator.malloc(1000)
+        allocator.free(a)
+        released = allocator.trim()
+        assert released == 1024
+        fresh = allocator.malloc(1000)
+        assert fresh is not a
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(DeviceError):
+            StreamOrderedAllocator().malloc(0)

@@ -1,0 +1,133 @@
+from repro.checks import check_polygon_width
+from repro.geometry import Polygon, Rect, Transform
+from repro.hierarchy import (
+    HierarchyTree,
+    IntraCheckScheduler,
+    SubtreeWindow,
+    area_invariant,
+    distance_invariant,
+    level_items,
+)
+from repro.layout import CellReference, Layout, Repetition
+
+
+def many_instances_layout(n=20) -> Layout:
+    layout = Layout("memo")
+    leaf = layout.new_cell("leaf")
+    leaf.add_polygon(1, Polygon.from_rect_coords(0, 0, 5, 100))  # 5 wide: violates 10
+    top = layout.new_cell("top")
+    for i in range(n):
+        top.add_reference(CellReference("leaf", Transform(dx=i * 500)))
+    layout.set_top("top")
+    return layout
+
+
+class TestIntraScheduler:
+    def test_check_runs_once_per_definition(self):
+        tree = HierarchyTree(many_instances_layout(20))
+        scheduler = IntraCheckScheduler(tree)
+        calls = []
+
+        def check(cell):
+            calls.append(cell.name)
+            return check_polygon_width(cell.polygons(1)[0], 1, 10)
+
+        violations = scheduler.run(1, check)
+        assert calls == ["leaf"]
+        assert len(violations) == 20  # one per instance
+        assert scheduler.stats.checks_run == 1
+        assert scheduler.stats.checks_reused == 19
+
+    def test_violations_transformed_per_instance(self):
+        tree = HierarchyTree(many_instances_layout(3))
+        scheduler = IntraCheckScheduler(tree)
+        violations = scheduler.run(
+            1, lambda cell: check_polygon_width(cell.polygons(1)[0], 1, 10)
+        )
+        regions = sorted(v.region for v in violations)
+        assert regions[0] == Rect(0, 0, 5, 100)
+        assert regions[1] == Rect(500, 0, 505, 100)
+
+    def test_magnified_instance_rechecked(self):
+        layout = Layout("mag")
+        leaf = layout.new_cell("leaf")
+        leaf.add_polygon(1, Polygon.from_rect_coords(0, 0, 5, 100))
+        top = layout.new_cell("top")
+        top.add_reference(CellReference("leaf", Transform()))
+        top.add_reference(CellReference("leaf", Transform(dx=1000, magnification=3)))
+        layout.set_top("top")
+        scheduler = IntraCheckScheduler(HierarchyTree(layout))
+        violations = scheduler.run(
+            1,
+            lambda cell: check_polygon_width(cell.polygons(1)[0], 1, 10),
+            invariance=distance_invariant,
+        )
+        # magnified copy is 15 wide: passes; only the unit instance violates
+        assert len(violations) == 1
+        assert scheduler.stats.checks_refreshed == 1
+
+    def test_invariance_predicates(self):
+        assert distance_invariant(Transform(rotation=90, mirror_x=True))
+        assert not distance_invariant(Transform(magnification=2))
+        assert area_invariant(Transform(rotation=270))
+        assert not area_invariant(Transform(magnification=2))
+
+
+class TestLevelItems:
+    def test_items_cover_local_and_children(self):
+        layout = many_instances_layout(4)
+        layout.cell("top").add_polygon(1, Polygon.from_rect_coords(-100, 0, -90, 10))
+        tree = HierarchyTree(layout)
+        items = level_items(tree, tree.top, 1)
+        polygons = [it for it in items if it.is_polygon]
+        children = [it for it in items if not it.is_polygon]
+        assert len(polygons) == 1 and len(children) == 4
+
+    def test_aref_expanded_to_placements(self):
+        layout = Layout("aref")
+        leaf = layout.new_cell("leaf")
+        leaf.add_polygon(1, Polygon.from_rect_coords(0, 0, 5, 5))
+        top = layout.new_cell("top")
+        top.add_reference(
+            CellReference("leaf", Transform(), Repetition(3, 2, (10, 0), (0, 10)))
+        )
+        layout.set_top("top")
+        tree = HierarchyTree(layout)
+        assert len(level_items(tree, tree.top, 1)) == 6
+
+    def test_layerless_children_skipped(self):
+        layout = Layout("skip")
+        empty = layout.new_cell("empty")
+        top = layout.new_cell("top")
+        top.add_reference(CellReference("empty"))
+        layout.set_top("top")
+        tree = HierarchyTree(layout)
+        assert level_items(tree, tree.top, 1) == []
+
+
+class TestSubtreeWindow:
+    def test_windowed_gather(self):
+        layout = many_instances_layout(5)
+        tree = HierarchyTree(layout)
+        subtree = SubtreeWindow(tree)
+        found = subtree.polygons_in_window(
+            "top", Transform(), 1, Rect(400, 0, 600, 100)
+        )
+        assert len(found) == 1
+        assert found[0].mbr == Rect(500, 0, 505, 100)
+
+    def test_gather_respects_placement_frame(self):
+        layout = many_instances_layout(2)
+        tree = HierarchyTree(layout)
+        subtree = SubtreeWindow(tree)
+        shifted = Transform(dx=10000)
+        found = subtree.polygons_in_window(
+            "top", shifted, 1, Rect(10400, 0, 10600, 100)
+        )
+        assert len(found) == 1
+        assert found[0].mbr == Rect(10500, 0, 10505, 100)
+
+    def test_disjoint_window_empty(self):
+        tree = HierarchyTree(many_instances_layout(3))
+        subtree = SubtreeWindow(tree)
+        assert subtree.polygons_in_window("top", Transform(), 1, Rect(-999, -999, -900, -900)) == []

@@ -1,0 +1,81 @@
+import pytest
+
+from repro.core import Engine
+from repro.core.incremental import check_window
+from repro.geometry import EMPTY_RECT, Rect
+from repro.workloads import InjectionPlan, asap7, build_design, inject_violations
+
+
+@pytest.fixture()
+def dirty_design():
+    layout = build_design("ibex")
+    expected = inject_violations(
+        layout,
+        InjectionPlan(spacing=4, width=3, enclosure=2),
+        layer=asap7.M2,
+        via_layer=asap7.V2,
+        metal_layer=asap7.M2,
+        seed=13,
+    )
+    return layout, expected
+
+
+RULES = [
+    asap7.spacing_rule(asap7.M2),
+    asap7.width_rule(asap7.M2),
+    asap7.enclosure_rule(asap7.V2, asap7.M2),
+]
+
+
+class TestWindowedChecking:
+    def test_matches_full_check_filtered(self, dirty_design):
+        layout, _ = dirty_design
+        window = Rect(0, 1500, 2000, 3500)  # covers part of the scratch strip
+        full = Engine(mode="sequential").check(layout, rules=RULES)
+        windowed = check_window(layout, window, rules=RULES)
+        for full_result, win_result in zip(full.results, windowed.results):
+            expected = frozenset(
+                v for v in full_result.violations if v.region.overlaps(window)
+            )
+            assert win_result.violation_set() == expected, full_result.rule.name
+
+    def test_window_far_from_violations_is_clean(self, dirty_design):
+        layout, _ = dirty_design
+        window = Rect(0, 0, 500, 500)  # inside the clean core
+        report = check_window(layout, window, rules=RULES)
+        assert report.passed
+
+    def test_window_over_everything_equals_full(self, dirty_design):
+        layout, expected = dirty_design
+        window = Rect(-10_000, -10_000, 100_000, 100_000)
+        report = check_window(layout, window, rules=RULES)
+        full = Engine(mode="sequential").check(layout, rules=RULES)
+        assert report.total_violations == full.total_violations
+
+    def test_empty_window_rejected(self, dirty_design):
+        layout, _ = dirty_design
+        with pytest.raises(ValueError):
+            check_window(layout, EMPTY_RECT, rules=RULES)
+
+    def test_violation_pair_straddling_window_edge(self):
+        """A violating pair with only one polygon inside the window."""
+        from repro.geometry import Polygon
+        from repro.layout import Layout
+        from repro.core.rules import layer
+
+        layout = Layout("straddle")
+        top = layout.new_cell("top")
+        top.add_polygon(1, Polygon.from_rect_coords(0, 0, 100, 10))
+        top.add_polygon(1, Polygon.from_rect_coords(0, 14, 100, 24))
+        layout.set_top("top")
+        # Window touches only the lower wire; the violation strip overlaps it.
+        window = Rect(0, 0, 100, 11)
+        report = check_window(
+            layout, window, rules=[layer(1).spacing().greater_than(8)]
+        )
+        assert report.total_violations == 1
+
+    def test_report_mode_label(self, dirty_design):
+        layout, _ = dirty_design
+        report = check_window(layout, Rect(0, 0, 10, 10), rules=RULES)
+        assert report.mode == "windowed"

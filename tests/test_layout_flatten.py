@@ -1,0 +1,98 @@
+from repro.geometry import Polygon, Rect, Transform
+from repro.layout import (
+    CellReference,
+    Layout,
+    Repetition,
+    compute_stats,
+    count_flat_polygons,
+    flatten,
+    flatten_layer,
+    gdsii_from_layout,
+    layout_from_gdsii,
+)
+
+
+def sample_layout() -> Layout:
+    layout = Layout("flat-demo")
+    leaf = layout.new_cell("leaf")
+    leaf.add_polygon(1, Polygon.from_rect_coords(0, 0, 10, 10))
+    leaf.add_polygon(2, Polygon.from_rect_coords(0, 0, 4, 4))
+    top = layout.new_cell("top")
+    top.add_polygon(1, Polygon.from_rect_coords(500, 500, 520, 520))
+    top.add_reference(CellReference("leaf", Transform(dx=100)))
+    top.add_reference(CellReference("leaf", Transform(dx=200, rotation=90)))
+    top.add_reference(
+        CellReference("leaf", Transform(dy=400), Repetition(2, 1, (50, 0), (0, 0)))
+    )
+    layout.set_top("top")
+    return layout
+
+
+class TestFlatten:
+    def test_counts(self):
+        flat = flatten(sample_layout())
+        assert len(flat[1]) == 1 + 4  # top local + 4 leaf instances
+        assert len(flat[2]) == 4
+
+    def test_transforms_applied(self):
+        polys = flatten_layer(sample_layout(), 1)
+        mbrs = {p.mbr for p in polys}
+        assert Rect(100, 0, 110, 10) in mbrs
+        assert Rect(190, 0, 200, 10) in mbrs  # rotated 90: x in [-10,0] + 200
+        assert Rect(0, 400, 10, 410) in mbrs
+        assert Rect(50, 400, 60, 410) in mbrs
+        assert Rect(500, 500, 520, 520) in mbrs
+
+    def test_layer_filter_prunes(self):
+        flat = flatten(sample_layout(), layers=[2])
+        assert set(flat) == {2}
+
+    def test_missing_layer_empty(self):
+        assert flatten_layer(sample_layout(), 99) == []
+
+    def test_count_without_materializing(self):
+        layout = sample_layout()
+        counts = count_flat_polygons(layout)
+        flat = flatten(layout)
+        assert counts == {layer: len(polys) for layer, polys in flat.items()}
+
+
+class TestStats:
+    def test_stats_fields(self):
+        stats = compute_stats(sample_layout())
+        assert stats.num_cells == 2
+        assert stats.num_instances == 1 + 4
+        assert stats.hierarchy_depth == 2
+        assert stats.num_flat_polygons == 9
+        assert stats.reuse_factor > 1.0
+
+    def test_summary_mentions_name(self):
+        assert "flat-demo" in compute_stats(sample_layout()).summary()
+
+
+class TestGdsiiConversion:
+    def test_layout_gdsii_round_trip_flat_equivalence(self):
+        layout = sample_layout()
+        rebuilt = layout_from_gdsii(gdsii_from_layout(layout))
+        for layer in layout.layers():
+            original = {p.mbr for p in flatten_layer(layout, layer)}
+            recovered = {p.mbr for p in flatten_layer(rebuilt, layer)}
+            assert original == recovered
+
+    def test_polygon_names_survive(self):
+        layout = Layout("names")
+        top = layout.new_cell("top")
+        top.add_polygon(1, Polygon.from_rect_coords(0, 0, 5, 5, name="special"))
+        layout.set_top("top")
+        rebuilt = layout_from_gdsii(gdsii_from_layout(layout))
+        assert rebuilt.cell("top").polygons(1)[0].name == "special"
+
+    def test_aref_survives_compactly(self):
+        layout = sample_layout()
+        rebuilt = layout_from_gdsii(gdsii_from_layout(layout))
+        reps = [
+            ref.repetition
+            for ref in rebuilt.cell("top").references
+            if ref.repetition is not None
+        ]
+        assert len(reps) == 1 and reps[0].columns == 2

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.errors import GdsiiError
+from repro.gdsii import GdsPath, read_bytes, write_bytes, GdsLibrary, GdsStructure
+from repro.geometry import Point, Rect
+from repro.layout import layout_from_gdsii
+from repro.layout.builder import path_outline
+
+
+class TestStraightPaths:
+    def test_horizontal(self):
+        poly = path_outline([(0, 0), (30, 0)], 4)
+        assert poly.mbr == Rect(0, -2, 30, 2)
+        assert poly.area == 30 * 4
+
+    def test_vertical_reversed(self):
+        poly = path_outline([(5, 40), (5, 0)], 6)
+        assert poly.mbr == Rect(2, 0, 8, 40)
+
+    def test_duplicate_points_tolerated(self):
+        poly = path_outline([(0, 0), (0, 0), (30, 0)], 4)
+        assert poly.area == 120
+
+    def test_collinear_waypoints_merged(self):
+        poly = path_outline([(0, 0), (10, 0), (30, 0)], 4)
+        assert poly.area == 120
+
+
+class TestBentPaths:
+    def test_l_path_area(self):
+        # East 30 then north 20, width 4, square miter: the horizontal strip
+        # reaches the outer corner at x=32, the vertical arm adds (20-2)*4.
+        poly = path_outline([(0, 0), (30, 0), (30, 20)], 4)
+        assert poly.is_rectilinear
+        assert poly.area == 32 * 4 + (20 - 2) * 4
+        assert poly.mbr == Rect(0, -2, 32, 20)
+
+    def test_l_path_contains_both_arms(self):
+        poly = path_outline([(0, 0), (30, 0), (30, 20)], 4)
+        assert poly.contains_point(Point(15, 0))
+        assert poly.contains_point(Point(30, 10))
+        assert not poly.contains_point(Point(15, 10))
+
+    def test_z_path(self):
+        poly = path_outline([(0, 0), (20, 0), (20, 20), (40, 20)], 4)
+        assert poly.is_rectilinear
+        for probe in (Point(10, 0), Point(20, 10), Point(30, 20)):
+            assert poly.contains_point(probe)
+
+    def test_u_path(self):
+        poly = path_outline([(0, 20), (0, 0), (30, 0), (30, 20)], 6)
+        for probe in (Point(0, 10), Point(15, 0), Point(30, 10)):
+            assert poly.contains_point(probe)
+
+    def test_all_four_turn_orientations(self):
+        for waypoints in (
+            [(0, 0), (20, 0), (20, 20)],
+            [(0, 0), (20, 0), (20, -20)],
+            [(0, 0), (-20, 0), (-20, 20)],
+            [(0, 0), (0, 20), (20, 20)],
+        ):
+            poly = path_outline(waypoints, 4)
+            assert poly.is_rectilinear and poly.area > 0
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(GdsiiError):
+            path_outline([(0, 0), (10, 0)], 0)
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(GdsiiError):
+            path_outline([(0, 0), (10, 0)], 5)
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(GdsiiError):
+            path_outline([(0, 0), (10, 10)], 4)
+
+    def test_doubling_back_rejected(self):
+        with pytest.raises(GdsiiError):
+            path_outline([(0, 0), (20, 0), (10, 0), (10, 20)], 4)
+
+    def test_too_short_segment_rejected(self):
+        with pytest.raises(GdsiiError):
+            path_outline([(0, 0), (20, 0), (20, 2), (40, 2)], 4)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(GdsiiError):
+            path_outline([(5, 5)], 4)
+
+
+class TestGdsiiIntegration:
+    def test_multi_segment_path_through_stream(self):
+        lib = GdsLibrary(
+            structures=[
+                GdsStructure(
+                    "top",
+                    [GdsPath(1, 0, width=4, xy=[(0, 0), (20, 0), (20, 20)])],
+                )
+            ]
+        )
+        layout = layout_from_gdsii(read_bytes(write_bytes(lib)))
+        polys = layout.cell("top").polygons(1)
+        assert len(polys) == 1
+        assert polys[0].area == path_outline([(0, 0), (20, 0), (20, 20)], 4).area

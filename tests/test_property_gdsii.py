@@ -1,0 +1,124 @@
+"""Property-based GDSII round trips on randomly generated libraries."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.gdsii import (
+    GdsAref,
+    GdsBoundary,
+    GdsLibrary,
+    GdsPath,
+    GdsSref,
+    GdsStrans,
+    GdsStructure,
+    read_bytes,
+    write_bytes,
+)
+
+coords = st.integers(min_value=-100_000, max_value=100_000)
+layer_numbers = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def rect_xy(draw):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.integers(min_value=1, max_value=5_000))
+    h = draw(st.integers(min_value=1, max_value=5_000))
+    return [(x, y), (x, y + h), (x + w, y + h), (x + w, y)]
+
+
+@st.composite
+def boundaries(draw):
+    return GdsBoundary(
+        layer=draw(layer_numbers),
+        datatype=draw(st.integers(min_value=0, max_value=63)),
+        xy=draw(rect_xy()),
+        properties=draw(
+            st.dictionaries(
+                st.integers(min_value=1, max_value=8),
+                st.text(alphabet="abcXYZ09", min_size=0, max_size=12),
+                max_size=2,
+            )
+        ),
+    )
+
+
+@st.composite
+def paths(draw):
+    x = draw(coords)
+    y = draw(coords)
+    length = draw(st.integers(min_value=50, max_value=2_000))
+    return GdsPath(
+        layer=draw(layer_numbers),
+        datatype=0,
+        width=2 * draw(st.integers(min_value=1, max_value=20)),
+        xy=[(x, y), (x + length, y)],
+    )
+
+
+@st.composite
+def strans(draw):
+    return GdsStrans(
+        mirror_x=draw(st.booleans()),
+        magnification=draw(st.sampled_from([1.0, 2.0, 4.0])),
+        angle=draw(st.sampled_from([0.0, 90.0, 180.0, 270.0])),
+    )
+
+
+@st.composite
+def libraries(draw):
+    leaf_elements = draw(st.lists(st.one_of(boundaries(), paths()), min_size=1, max_size=4))
+    leaf = GdsStructure("LEAF", list(leaf_elements))
+    top_elements = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        top_elements.append(
+            GdsSref("LEAF", (draw(coords), draw(coords)), draw(strans()))
+        )
+    if draw(st.booleans()):
+        cols = draw(st.integers(min_value=1, max_value=4))
+        rows = draw(st.integers(min_value=1, max_value=4))
+        ox, oy = draw(coords), draw(coords)
+        step_x = draw(st.integers(min_value=1, max_value=500))
+        step_y = draw(st.integers(min_value=1, max_value=500))
+        top_elements.append(
+            GdsAref(
+                "LEAF",
+                columns=cols,
+                rows=rows,
+                xy=[(ox, oy), (ox + cols * step_x, oy), (ox, oy + rows * step_y)],
+            )
+        )
+    top = GdsStructure("TOP", top_elements)
+    return GdsLibrary(name="PROP", structures=[leaf, top])
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(libraries())
+def test_round_trip_preserves_everything(library):
+    reloaded = read_bytes(write_bytes(library))
+    assert reloaded.structure_names() == library.structure_names()
+    for original, copied in zip(library.structures, reloaded.structures):
+        assert len(original.elements) == len(copied.elements)
+        for a, b in zip(original.elements, copied.elements):
+            assert type(a) is type(b)
+            if isinstance(a, GdsBoundary):
+                assert a.xy == b.xy and a.layer == b.layer
+                assert a.properties == b.properties
+            elif isinstance(a, GdsPath):
+                assert a.xy == b.xy and a.width == b.width
+            elif isinstance(a, GdsSref):
+                assert a.origin == b.origin
+                assert a.strans.mirror_x == b.strans.mirror_x
+                assert a.strans.angle == b.strans.angle
+                assert a.strans.magnification == b.strans.magnification
+            elif isinstance(a, GdsAref):
+                assert (a.columns, a.rows) == (b.columns, b.rows)
+                assert a.xy == b.xy
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(libraries())
+def test_second_round_trip_is_byte_stable(library):
+    once = write_bytes(library)
+    assert write_bytes(read_bytes(once)) == once

@@ -1,0 +1,163 @@
+import time
+
+import pytest
+
+from repro.core import Engine
+from repro.core.rules import layer, polygons
+from repro.core.scheduler import (
+    ScheduleAnalysis,
+    SchedulerError,
+    Task,
+    TaskGraph,
+    build_rule_graph,
+)
+from repro.geometry import Polygon
+from repro.layout import Layout
+
+
+def make_task(name, seconds=0.0, deps=()):
+    return Task(name, lambda: name, list(deps), seconds=seconds)
+
+
+class TestTaskGraph:
+    def test_topological_order(self):
+        graph = TaskGraph()
+        graph.add_task("c", lambda: None, depends_on=["b"])
+        graph.add_task("a", lambda: None)
+        graph.add_task("b", lambda: None, depends_on=["a"])
+        order = [t.name for t in graph.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_duplicate_name_rejected(self):
+        graph = TaskGraph()
+        graph.add_task("a", lambda: None)
+        with pytest.raises(SchedulerError):
+            graph.add_task("a", lambda: None)
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        graph.add_task("a", lambda: None, depends_on=["ghost"])
+        with pytest.raises(SchedulerError):
+            graph.topological_order()
+
+    def test_cycle_rejected(self):
+        graph = TaskGraph()
+        graph.add_task("a", lambda: None, depends_on=["b"])
+        graph.add_task("b", lambda: None, depends_on=["a"])
+        with pytest.raises(SchedulerError):
+            graph.topological_order()
+
+    def test_execute_runs_dependencies_first(self):
+        log = []
+        graph = TaskGraph()
+        graph.add_task("second", lambda: log.append("second"), depends_on=["first"])
+        graph.add_task("first", lambda: log.append("first"))
+        analysis = graph.execute()
+        assert log == ["first", "second"]
+        assert all(t.done for t in analysis.tasks)
+
+    def test_results_captured(self):
+        graph = TaskGraph()
+        graph.add_task("answer", lambda: 42)
+        graph.execute()
+        assert graph.task("answer").result == 42
+
+
+class TestScheduleAnalysis:
+    def test_serial_and_critical_path(self):
+        tasks = [
+            make_task("a", 1.0),
+            make_task("b", 2.0, deps=["a"]),
+            make_task("c", 3.0),
+        ]
+        analysis = ScheduleAnalysis(tasks)
+        assert analysis.serial_seconds == pytest.approx(6.0)
+        assert analysis.critical_path_seconds() == pytest.approx(3.0)
+
+    def test_makespan_one_worker_is_serial(self):
+        tasks = [make_task("a", 1.0), make_task("b", 2.0)]
+        assert ScheduleAnalysis(tasks).makespan(1) == pytest.approx(3.0)
+
+    def test_makespan_independent_tasks_parallelize(self):
+        tasks = [make_task(f"t{i}", 1.0) for i in range(4)]
+        analysis = ScheduleAnalysis(tasks)
+        assert analysis.makespan(4) == pytest.approx(1.0)
+        assert analysis.makespan(2) == pytest.approx(2.0)
+
+    def test_makespan_respects_dependencies(self):
+        tasks = [make_task("a", 1.0), make_task("b", 1.0, deps=["a"])]
+        # A chain cannot parallelize.
+        assert ScheduleAnalysis(tasks).makespan(8) == pytest.approx(2.0)
+
+    def test_makespan_never_below_critical_path(self):
+        tasks = [
+            make_task("a", 2.0),
+            make_task("b", 1.0, deps=["a"]),
+            make_task("c", 1.0),
+            make_task("d", 1.0),
+        ]
+        analysis = ScheduleAnalysis(tasks)
+        for workers in (1, 2, 4, 8):
+            assert analysis.makespan(workers) >= analysis.critical_path_seconds() - 1e-12
+
+    def test_empty(self):
+        analysis = ScheduleAnalysis([])
+        assert analysis.makespan(4) == 0.0
+        assert analysis.critical_path_seconds() == 0.0
+
+    def test_bad_worker_count(self):
+        with pytest.raises(SchedulerError):
+            ScheduleAnalysis([make_task("a")]).makespan(0)
+
+    def test_summary_renders(self):
+        text = ScheduleAnalysis([make_task("a", 0.01)]).summary()
+        assert "critical path" in text and "workers" in text
+
+
+class TestRuleGraph:
+    def test_shape_rule_gates_layer_rules(self):
+        deck = [
+            layer(1).polygons().is_rectilinear().named("SHAPE1"),
+            layer(1).width().greater_than(5).named("W1"),
+            layer(2).width().greater_than(5).named("W2"),
+        ]
+        graph = build_rule_graph(deck, lambda r: None)
+        assert graph.task("W1").depends_on == ["SHAPE1"]
+        assert graph.task("W2").depends_on == []
+
+    def test_global_shape_rule_gates_everything(self):
+        deck = [
+            polygons().is_rectilinear().named("SHAPE"),
+            layer(1).width().greater_than(5).named("W1"),
+        ]
+        graph = build_rule_graph(deck, lambda r: None)
+        assert graph.task("W1").depends_on == ["SHAPE"]
+
+    def test_engine_integration(self):
+        layout = Layout("tg")
+        top = layout.new_cell("top")
+        top.add_polygon(1, Polygon.from_rect_coords(0, 0, 4, 100))
+        layout.set_top("top")
+        deck = [
+            polygons().is_rectilinear(),
+            layer(1).width().greater_than(10),
+            layer(1).area().greater_than(10_000),
+        ]
+        report, analysis = Engine(mode="sequential").check_with_task_graph(
+            layout, rules=deck, workers=2
+        )
+        assert report.total_violations == 2  # width + area
+        assert len(analysis.tasks) == 3
+        assert analysis.makespan(2) <= analysis.serial_seconds + 1e-12
+        # Report keeps the deck order, not execution order.
+        assert [r.rule.name for r in report.results] == [r.name for r in deck]
+
+    def test_engine_task_graph_matches_plain_check(self, uart_layout):
+        from repro.workloads import asap7
+
+        deck = asap7.full_deck()
+        engine = Engine(mode="sequential")
+        plain = engine.check(uart_layout, rules=deck)
+        graph_report, _ = engine.check_with_task_graph(uart_layout, rules=deck)
+        for a, b in zip(plain.results, graph_report.results):
+            assert a.violation_set() == b.violation_set()

@@ -1,0 +1,77 @@
+import random
+
+import pytest
+
+from repro.geometry import Interval
+from repro.spatial import merge_intervals_pigeonhole, merge_intervals_sorted
+
+
+class TestPigeonholeMerge:
+    def test_empty(self):
+        assert merge_intervals_pigeonhole([]) == []
+
+    def test_single(self):
+        assert merge_intervals_pigeonhole([Interval(3, 9)]) == [Interval(3, 9)]
+
+    def test_point_interval(self):
+        assert merge_intervals_pigeonhole([Interval(5, 5)]) == [Interval(5, 5)]
+
+    def test_overlapping_merge(self):
+        result = merge_intervals_pigeonhole([Interval(0, 10), Interval(5, 20)])
+        assert result == [Interval(0, 20)]
+
+    def test_touching_merge(self):
+        result = merge_intervals_pigeonhole([Interval(0, 5), Interval(5, 9)])
+        assert result == [Interval(0, 9)]
+
+    def test_adjacent_do_not_merge(self):
+        result = merge_intervals_pigeonhole([Interval(0, 5), Interval(6, 9)])
+        assert result == [Interval(0, 5), Interval(6, 9)]
+
+    def test_nested(self):
+        result = merge_intervals_pigeonhole([Interval(0, 100), Interval(10, 20)])
+        assert result == [Interval(0, 100)]
+
+    def test_chain_merge(self):
+        ivs = [Interval(i * 10, i * 10 + 10) for i in range(10)]
+        assert merge_intervals_pigeonhole(ivs) == [Interval(0, 100)]
+
+    def test_unsorted_input(self):
+        ivs = [Interval(50, 60), Interval(0, 10), Interval(55, 70)]
+        assert merge_intervals_pigeonhole(ivs) == [Interval(0, 10), Interval(50, 70)]
+
+    def test_negative_coordinates(self):
+        ivs = [Interval(-20, -10), Interval(-15, 5)]
+        assert merge_intervals_pigeonhole(ivs) == [Interval(-20, 5)]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_sorting_baseline(self, seed):
+        rng = random.Random(seed)
+        ivs = [
+            Interval.of(rng.randint(-100, 100), rng.randint(-100, 100))
+            for _ in range(rng.randint(1, 400))
+        ]
+        assert merge_intervals_pigeonhole(ivs) == merge_intervals_sorted(ivs)
+
+    def test_many_duplicates(self):
+        # k >> N: the regime the pigeonhole array targets (paper §IV-B).
+        ivs = [Interval(0, 10)] * 1000 + [Interval(20, 30)] * 1000
+        assert merge_intervals_pigeonhole(ivs) == [Interval(0, 10), Interval(20, 30)]
+
+
+class TestMergeProperties:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_output_is_disjoint_sorted_cover(self, seed):
+        rng = random.Random(1000 + seed)
+        ivs = [Interval.of(rng.randint(0, 300), rng.randint(0, 300)) for _ in range(200)]
+        merged = merge_intervals_pigeonhole(ivs)
+        # sorted and disjoint with gaps
+        for a, b in zip(merged, merged[1:]):
+            assert a.hi < b.lo
+        # covers every input point
+        for iv in ivs:
+            assert any(m.lo <= iv.lo and iv.hi <= m.hi for m in merged)
+        # endpoints come from the input
+        points = {v for iv in ivs for v in iv}
+        for m in merged:
+            assert m.lo in points and m.hi in points

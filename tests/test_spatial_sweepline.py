@@ -1,0 +1,94 @@
+import random
+
+import pytest
+
+from repro.geometry import EMPTY_RECT, Rect
+from repro.spatial import (
+    brute_force_pairs,
+    iter_bipartite_overlaps,
+    iter_overlapping_pairs,
+    report_overlapping_pairs,
+    sweep,
+)
+
+
+def random_rects(rng, n, extent=300, max_size=40):
+    out = []
+    for _ in range(n):
+        x, y = rng.randint(0, extent), rng.randint(0, extent)
+        out.append(Rect(x, y, x + rng.randint(0, max_size), y + rng.randint(0, max_size)))
+    return out
+
+
+class TestOverlappingPairs:
+    def test_simple_overlap(self):
+        rects = [Rect(0, 0, 10, 10), Rect(5, 5, 15, 15), Rect(100, 100, 110, 110)]
+        assert report_overlapping_pairs(rects) == [(0, 1)]
+
+    def test_touching_rects_reported(self):
+        # Closed-overlap semantics: the engine inflates by rule distance
+        # first, so boundary contact must be reported.
+        assert report_overlapping_pairs([Rect(0, 0, 5, 5), Rect(5, 0, 9, 5)]) == [(0, 1)]
+
+    def test_vertical_touch_reported(self):
+        assert report_overlapping_pairs([Rect(0, 0, 5, 5), Rect(0, 5, 5, 9)]) == [(0, 1)]
+
+    def test_corner_touch_reported(self):
+        assert report_overlapping_pairs([Rect(0, 0, 5, 5), Rect(5, 5, 9, 9)]) == [(0, 1)]
+
+    def test_each_pair_once(self):
+        rects = [Rect(0, 0, 10, 10)] * 3
+        pairs = report_overlapping_pairs(rects)
+        assert sorted(pairs) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_empty_rects_skipped(self):
+        rects = [Rect(0, 0, 10, 10), EMPTY_RECT, Rect(5, 5, 15, 15)]
+        assert report_overlapping_pairs(rects) == [(0, 2)]
+
+    def test_no_rects(self):
+        assert report_overlapping_pairs([]) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        rects = random_rects(rng, 150)
+        assert sorted(iter_overlapping_pairs(rects)) == sorted(brute_force_pairs(rects))
+
+
+class TestBipartite:
+    def test_cross_pairs_only(self):
+        left = [Rect(0, 0, 10, 10), Rect(100, 0, 110, 10)]
+        right = [Rect(5, 5, 15, 15), Rect(6, 6, 7, 7)]
+        pairs = sorted(iter_bipartite_overlaps(left, right))
+        assert pairs == [(0, 0), (0, 1)]
+
+    def test_within_side_not_reported(self):
+        left = [Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)]
+        right = [Rect(1000, 1000, 1001, 1001)]
+        assert list(iter_bipartite_overlaps(left, right)) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(100 + seed)
+        left = random_rects(rng, 80)
+        right = random_rects(rng, 70)
+        expected = sorted(
+            (i, j)
+            for i, a in enumerate(left)
+            for j, b in enumerate(right)
+            if a.overlaps(b)
+        )
+        assert sorted(iter_bipartite_overlaps(left, right)) == expected
+
+
+class TestSweepCallback:
+    def test_on_pair_invoked(self):
+        rects = [Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)]
+        seen = []
+        count = sweep(rects, lambda i, j: seen.append((i, j)))
+        assert count == 1 and seen == [(0, 1)]
+
+    def test_prune_suppresses(self):
+        rects = [Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)]
+        count = sweep(rects, lambda i, j: None, prune=lambda i, j: True)
+        assert count == 0

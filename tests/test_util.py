@@ -1,0 +1,118 @@
+import time
+
+import pytest
+
+from repro.util import (
+    PHASE_EDGE_CHECKS,
+    PHASE_PARTITION,
+    PHASE_SWEEPLINE,
+    PhaseProfile,
+    Timer,
+    format_seconds,
+    format_table,
+    geometric_mean,
+    get_logger,
+    normalized_row,
+    time_call,
+)
+
+
+class TestTimer:
+    def test_accumulates_across_cycles(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.002)
+        assert timer.elapsed > first
+
+    def test_double_start_rejected(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0 and not timer.running
+
+    def test_time_call(self):
+        result, seconds = time_call(lambda a, b: a + b, 2, 3)
+        assert result == 5 and seconds >= 0
+
+
+class TestPhaseProfile:
+    def test_phases_accumulate(self):
+        profile = PhaseProfile()
+        with profile.phase(PHASE_PARTITION):
+            time.sleep(0.001)
+        with profile.phase(PHASE_PARTITION):
+            time.sleep(0.001)
+        profile.add(PHASE_EDGE_CHECKS, 0.01)
+        assert profile.seconds(PHASE_PARTITION) >= 0.002
+        assert profile.total >= 0.012
+
+    def test_fractions_ordered_and_sum_to_one(self):
+        profile = PhaseProfile()
+        profile.add(PHASE_EDGE_CHECKS, 0.05)
+        profile.add(PHASE_PARTITION, 0.015)
+        profile.add(PHASE_SWEEPLINE, 0.035)
+        fractions = profile.fractions()
+        assert [name for name, _ in fractions] == [
+            PHASE_PARTITION,
+            PHASE_SWEEPLINE,
+            PHASE_EDGE_CHECKS,
+        ]
+        assert sum(f for _, f in fractions) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a = PhaseProfile()
+        a.add(PHASE_PARTITION, 0.01)
+        b = PhaseProfile()
+        b.add(PHASE_PARTITION, 0.02)
+        a.merge(b)
+        assert a.seconds(PHASE_PARTITION) == pytest.approx(0.03)
+
+    def test_breakdown_table_renders(self):
+        profile = PhaseProfile()
+        profile.add(PHASE_PARTITION, 0.15)
+        profile.add(PHASE_SWEEPLINE, 0.35)
+        profile.add(PHASE_EDGE_CHECKS, 0.50)
+        text = profile.breakdown_table()
+        assert "partition" in text and "#" in text and "total" in text
+
+    def test_empty_profile(self):
+        assert PhaseProfile().fractions() == []
+
+
+class TestReportHelpers:
+    def test_format_seconds_paper_style(self):
+        assert format_seconds(0.004) == "< 0.01"
+        assert format_seconds(0.12) == "0.12"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["design", "runtime"], [["uart", 0.12], ["jpeg", 3.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "design" in lines[1] and "uart" in lines[3]
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)  # zeros skipped
+
+    def test_normalized_row(self):
+        row = normalized_row([2.0, 1.0, 4.0], baseline_index=1)
+        assert row == ["200.0%", "100.0%", "400.0%"]
+
+    def test_logger(self):
+        assert get_logger("bench").name == "repro.bench"

@@ -1,0 +1,145 @@
+import pytest
+
+from repro.core import Engine
+from repro.layout import compute_stats, flatten_layer, gdsii_from_layout, layout_from_gdsii
+from repro.workloads import (
+    DESIGN_NAMES,
+    InjectionPlan,
+    asap7,
+    build_design,
+    build_library,
+    design_spec,
+    inject_violations,
+    random_hierarchical_layout,
+    random_rect_layout,
+)
+
+
+class TestStdcells:
+    def test_library_builds(self):
+        cells = build_library()
+        assert "INVx1" in cells and "DFFx1" in cells
+
+    def test_cells_have_rails_and_fingers(self):
+        cells = build_library()
+        nand = cells["NAND2x1"]
+        polys = nand.polygons(asap7.M1)
+        rails = [p for p in polys if p.mbr.height == asap7.M1_RAIL_HEIGHT]
+        fingers = [p for p in polys if p.mbr.width == asap7.M1_FINGER_WIDTH]
+        assert len(rails) == 2 and len(fingers) == 2  # 3 sites -> 2 fingers
+
+    def test_cells_are_clean(self):
+        """Every library cell passes the full intra deck standalone."""
+        from repro.layout import Layout
+
+        for name, cell in build_library().items():
+            layout = Layout(name)
+            layout.add_cell(cell)
+            layout.set_top(name)
+            report = Engine(mode="sequential").check(layout, rules=asap7.intra_deck())
+            assert report.passed, f"{name}: {report.summary()}"
+
+
+class TestDesigns:
+    def test_all_designs_build(self):
+        for name in DESIGN_NAMES:
+            layout = build_design(name)
+            layout.validate()
+            assert compute_stats(layout).num_flat_polygons > 0
+
+    def test_relative_sizes_follow_paper(self):
+        sizes = {
+            name: compute_stats(build_design(name)).num_flat_polygons
+            for name in ("uart", "ibex", "aes", "jpeg")
+        }
+        assert sizes["uart"] < sizes["ibex"] < sizes["aes"] < sizes["jpeg"]
+
+    def test_jpeg_m3_densest(self):
+        from repro.layout import count_flat_polygons
+
+        jpeg = count_flat_polygons(build_design("jpeg")).get(asap7.M3, 0)
+        aes = count_flat_polygons(build_design("aes")).get(asap7.M3, 0)
+        assert jpeg > 3 * aes  # the Table II blow-up layer
+
+    def test_deterministic(self):
+        a = compute_stats(build_design("uart"))
+        b = compute_stats(build_design("uart"))
+        assert a == b
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            build_design("riscv")
+
+    def test_paper_scale_larger(self):
+        ci = design_spec("uart", "ci")
+        paper = design_spec("uart", "paper")
+        assert paper.rows == 3 * ci.rows
+
+    def test_designs_are_drc_clean(self, uart_layout):
+        report = Engine(mode="sequential")
+        deck = asap7.full_deck()
+        result = report.check(uart_layout, rules=deck)
+        assert result.passed, result.summary()
+
+    def test_designs_survive_gdsii_round_trip(self, uart_layout):
+        rebuilt = layout_from_gdsii(gdsii_from_layout(uart_layout))
+        # GDSII has no top-cell marker; unused library cells are also roots.
+        rebuilt.set_top("top")
+        for layer in uart_layout.layers():
+            original = sorted(p.mbr for p in flatten_layer(uart_layout, layer))
+            recovered = sorted(p.mbr for p in flatten_layer(rebuilt, layer))
+            assert original == recovered
+
+
+class TestRuleDeck:
+    def test_full_deck_names(self):
+        names = [r.name for r in asap7.full_deck()]
+        assert "M1.W.1" in names and "M1.S.1" in names and "V1.M1.EN.1" in names
+        assert len(names) == len(set(names))
+
+    def test_deck_partitions(self):
+        assert len(asap7.intra_deck()) == 6
+        assert len(asap7.spacing_deck()) == 3
+        assert len(asap7.enclosure_deck()) == 3
+
+
+class TestInjection:
+    @pytest.mark.parametrize("kind", ["spacing", "width", "area", "enclosure"])
+    def test_each_kind_recovered_exactly(self, kind):
+        layout = build_design("uart")
+        plan = InjectionPlan(**{kind: 4})
+        expected = inject_violations(layout, plan, seed=1)
+        assert len(expected) == 4
+        rules = {
+            "spacing": asap7.spacing_rule(asap7.M2),
+            "width": asap7.width_rule(asap7.M2),
+            "area": asap7.area_rule(asap7.M2),
+            "enclosure": asap7.enclosure_rule(asap7.V2, asap7.M2),
+        }
+        report = Engine(mode="sequential").check(layout, rules=[rules[kind]])
+        assert report.results[0].violation_set() == frozenset(expected)
+
+    def test_injection_dirty_then_clean_elsewhere(self):
+        layout = build_design("uart")
+        inject_violations(layout, InjectionPlan(spacing=2), layer=asap7.M2, seed=5)
+        # M1 and M3 stay clean.
+        report = Engine(mode="sequential").check(
+            layout, rules=[asap7.spacing_rule(asap7.M1), asap7.spacing_rule(asap7.M3)]
+        )
+        assert report.passed
+
+
+class TestRandomGenerators:
+    def test_random_rect_layout(self):
+        layout = random_rect_layout(50, seed=3)
+        assert len(flatten_layer(layout, 1)) == 50
+
+    def test_random_hierarchical_layout(self):
+        layout = random_hierarchical_layout(instances=30, seed=4)
+        layout.validate()
+        assert compute_stats(layout).num_instances == 31
+
+    def test_seed_determinism(self):
+        a = flatten_layer(random_rect_layout(20, seed=7), 1)
+        b = flatten_layer(random_rect_layout(20, seed=7), 1)
+        assert [p.mbr for p in a] == [p.mbr for p in b]
