@@ -1,0 +1,136 @@
+"""Fused segmented-row execution vs per-row dispatch (kernel batching).
+
+Runs the full ASAP7 deck on one design twice — ``fuse_rows=True`` (one
+segmented launch per orientation per rule) and ``fuse_rows=False`` (the
+per-row ablation baseline) — on fresh simulated devices, and compares the
+device counters: kernel launches, H2D copies/bytes, wall-clock, plus the
+pack-cache hit rate. Violations must be identical between the two runs.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_kernel_batching --design jpeg
+
+Writes ``BENCH_batching.json`` (override with ``--out``) and exits nonzero
+if fused execution does not strictly decrease the launch count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.core import Engine, EngineOptions
+from repro.gpu import Device
+from repro.workloads import asap7
+
+from .common import design
+
+
+def make_deck(name: str):
+    """``rows``: the 6 row-partitioned rules (spacing + enclosure) that the
+    fused dispatch accelerates; ``full``: all 12 geometric rules (width and
+    area are definition-batched identically under both strategies)."""
+    if name == "rows":
+        return asap7.spacing_deck() + asap7.enclosure_deck()
+    return asap7.full_deck()
+
+
+def run_once(layout, deck, fuse_rows: bool) -> Dict:
+    device = Device()
+    engine = Engine(
+        device=device,
+        options=EngineOptions(mode="parallel", fuse_rows=fuse_rows),
+    )
+    engine.add_rules(deck)
+    start = time.perf_counter()
+    report = engine.check(layout)
+    seconds = time.perf_counter() - start
+    checker = engine.last_checker
+    summary = device.timeline().summarize()
+    return {
+        "fuse_rows": fuse_rows,
+        "seconds": seconds,
+        "counters": device.counters(),
+        "executor_counts": dict(checker.executor_counts),
+        "fusion_stats": dict(checker.fusion_stats),
+        "pack_cache": {"hits": checker.pack_cache.hits, "misses": checker.pack_cache.misses},
+        "async_seconds": summary.async_seconds,
+        "violations": frozenset(
+            v for result in report.results for v in result.violation_set()
+        ),
+        "num_violations": sum(r.num_violations for r in report.results),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="jpeg", help="design name (default: jpeg)")
+    parser.add_argument("--scale", default=None, help="design scale (default: $REPRO_SCALE or ci)")
+    parser.add_argument(
+        "--deck", default="rows", choices=("rows", "full"),
+        help="rule deck: 'rows' = spacing+enclosure (6 rules), 'full' = all 12",
+    )
+    parser.add_argument("--out", default="BENCH_batching.json", help="JSON report path")
+    args = parser.parse_args(argv)
+    from .common import SCALE
+
+    scale = args.scale or SCALE
+    layout = design(args.design, scale)
+    deck = make_deck(args.deck)
+    # Warm both paths once so neither timed run pays one-time flatten caches.
+    run_once(layout, deck, fuse_rows=True)
+    run_once(layout, deck, fuse_rows=False)
+    fused = run_once(layout, deck, fuse_rows=True)
+    per_row = run_once(layout, deck, fuse_rows=False)
+
+    identical = fused["violations"] == per_row["violations"]
+    launches_fused = fused["counters"]["kernel_launches"]
+    launches_rows = per_row["counters"]["kernel_launches"]
+    h2d_fused = fused["counters"]["h2d_copies"]
+    h2d_rows = per_row["counters"]["h2d_copies"]
+    report = {
+        "design": args.design,
+        "scale": scale,
+        "deck": args.deck,
+        "deck_rules": len(deck),
+        "fused": {k: v for k, v in fused.items() if k != "violations"},
+        "per_row": {k: v for k, v in per_row.items() if k != "violations"},
+        "launch_ratio": launches_rows / max(launches_fused, 1),
+        "h2d_ratio": h2d_rows / max(h2d_fused, 1),
+        "wall_clock_ratio": per_row["seconds"] / max(fused["seconds"], 1e-12),
+        "violations_identical": identical,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    print(f"design={args.design} scale={scale} deck={args.deck} rules={report['deck_rules']}")
+    print(
+        f"kernel launches: per-row={launches_rows} fused={launches_fused} "
+        f"({report['launch_ratio']:.1f}x fewer)"
+    )
+    print(
+        f"h2d copies:      per-row={h2d_rows} fused={h2d_fused} "
+        f"({report['h2d_ratio']:.1f}x fewer)"
+    )
+    print(
+        f"wall clock:      per-row={per_row['seconds'] * 1e3:.1f}ms "
+        f"fused={fused['seconds'] * 1e3:.1f}ms"
+    )
+    print(
+        f"pack cache:      hits={fused['pack_cache']['hits']} "
+        f"misses={fused['pack_cache']['misses']}"
+    )
+    print(f"violations:      {fused['num_violations']} (identical: {identical})")
+
+    ok = identical and launches_fused < launches_rows
+    if not ok:
+        print("FAIL: fused execution must match violations and strictly "
+              "decrease kernel launches", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,7 @@ class EngineOptions:
     use_rows: bool = True  # adaptive row partition (paper §IV-B)
     num_streams: int = 2  # CUDA streams for async overlap (paper §V-C)
     brute_force_threshold: int = DEFAULT_BRUTE_FORCE_THRESHOLD  # executor choice (§IV-E)
+    fuse_rows: bool = True  # fused segmented-row launches; False = per-row ablation
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_SEQUENTIAL, MODE_PARALLEL):
@@ -55,14 +56,22 @@ class Engine:
 
     def __init__(
         self,
-        mode: str = MODE_SEQUENTIAL,
+        mode: Optional[str] = None,
         *,
         options: Optional[EngineOptions] = None,
         device: Optional[Device] = None,
     ) -> None:
-        self.options = options if options is not None else EngineOptions(mode=mode)
-        if options is None:
-            self.options.mode = mode
+        if options is not None:
+            if mode is not None and mode != options.mode:
+                raise ValueError(
+                    f"conflicting modes: positional mode {mode!r} vs "
+                    f"options.mode {options.mode!r}; pass one or make them agree"
+                )
+            self.options = options
+        else:
+            self.options = EngineOptions(mode=mode if mode is not None else MODE_SEQUENTIAL)
+        if self.options.mode not in (MODE_SEQUENTIAL, MODE_PARALLEL):
+            raise ValueError(f"unknown mode {self.options.mode!r}")
         self.device = device
         self.rules: List[Rule] = []
         #: Profiles of the last check() call, keyed by rule name (Fig. 4 data).
@@ -181,6 +190,7 @@ class Engine:
                 num_streams=self.options.num_streams,
                 brute_force_threshold=self.options.brute_force_threshold,
                 use_rows=self.options.use_rows,
+                fuse_rows=self.options.fuse_rows,
             )
         return SequentialChecker(layout, tree=tree, use_rows=self.options.use_rows)
 
@@ -200,5 +210,26 @@ class Engine:
             stats.update(
                 kernels_bruteforce=executor_counts["bruteforce"],
                 kernels_sweepline=executor_counts["sweepline"],
+            )
+        device = getattr(checker, "device", None)
+        if device is not None:
+            counters = device.counters()
+            stats.update(
+                kernel_launches=counters["kernel_launches"],
+                h2d_copies=counters["h2d_copies"],
+                h2d_bytes=counters["h2d_bytes"],
+                d2h_copies=counters["d2h_copies"],
+            )
+        fusion_stats = getattr(checker, "fusion_stats", None)
+        if fusion_stats is not None:
+            stats.update(
+                fused_launches=fusion_stats["fused_launches"],
+                fused_segments=fusion_stats["fused_segments"],
+            )
+        pack_cache = getattr(checker, "pack_cache", None)
+        if pack_cache is not None:
+            stats.update(
+                pack_cache_hits=pack_cache.hits,
+                pack_cache_misses=pack_cache.misses,
             )
         return stats

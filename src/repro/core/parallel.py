@@ -1,13 +1,26 @@
 """The parallel mode (paper §IV-E): row-by-row checks on the simulated GPU.
 
 After the adaptive row partition, cells in different rows cannot produce
-violations together, so rows become independent GPU tasks. Per row the
-engine packs the relevant polygons' edges into flattened arrays, issues
-asynchronous host-to-device copies on alternating streams, and launches
-either the **brute-force** executor (small tasks) or the two-kernel
-**parallel sweepline** executor (large tasks), as the paper selects by task
-complexity. Host preprocessing of the next row is recorded against the
-device timeline, reproducing the §V-C overlap analysis.
+violations together, so rows become independent GPU tasks. Two dispatch
+strategies execute them:
+
+* **Fused (default, ``fuse_rows=True``)**: all rows' edges are concatenated
+  into one segmented buffer (a ``segment`` array carries the row id) and a
+  *single* launch per orientation per lane evaluates every row at once,
+  with cross-segment pairs masked inside the kernel — R rows cost one copy
+  set and one or two launches instead of R of each. The §IV-E executor
+  choice survives fusion as a *mixed lane policy*: segments at or below the
+  brute-force threshold ride the batched brute-force lane, larger ones the
+  segmented sweepline lane.
+* **Per-row (``fuse_rows=False``, the ablation baseline)**: each row packs,
+  copies, and launches separately on alternating streams; host
+  preprocessing of the next row is recorded against the device timeline,
+  reproducing the §V-C overlap analysis.
+
+A deck-scoped :class:`PackCache` memoises the host-side packing artifacts —
+level items, row partitions, per-definition packers, packed per-row and
+fused buffers — keyed by layer and the stable partition signature, so the
+second rule touching a layer pays zero host packing.
 
 Intra-polygon rules do not need rows: they run one batched kernel over the
 *unique cell definitions* (the hierarchy memoisation of §IV-C) and
@@ -16,8 +29,9 @@ instantiate the per-definition hits through every placement.
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,20 +43,27 @@ from ..hierarchy.edgepack import (
     HierarchicalEdgePacker,
     HierarchicalRectPacker,
     concat_buffers as concat_edge_buffers,
+    concat_segmented,
 )
 from ..hierarchy.pruning import LevelItem, SubtreeWindow, level_items
 from ..hierarchy.tree import HierarchyTree
 from ..layout.library import Layout
-from ..partition.rows import partition_rects
+from ..partition.rows import margin_for_rule, partition_rects
 from ..spatial.sweepline import iter_bipartite_overlaps
 from ..gpu.device import Device, Stream
 from ..gpu.kernels import (
+    CornerBuffer,
+    CornerHits,
     EdgeBuffer,
     PairHits,
     kernel_area,
+    kernel_corner_pairs_segmented,
     kernel_enclosure_margins,
     kernel_pairs_bruteforce,
+    kernel_pairs_bruteforce_segmented,
     kernel_pairs_sweep,
+    kernel_pairs_sweep_segmented,
+    pack_corners,
     pack_edges,
     pack_vertices,
     reduce_enclosure_best,
@@ -62,12 +83,19 @@ DEFAULT_BRUTE_FORCE_THRESHOLD = 256
 
 
 def _candidate_pairs_kernel(
-    via_rects: np.ndarray, metal_rects: np.ndarray, value: int, chunk: int = 256
+    via_rects: np.ndarray,
+    metal_rects: np.ndarray,
+    value: int,
+    chunk: int = 256,
+    via_segment: Optional[np.ndarray] = None,
+    metal_segment: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Candidate (via, metal) pairs: metal MBR overlapping the inflated via.
 
     All-pairs with chunking over vias — the data-parallel analog of the
-    bipartite sweep the sequential mode uses.
+    bipartite sweep the sequential mode uses. When segment (row-id) arrays
+    are given, cross-segment pairs are masked so one fused launch evaluates
+    every row at once.
     """
     if len(via_rects) == 0 or len(metal_rects) == 0:
         z = np.zeros(0, dtype=np.int64)
@@ -84,6 +112,8 @@ def _candidate_pairs_kernel(
         hit = (vx1 <= mx2[None, :]) & (mx1[None, :] <= vx2) & (
             (vy1 <= my2[None, :]) & (my1[None, :] <= vy2)
         )
+        if via_segment is not None and metal_segment is not None:
+            hit &= via_segment[start : start + chunk, None] == metal_segment[None, :]
         vi, mi = np.nonzero(hit)
         out_v.append(vi + start)
         out_m.append(mi)
@@ -91,6 +121,35 @@ def _candidate_pairs_kernel(
         np.concatenate(out_v).astype(np.int64),
         np.concatenate(out_m).astype(np.int64),
     )
+
+
+class PackCache:
+    """Deck-scoped host-packing cache (cross-rule buffer reuse).
+
+    Every rule on a layer re-walks the same hierarchy level and re-packs
+    identical device buffers. This cache memoises the host-side artifacts —
+    level items, row partitions, per-definition packers, and packed per-row
+    / fused buffers — keyed by layer plus the stable partition signature
+    (:meth:`repro.partition.rows.RowPartition.signature`), so the second
+    rule touching a layer pays zero host packing. A rule whose distance
+    changes the partition margin, or a checker with rows disabled, produces
+    a different signature and is thereby correctly bypassed.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._stores: Dict[str, Dict[Any, Any]] = {}
+
+    def get(self, store: str, key: Any, build: Callable[[], Any]) -> Any:
+        bucket = self._stores.setdefault(store, {})
+        if key in bucket:
+            self.hits += 1
+            return bucket[key]
+        self.misses += 1
+        value = build()
+        bucket[key] = value
+        return value
 
 
 class ParallelChecker:
@@ -105,6 +164,7 @@ class ParallelChecker:
         num_streams: int = 2,
         brute_force_threshold: int = DEFAULT_BRUTE_FORCE_THRESHOLD,
         use_rows: bool = True,
+        fuse_rows: bool = True,
     ) -> None:
         self.layout = layout
         self.tree = tree if tree is not None else HierarchyTree(layout)
@@ -114,7 +174,10 @@ class ParallelChecker:
         self.streams = [self.device.create_stream() for _ in range(max(1, num_streams))]
         self.brute_force_threshold = brute_force_threshold
         self.use_rows = use_rows
+        self.fuse_rows = fuse_rows
+        self.pack_cache = PackCache()
         self.executor_counts = {"bruteforce": 0, "sweepline": 0}
+        self.fusion_stats = {"fused_launches": 0, "fused_segments": 0}
 
     # -- rule dispatch ------------------------------------------------------
 
@@ -142,16 +205,72 @@ class ParallelChecker:
     def _stream(self, index: int) -> Stream:
         return self.streams[index % len(self.streams)]
 
-    def _rows_of_items(
-        self, items: List[LevelItem], value: int, profile: PhaseProfile
-    ) -> List[List[LevelItem]]:
-        if not items:
-            return []
+    # -- pack-cache plumbing -------------------------------------------------
+
+    def _cached_items(self, layer: int, profile: PhaseProfile) -> List[LevelItem]:
+        with profile.phase(PHASE_OTHER):
+            return self.pack_cache.get(
+                "level-items",
+                layer,
+                lambda: level_items(self.tree, self.tree.top, layer),
+            )
+
+    def _cached_partition(
+        self, key: Any, mbrs: List[Rect], value: int, profile: PhaseProfile
+    ) -> Tuple[List[List[int]], Any]:
+        """Row membership lists plus a stable signature for buffer reuse.
+
+        The partition store is keyed by the rule-distance *margin*, so two
+        rules whose distances round to the same margin share one partition;
+        the returned signature is the membership tuple alone (packed buffers
+        depend only on which items land in which row). With rows disabled
+        the signature is a distinct ``norows`` marker, so row-partitioned
+        buffers are never reused by an unpartitioned checker.
+        """
+        if not mbrs:
+            return [], ("empty",)
         if not self.use_rows:
-            return [items]
-        with profile.phase(PHASE_PARTITION):
-            partition = partition_rects([it.mbr for it in items], value)
-        return [[items[m] for m in row.members] for row in partition.rows]
+            return [list(range(len(mbrs)))], ("norows", len(mbrs))
+        margin = margin_for_rule(value)
+
+        def build() -> Tuple[List[List[int]], Any]:
+            with profile.phase(PHASE_PARTITION):
+                partition = partition_rects(mbrs, value)
+            return [row.members for row in partition.rows], partition.signature()[1]
+
+        return self.pack_cache.get("partition", (key, margin), build)
+
+    def _edge_packer(self, layer: int) -> HierarchicalEdgePacker:
+        return self.pack_cache.get(
+            "edge-packer", layer, lambda: HierarchicalEdgePacker(self.tree, layer)
+        )
+
+    def _rect_packer(self, layer: int) -> HierarchicalRectPacker:
+        return self.pack_cache.get(
+            "rect-packer", layer, lambda: HierarchicalRectPacker(self.tree, layer)
+        )
+
+    def _cached_row_pair(
+        self, layer: int, sig: Any, index: int, row_items: List[LevelItem]
+    ) -> EdgeBufferPair:
+        return self.pack_cache.get(
+            "edge-rows",
+            (layer, sig, index),
+            lambda: self._row_edge_buffers(row_items, self._edge_packer(layer)),
+        )
+
+    def _cached_fused_pair(
+        self, layer: int, sig: Any, member_rows: List[List[int]], items: List[LevelItem]
+    ) -> EdgeBufferPair:
+        def build() -> EdgeBufferPair:
+            return concat_segmented(
+                [
+                    self._cached_row_pair(layer, sig, i, [items[m] for m in row])
+                    for i, row in enumerate(member_rows)
+                ]
+            )
+
+        return self.pack_cache.get("fused-edges", (layer, sig), build)
 
     def _flatten_items(self, items: Sequence[LevelItem], layer: int) -> List[Polygon]:
         """Materialize all polygons of the given level items (top coords)."""
@@ -231,39 +350,44 @@ class ParallelChecker:
         *,
         other_layer: Optional[int] = None,
     ) -> List[Violation]:
-        out: List[Violation] = []
-        for batch in hits:
-            for k in range(len(batch)):
-                out.append(
-                    Violation(
-                        kind=kind,
-                        layer=layer,
-                        other_layer=other_layer,
-                        region=Rect(
-                            int(batch.xlo[k]),
-                            int(batch.ylo[k]),
-                            int(batch.xhi[k]),
-                            int(batch.yhi[k]),
-                        ),
-                        measured=int(batch.measured[k]),
-                        required=required,
-                    )
-                )
-        return out
+        batch = PairHits.concatenate(list(hits))
+        if len(batch) == 0:
+            return []
+        regions = np.stack([batch.xlo, batch.ylo, batch.xhi, batch.yhi], axis=1)
+        return [
+            Violation(
+                kind=kind,
+                layer=layer,
+                other_layer=other_layer,
+                region=Rect(*coords),
+                measured=measured,
+                required=required,
+            )
+            for coords, measured in zip(regions.tolist(), batch.measured.tolist())
+        ]
 
     # -- spacing ---------------------------------------------------------------
 
     def _spacing(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
-        top = self.tree.top
-        with profile.phase(PHASE_OTHER):
-            items = level_items(self.tree, top, layer)
-        rows = self._rows_of_items(items, value, profile)
-        packer = HierarchicalEdgePacker(self.tree, layer)
+        items = self._cached_items(layer, profile)
+        member_rows, sig = self._cached_partition(
+            layer, [it.mbr for it in items], value, profile
+        )
+        if self.fuse_rows:
+            host_start = time.perf_counter()
+            fused = self._cached_fused_pair(layer, sig, member_rows, items)
+            self.device.record_host("pack-fused", time.perf_counter() - host_start)
+            if fused.num_edges < 2:
+                return []
+            hits = self._launch_fused_kernels(
+                fused, value, want_width=False, profile=profile
+            )
+            return self._hits_to_violations(hits, ViolationKind.SPACING, layer, value)
         violations: List[Violation] = []
-        for index, row_items in enumerate(rows):
+        for index, members in enumerate(member_rows):
             stream = self._stream(index)
             host_start = time.perf_counter()
-            pair = self._row_edge_buffers(row_items, packer)
+            pair = self._cached_row_pair(layer, sig, index, [items[m] for m in members])
             self.device.record_host(
                 f"pack-row-{index}", time.perf_counter() - host_start
             )
@@ -276,6 +400,70 @@ class ParallelChecker:
                 self._hits_to_violations(hits, ViolationKind.SPACING, layer, value)
             )
         return violations
+
+    def _launch_fused_kernels(
+        self,
+        pair: EdgeBufferPair,
+        threshold: int,
+        *,
+        want_width: bool,
+        profile: PhaseProfile,
+    ) -> List[PairHits]:
+        """One segmented launch per orientation per lane (fused dispatch).
+
+        Vertical edges ride stream 0 and horizontal edges stream 1, keeping
+        both streams busy within the single fused round. The §IV-E executor
+        choice survives as a per-segment policy: segments at or below the
+        brute-force threshold take the batched brute-force lane, larger
+        ones the segmented sweepline lane.
+        """
+        hits: List[PairHits] = []
+        for buf, stream in (
+            (pair.vertical, self._stream(0)),
+            (pair.horizontal, self._stream(1)),
+        ):
+            if len(buf) < 2:
+                continue
+            with profile.phase(PHASE_OTHER):
+                device_buf = EdgeBuffer(
+                    buf.vertical,
+                    stream.memcpy_h2d(buf.fixed, name="edges.fixed"),
+                    stream.memcpy_h2d(buf.lo, name="edges.lo"),
+                    stream.memcpy_h2d(buf.hi, name="edges.hi"),
+                    stream.memcpy_h2d(buf.interior, name="edges.interior"),
+                    stream.memcpy_h2d(buf.poly, name="edges.poly"),
+                    stream.memcpy_h2d(buf.segment, name="edges.segment")
+                    if buf.segment is not None
+                    else None,
+                )
+            seg = (
+                buf.segment
+                if buf.segment is not None
+                else np.zeros(len(buf), dtype=np.int64)
+            )
+            small = np.bincount(seg)[seg] <= self.brute_force_threshold
+            lanes = (
+                ("pairs-bruteforce-fused", kernel_pairs_bruteforce_segmented,
+                 "bruteforce", small),
+                ("pairs-sweepline-fused", kernel_pairs_sweep_segmented,
+                 "sweepline", ~small),
+            )
+            for name, kernel, counter, mask in lanes:
+                count = int(mask.sum())
+                if count < 2:
+                    continue
+                lane_buf = device_buf.take(np.flatnonzero(mask))
+                with profile.phase(PHASE_EDGE_CHECKS):
+                    self.executor_counts[counter] += 1
+                    self.fusion_stats["fused_launches"] += 1
+                    self.fusion_stats["fused_segments"] += int(np.unique(seg[mask]).size)
+                    hits.append(
+                        stream.launch(
+                            name, kernel, lane_buf, threshold,
+                            want_width=want_width, items=count,
+                        )
+                    )
+        return hits
 
     def _row_edge_buffers(
         self, row_items: Sequence[LevelItem], packer: HierarchicalEdgePacker
@@ -370,7 +558,7 @@ class ParallelChecker:
         hits = self._launch_pair_kernels(
             polygons, value, want_width=True, stream=stream, profile=profile
         )
-        per_def = self._group_hits_by_definition(hits, owner, polygons)
+        per_def = self._group_hits_by_definition(hits, owner)
         return self._instantiate(per_def, instances, ViolationKind.WIDTH, layer, value)
 
     # -- area ---------------------------------------------------------------------
@@ -412,19 +600,97 @@ class ParallelChecker:
 
     # -- corner spacing (roadmap extension) --------------------------------------
 
-    def _corner(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
-        """Row-by-row diagonal corner checks on the device."""
-        from ..gpu.kernels import kernel_corner_pairs, pack_corners
+    def _cached_fused_corners(
+        self, layer: int, sig: Any, member_rows: List[List[int]], items: List[LevelItem]
+    ) -> CornerBuffer:
+        def build() -> CornerBuffer:
+            parts: List[CornerBuffer] = []
+            for index, members in enumerate(member_rows):
+                polygons = self._flatten_items([items[m] for m in members], layer)
+                row_buf = pack_corners(polygons)
+                if len(row_buf):
+                    row_buf.segment = np.full(len(row_buf), index, dtype=np.int64)
+                    parts.append(row_buf)
+            if not parts:
+                return pack_corners([])
+            return CornerBuffer(
+                np.concatenate([p.x for p in parts]),
+                np.concatenate([p.y for p in parts]),
+                np.concatenate([p.qx for p in parts]),
+                np.concatenate([p.qy for p in parts]),
+                np.concatenate([p.poly for p in parts]),
+                np.concatenate([p.segment for p in parts]),
+            )
 
-        top = self.tree.top
-        with profile.phase(PHASE_OTHER):
-            items = level_items(self.tree, top, layer)
-        rows = self._rows_of_items(items, value, profile)
+        return self.pack_cache.get("fused-corners", (layer, sig), build)
+
+    def _corner_hits_to_violations(
+        self, hits: CornerHits, layer: int, value: int
+    ) -> List[Violation]:
+        if len(hits) == 0:
+            return []
+        regions = np.stack(
+            [
+                np.minimum(hits.ax, hits.bx),
+                np.minimum(hits.ay, hits.by),
+                np.maximum(hits.ax, hits.bx),
+                np.maximum(hits.ay, hits.by),
+            ],
+            axis=1,
+        )
+        return [
+            Violation(
+                kind=ViolationKind.CORNER,
+                layer=layer,
+                region=Rect(*coords),
+                measured=measured,
+                required=value,
+            )
+            for coords, measured in zip(regions.tolist(), hits.measured.tolist())
+        ]
+
+    def _corner(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
+        """Diagonal corner checks: one fused launch, or row-by-row (ablation)."""
+        from ..gpu.kernels import kernel_corner_pairs
+
+        items = self._cached_items(layer, profile)
+        member_rows, sig = self._cached_partition(
+            layer, [it.mbr for it in items], value, profile
+        )
+        if self.fuse_rows:
+            host_start = time.perf_counter()
+            buf = self._cached_fused_corners(layer, sig, member_rows, items)
+            self.device.record_host(
+                "pack-corners-fused", time.perf_counter() - host_start
+            )
+            if len(buf) < 2:
+                return []
+            stream = self._stream(0)
+            with profile.phase(PHASE_OTHER):
+                device_buf = CornerBuffer(
+                    stream.memcpy_h2d(buf.x, name="corners.x"),
+                    stream.memcpy_h2d(buf.y, name="corners.y"),
+                    buf.qx,
+                    buf.qy,
+                    buf.poly,
+                    stream.memcpy_h2d(buf.segment, name="corners.segment"),
+                )
+            with profile.phase(PHASE_EDGE_CHECKS):
+                self.fusion_stats["fused_launches"] += 1
+                self.fusion_stats["fused_segments"] += len(member_rows)
+                hits = stream.launch(
+                    "corner-pairs-fused",
+                    kernel_corner_pairs_segmented,
+                    device_buf,
+                    value,
+                    items=len(buf),
+                )
+            return self._corner_hits_to_violations(hits, layer, value)
         violations: List[Violation] = []
-        for index, row_items in enumerate(rows):
+        for index, members in enumerate(member_rows):
             stream = self._stream(index)
             host_start = time.perf_counter()
-            polygons = self._flatten_items(row_items, layer)
+            polygons = self._flatten_items([items[m] for m in members], layer)
             buf = pack_corners(polygons)
             self.device.record_host(
                 f"pack-corners-{index}", time.perf_counter() - host_start
@@ -439,18 +705,7 @@ class ParallelChecker:
                 hits = stream.launch(
                     "corner-pairs", kernel_corner_pairs, buf, value, items=len(buf)
                 )
-            for k in range(len(hits)):
-                ax, ay = int(hits.ax[k]), int(hits.ay[k])
-                bx, by = int(hits.bx[k]), int(hits.by[k])
-                violations.append(
-                    Violation(
-                        kind=ViolationKind.CORNER,
-                        layer=layer,
-                        region=Rect(min(ax, bx), min(ay, by), max(ax, bx), max(ay, by)),
-                        measured=int(hits.measured[k]),
-                        required=value,
-                    )
-                )
+            violations.extend(self._corner_hits_to_violations(hits, layer, value))
         return violations
 
     # -- enclosure -----------------------------------------------------------------
@@ -458,35 +713,41 @@ class ParallelChecker:
     def _enclosure(
         self, via_layer: int, metal_layer: int, value: int, profile: PhaseProfile
     ) -> List[Violation]:
-        top = self.tree.top
-        with profile.phase(PHASE_OTHER):
-            via_items = level_items(self.tree, top, via_layer)
-            metal_items = level_items(self.tree, top, metal_layer)
+        via_items = self._cached_items(via_layer, profile)
+        metal_items = self._cached_items(metal_layer, profile)
         if not via_items:
             return []
         # Partition rows over both populations together: an instance may
         # appear twice (one MBR per layer), but an enclosing metal always
         # overlaps its via, so overlapping items land in the same row.
         combined = via_items + metal_items
-        if self.use_rows:
-            with profile.phase(PHASE_PARTITION):
-                partition = partition_rects([it.mbr for it in combined], value)
-            member_rows = [row.members for row in partition.rows]
-        else:
-            member_rows = [list(range(len(combined)))]
-
-        via_packer = HierarchicalRectPacker(self.tree, via_layer)
-        metal_packer = HierarchicalRectPacker(self.tree, metal_layer)
+        member_rows, sig = self._cached_partition(
+            (via_layer, metal_layer), [it.mbr for it in combined], value, profile
+        )
+        num_vias = len(via_items)
+        if self.fuse_rows:
+            return self._enclosure_fused(
+                via_layer, metal_layer, value, profile,
+                combined, member_rows, sig, num_vias,
+            )
         violations: List[Violation] = []
+        via_packer = self._rect_packer(via_layer)
+        metal_packer = self._rect_packer(metal_layer)
         for index, members in enumerate(member_rows):
-            row_vias = [combined[m] for m in members if m < len(via_items)]
-            row_metals = [combined[m] for m in members if m >= len(via_items)]
+            row_vias = [combined[m] for m in members if m < num_vias]
+            row_metals = [combined[m] for m in members if m >= num_vias]
             if not row_vias:
                 continue
             stream = self._stream(index)
             host_start = time.perf_counter()
-            via_buf = self._row_rect_buffer(row_vias, via_packer)
-            metal_buf = self._row_rect_buffer(row_metals, metal_packer)
+            via_buf, metal_buf = self.pack_cache.get(
+                "rect-row",
+                (via_layer, metal_layer, sig, index),
+                lambda rv=row_vias, rm=row_metals: (
+                    self._row_rect_buffer(rv, via_packer),
+                    self._row_rect_buffer(rm, metal_packer),
+                ),
+            )
             self.device.record_host(
                 f"pack-row-{index}", time.perf_counter() - host_start
             )
@@ -508,6 +769,94 @@ class ParallelChecker:
                         vias, metals, via_layer, metal_layer, value, stream, profile
                     )
                 )
+        return violations
+
+    def _enclosure_fused(
+        self,
+        via_layer: int,
+        metal_layer: int,
+        value: int,
+        profile: PhaseProfile,
+        combined: List[LevelItem],
+        member_rows: List[List[int]],
+        sig: Any,
+        num_vias: int,
+    ) -> List[Violation]:
+        """All-rectangle rows fused into one segmented candidate/measure/reduce
+        round; rectilinear rows fall back to the exact per-row host path."""
+
+        def build() -> List[tuple]:
+            via_packer = self._rect_packer(via_layer)
+            metal_packer = self._rect_packer(metal_layer)
+            return [
+                (
+                    self._row_rect_buffer(
+                        [combined[m] for m in members if m < num_vias], via_packer
+                    ),
+                    self._row_rect_buffer(
+                        [combined[m] for m in members if m >= num_vias], metal_packer
+                    ),
+                )
+                for members in member_rows
+            ]
+
+        host_start = time.perf_counter()
+        rect_rows = self.pack_cache.get(
+            "rect-rows", (via_layer, metal_layer, sig), build
+        )
+        self.device.record_host("pack-rects-fused", time.perf_counter() - host_start)
+
+        violations: List[Violation] = []
+        fused_vias: List[np.ndarray] = []
+        fused_via_seg: List[np.ndarray] = []
+        fused_metals: List[np.ndarray] = []
+        fused_metal_seg: List[np.ndarray] = []
+        for index, (via_buf, metal_buf) in enumerate(rect_rows):
+            if len(via_buf) == 0:
+                continue
+            if via_buf.all_rect and metal_buf.all_rect:
+                fused_vias.append(via_buf.rects)
+                fused_via_seg.append(np.full(len(via_buf), index, dtype=np.int64))
+                if len(metal_buf):
+                    fused_metals.append(metal_buf.rects)
+                    fused_metal_seg.append(
+                        np.full(len(metal_buf), index, dtype=np.int64)
+                    )
+            else:
+                members = member_rows[index]
+                vias = self._flatten_items(
+                    [combined[m] for m in members if m < num_vias], via_layer
+                )
+                metals = self._flatten_items(
+                    [combined[m] for m in members if m >= num_vias], metal_layer
+                )
+                violations.extend(
+                    self._enclosure_row(
+                        vias, metals, via_layer, metal_layer, value,
+                        self._stream(index), profile,
+                    )
+                )
+        if fused_vias:
+            metal_rects = (
+                np.concatenate(fused_metals, axis=0)
+                if fused_metals
+                else np.zeros((0, 4), dtype=np.int64)
+            )
+            metal_seg = (
+                np.concatenate(fused_metal_seg)
+                if fused_metal_seg
+                else np.zeros(0, dtype=np.int64)
+            )
+            self.fusion_stats["fused_launches"] += 1
+            self.fusion_stats["fused_segments"] += len(fused_vias)
+            violations.extend(
+                self._enclosure_rects(
+                    np.concatenate(fused_vias, axis=0), metal_rects,
+                    via_layer, metal_layer, value, self._stream(0), profile,
+                    via_segment=np.concatenate(fused_via_seg),
+                    metal_segment=metal_seg,
+                )
+            )
         return violations
 
     def _row_rect_buffer(
@@ -543,8 +892,14 @@ class ParallelChecker:
         value: int,
         stream: Stream,
         profile: PhaseProfile,
+        *,
+        via_segment: Optional[np.ndarray] = None,
+        metal_segment: Optional[np.ndarray] = None,
     ) -> List[Violation]:
-        """All-rectangle enclosure on the device: pair, measure, reduce."""
+        """All-rectangle enclosure on the device: pair, measure, reduce.
+
+        With segment arrays, one fused round evaluates every row at once
+        (cross-segment candidates are masked in the candidate kernel)."""
         with profile.phase(PHASE_OTHER):
             via_dev = stream.memcpy_h2d(via_rects, name="via.rects")
             metal_dev = (
@@ -552,6 +907,10 @@ class ParallelChecker:
                 if len(metal_rects)
                 else metal_rects
             )
+            if via_segment is not None:
+                via_segment = stream.memcpy_h2d(via_segment, name="via.segment")
+            if metal_segment is not None and len(metal_segment):
+                metal_segment = stream.memcpy_h2d(metal_segment, name="metal.segment")
         with profile.phase(PHASE_SWEEPLINE):
             pair_via, pair_metal = stream.launch(
                 "enclosure-candidates",
@@ -559,6 +918,8 @@ class ParallelChecker:
                 via_dev,
                 metal_dev,
                 value,
+                via_segment=via_segment,
+                metal_segment=metal_segment,
                 items=len(via_rects),
             )
         with profile.phase(PHASE_EDGE_CHECKS):
@@ -683,7 +1044,17 @@ class ParallelChecker:
         Placements that break the rule's invariance (magnification) get a
         dedicated definition with pre-transformed polygons and an identity
         instance, so the kernels still see every instance exactly once.
+        Cached per (layer, invariance class) across the deck's rules.
         """
+        return self.pack_cache.get(
+            "definitions",
+            (layer, distance_rule),
+            lambda: self._build_definition_instances(layer, distance_rule=distance_rule),
+        )
+
+    def _build_definition_instances(
+        self, layer: int, *, distance_rule: bool
+    ) -> Tuple[List[Tuple[str, List[Polygon]]], Dict[int, List[Transform]]]:
         definitions: List[Tuple[str, List[Polygon]]] = []
         def_index_of: Dict[str, int] = {}
         instances: Dict[int, List[Transform]] = {}
@@ -711,22 +1082,19 @@ class ParallelChecker:
         return definitions, instances
 
     def _group_hits_by_definition(
-        self, hits: Sequence[PairHits], owner: List[int], polygons: Sequence[Polygon]
-    ) -> Dict[int, List[Violation]]:
+        self, hits: Sequence[PairHits], owner: List[int]
+    ) -> Dict[int, List[Tuple[Rect, int]]]:
         # Width hits carry poly ids == global polygon indices; map to owners.
         grouped: Dict[int, List[Tuple[Rect, int]]] = {}
-        for batch in hits:
-            for k in range(len(batch)):
-                poly_index = int(batch.poly_a[k])
-                region = Rect(
-                    int(batch.xlo[k]),
-                    int(batch.ylo[k]),
-                    int(batch.xhi[k]),
-                    int(batch.yhi[k]),
-                )
-                grouped.setdefault(owner[poly_index], []).append(
-                    (region, int(batch.measured[k]))
-                )
+        batch = PairHits.concatenate(list(hits))
+        if len(batch) == 0:
+            return grouped
+        owners = np.asarray(owner, dtype=np.int64)[batch.poly_a]
+        regions = np.stack([batch.xlo, batch.ylo, batch.xhi, batch.yhi], axis=1)
+        for own, coords, measured in zip(
+            owners.tolist(), regions.tolist(), batch.measured.tolist()
+        ):
+            grouped.setdefault(own, []).append((Rect(*coords), measured))
         return grouped
 
     def _instantiate(

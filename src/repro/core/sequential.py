@@ -70,6 +70,18 @@ class SequentialChecker:
         self.use_rows = use_rows
         self.pruning = PruningStats()
         self._pair_memo: Dict[tuple, List[Violation]] = {}
+        # Deck-scoped mirror of the parallel mode's pack cache: level items
+        # of a (cell, layer) are identical for every rule in the deck, so
+        # the second rule touching a layer pays zero re-walk of the level.
+        self._level_items_memo: Dict[tuple, List[LevelItem]] = {}
+
+    def _level_items(self, cell: Cell, layer: int) -> List[LevelItem]:
+        key = (cell.name, layer)
+        cached = self._level_items_memo.get(key)
+        if cached is None:
+            cached = level_items(self.tree, cell, layer)
+            self._level_items_memo[key] = cached
+        return cached
 
     # -- rule dispatch ------------------------------------------------------
 
@@ -202,7 +214,7 @@ class SequentialChecker:
 
         top = self.tree.top
         with profile.phase(PHASE_OTHER):
-            items = level_items(self.tree, top, layer)
+            items = self._level_items(top, layer)
         vios = self._top_level_pairs(top, items, layer, value, procedures, profile)
         for ref in top.references:
             if not self.tree.has_layer(ref.cell_name, layer):
@@ -262,7 +274,7 @@ class SequentialChecker:
             for polygon in cell.polygons(layer):
                 vios.extend(procedures.self_violations(polygon, layer, value))
         with profile.phase(PHASE_OTHER):
-            items = level_items(self.tree, cell, layer)
+            items = self._level_items(cell, layer)
         vios.extend(self._group_pairs(items, layer, value, procedures, profile))
         return vios
 
@@ -451,7 +463,7 @@ class SequentialChecker:
             return []
         cell = self.layout.cell(cell_name)
         with profile.phase(PHASE_SWEEPLINE):
-            items = level_items(self.tree, cell, metal_layer)
+            items = self._level_items(cell, metal_layer)
             windows = [via.mbr.inflated(value) for via in vias]
             vias_of_item: Dict[int, List[int]] = {}
             for i, j in iter_bipartite_overlaps(windows, [it.mbr for it in items]):

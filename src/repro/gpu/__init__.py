@@ -20,9 +20,12 @@ from .kernels import (
     PairHits,
     VertexBuffer,
     kernel_area,
+    kernel_corner_pairs_segmented,
     kernel_enclosure_margins,
     kernel_pairs_bruteforce,
+    kernel_pairs_bruteforce_segmented,
     kernel_pairs_sweep,
+    kernel_pairs_sweep_segmented,
     kernel_sweep_check,
     kernel_sweep_ranges,
     pack_edges,
@@ -49,9 +52,12 @@ __all__ = [
     "VertexBuffer",
     "is_device_policy",
     "kernel_area",
+    "kernel_corner_pairs_segmented",
     "kernel_enclosure_margins",
     "kernel_pairs_bruteforce",
+    "kernel_pairs_bruteforce_segmented",
     "kernel_pairs_sweep",
+    "kernel_pairs_sweep_segmented",
     "kernel_sweep_check",
     "kernel_sweep_ranges",
     "pack_edges",

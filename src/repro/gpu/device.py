@@ -95,6 +95,17 @@ class Device:
         self.ops: List[OpRecord] = []
         self._streams: List[Stream] = []
         self._seq = 0
+        self._counters: Dict[str, int] = self._zero_counters()
+
+    @staticmethod
+    def _zero_counters() -> Dict[str, int]:
+        return {
+            "kernel_launches": 0,
+            "h2d_copies": 0,
+            "h2d_bytes": 0,
+            "d2h_copies": 0,
+            "d2h_bytes": 0,
+        }
 
     def create_stream(self) -> Stream:
         stream = Stream(self, len(self._streams))
@@ -126,10 +137,36 @@ class Device:
     ) -> None:
         self.ops.append(OpRecord(self._seq, kind, name, stream, seconds, nbytes, items))
         self._seq += 1
+        if kind is OpKind.KERNEL:
+            self._counters["kernel_launches"] += 1
+        elif kind is OpKind.H2D:
+            self._counters["h2d_copies"] += 1
+            self._counters["h2d_bytes"] += nbytes
+        elif kind is OpKind.D2H:
+            self._counters["d2h_copies"] += 1
+            self._counters["d2h_bytes"] += nbytes
+
+    def counters(self) -> Dict[str, int]:
+        """Cumulative launch/copy accounting (kernel launches, H2D/D2H copies
+        and bytes) — the batching benchmark's primary metric."""
+        return dict(self._counters)
+
+    @property
+    def num_kernel_launches(self) -> int:
+        return self._counters["kernel_launches"]
+
+    @property
+    def num_h2d_copies(self) -> int:
+        return self._counters["h2d_copies"]
+
+    @property
+    def h2d_bytes(self) -> int:
+        return self._counters["h2d_bytes"]
 
     def reset(self) -> None:
         self.ops.clear()
         self._seq = 0
+        self._counters = self._zero_counters()
 
     def timeline(self) -> "AsyncTimeline":
         return AsyncTimeline(list(self.ops))

@@ -12,6 +12,15 @@ device. Two executors are provided per the paper:
   edge against exactly the edges in its range. The two passes are separate
   functions, as the paper separates the two kernel launches.
 
+Fused (segmented) execution: after the adaptive row partition, every row is
+an independent task, but launching one kernel per row wastes the device on
+launch latency and tiny grids. The segmented kernel variants
+(:func:`kernel_pairs_bruteforce_segmented`, :func:`kernel_pairs_sweep_segmented`,
+:func:`kernel_corner_pairs_segmented`) take buffers carrying a ``segment``
+(row-id) array and evaluate *all* rows in a single launch, masking
+cross-segment pairs, so R rows cost one kernel and one copy set instead of
+R of each.
+
 Edge classification matches :mod:`repro.checks.edges` bit for bit: an edge
 carries the sign of its interior normal along the perpendicular axis, and
 
@@ -44,7 +53,9 @@ class EdgeBuffer:
     ``fixed`` is the supporting-line coordinate (x for vertical edges, y for
     horizontal); ``lo``/``hi`` the span along the other axis; ``interior``
     the +/-1 sign of the interior normal along the perpendicular axis;
-    ``poly`` the owning polygon id.
+    ``poly`` the owning polygon id. ``segment`` (optional) carries the
+    row-partition id of each edge; the segmented kernels never pair edges
+    from different segments.
     """
 
     vertical: bool
@@ -53,19 +64,22 @@ class EdgeBuffer:
     hi: np.ndarray
     interior: np.ndarray
     poly: np.ndarray
+    segment: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.fixed)
 
     @property
     def nbytes(self) -> int:
-        return self.fixed.nbytes + self.lo.nbytes + self.hi.nbytes + (
+        total = self.fixed.nbytes + self.lo.nbytes + self.hi.nbytes + (
             self.interior.nbytes + self.poly.nbytes
         )
+        if self.segment is not None:
+            total += self.segment.nbytes
+        return total
 
-    def sorted_by_fixed(self) -> "EdgeBuffer":
-        """Stable-sorted copy by supporting-line coordinate (sweep pass 1a)."""
-        order = np.argsort(self.fixed, kind="stable")
+    def take(self, order: np.ndarray) -> "EdgeBuffer":
+        """Reindexed copy (device-side gather)."""
         return EdgeBuffer(
             self.vertical,
             self.fixed[order],
@@ -73,7 +87,12 @@ class EdgeBuffer:
             self.hi[order],
             self.interior[order],
             self.poly[order],
+            None if self.segment is None else self.segment[order],
         )
+
+    def sorted_by_fixed(self) -> "EdgeBuffer":
+        """Stable-sorted copy by supporting-line coordinate (sweep pass 1a)."""
+        return self.take(np.argsort(self.fixed, kind="stable"))
 
 
 @dataclasses.dataclass
@@ -112,34 +131,55 @@ def pack_edges(
 
     Returns ``{"v": vertical_buffer, "h": horizontal_buffer}``. ``poly_ids``
     defaults to the polygon's index in the sequence.
+
+    Fully vectorised: vertices are flattened once, successors computed with
+    a wrap-around index array (as in :func:`kernel_area`), and the two
+    orientations split with boolean masks — no per-edge Python tuples.
     """
-    v_rows: List[Tuple[int, int, int, int, int]] = []
-    h_rows: List[Tuple[int, int, int, int, int]] = []
-    for index, polygon in enumerate(polygons):
-        pid = poly_ids[index] if poly_ids is not None else index
-        vertices = polygon.vertices
-        n = len(vertices)
-        for i in range(n):
-            x1, y1 = vertices[i]
-            x2, y2 = vertices[(i + 1) % n]
-            if x1 == x2:  # vertical; NORTH (+y travel) has interior east (+1)
-                interior = 1 if y2 > y1 else -1
-                v_rows.append((x1, min(y1, y2), max(y1, y2), interior, pid))
-            else:  # horizontal; EAST (+x travel) has interior south (-1)
-                interior = -1 if x2 > x1 else 1
-                h_rows.append((y1, min(x1, x2), max(x1, x2), interior, pid))
-    return {
-        "v": _buffer_from_rows(v_rows, vertical=True),
-        "h": _buffer_from_rows(h_rows, vertical=False),
-    }
-
-
-def _buffer_from_rows(rows: List[Tuple[int, int, int, int, int]], *, vertical: bool) -> EdgeBuffer:
-    if not rows:
+    counts = np.fromiter(
+        (len(p.vertices) for p in polygons), dtype=_INT, count=len(polygons)
+    )
+    total = int(counts.sum())
+    if total == 0:
         z = np.zeros(0, dtype=_INT)
-        return EdgeBuffer(vertical, z, z, z, z, z)
-    arr = np.asarray(rows, dtype=_INT)
-    return EdgeBuffer(vertical, arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3], arr[:, 4])
+        return {
+            "v": EdgeBuffer(True, z, z, z, z, z),
+            "h": EdgeBuffer(False, z, z, z, z, z),
+        }
+    xs = np.fromiter(
+        (v.x for p in polygons for v in p.vertices), dtype=_INT, count=total
+    )
+    ys = np.fromiter(
+        (v.y for p in polygons for v in p.vertices), dtype=_INT, count=total
+    )
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(_INT)
+    nxt = np.arange(total, dtype=_INT) + 1
+    nxt[offsets + counts - 1] = offsets  # each polygon's last edge wraps
+    x2, y2 = xs[nxt], ys[nxt]
+    if poly_ids is not None:
+        pid = np.repeat(np.asarray(poly_ids, dtype=_INT), counts)
+    else:
+        pid = np.repeat(np.arange(len(polygons), dtype=_INT), counts)
+
+    vmask = xs == x2  # vertical; NORTH (+y travel) has interior east (+1)
+    v = EdgeBuffer(
+        True,
+        xs[vmask],
+        np.minimum(ys, y2)[vmask],
+        np.maximum(ys, y2)[vmask],
+        np.where(y2 > ys, 1, -1).astype(_INT)[vmask],
+        pid[vmask],
+    )
+    hmask = ~vmask  # horizontal; EAST (+x travel) has interior south (-1)
+    h = EdgeBuffer(
+        False,
+        ys[hmask],
+        np.minimum(xs, x2)[hmask],
+        np.maximum(xs, x2)[hmask],
+        np.where(x2 > xs, -1, 1).astype(_INT)[hmask],
+        pid[hmask],
+    )
+    return {"v": v, "h": h}
 
 
 # ---------------------------------------------------------------------------
@@ -159,7 +199,8 @@ def _evaluate_pairs(
 
     Width pairs require ``interior[a] == +1`` and ``interior[b] == -1`` and
     the same polygon; spacing pairs the opposite signs, a strictly positive
-    gap, and any polygons.
+    gap, and any polygons. Buffers carrying a ``segment`` array additionally
+    reject cross-segment pairs (rows are independent tasks).
     """
     if len(idx_a) == 0:
         return PairHits.empty()
@@ -176,6 +217,8 @@ def _evaluate_pairs(
         & (buf.interior[idx_a] == sign_a)
         & (buf.interior[idx_b] == -sign_a)
     )
+    if buf.segment is not None:
+        mask &= buf.segment[idx_a] == buf.segment[idx_b]
     if want_width:
         mask &= buf.poly[idx_a] == buf.poly[idx_b]
     if not mask.any():
@@ -265,6 +308,90 @@ def kernel_pairs_sweep(buf: EdgeBuffer, threshold: int, *, want_width: bool) -> 
     sorted_buf = buf.sorted_by_fixed()
     begin, end = kernel_sweep_ranges(sorted_buf, threshold)
     return kernel_sweep_check(sorted_buf, begin, end, threshold, want_width=want_width)
+
+
+# ---------------------------------------------------------------------------
+# Segmented (fused) executors: all rows of a rule in one launch
+# ---------------------------------------------------------------------------
+
+
+def _segment_pair_blocks(counts: np.ndarray, chunk: int):
+    """Yield ``(idx_a, idx_b)`` blocks enumerating in-segment unordered pairs.
+
+    ``counts[i]`` is the number of in-segment successors of sorted edge
+    ``i`` (edges ``i+1 .. i+counts[i]`` share its segment). Blocks bound the
+    materialized pair count by roughly ``chunk`` — the thread-block tiling
+    of the fused grid.
+    """
+    n = len(counts)
+    cum = np.cumsum(counts)
+    row0 = 0
+    base = 0
+    while row0 < n:
+        row1 = int(np.searchsorted(cum, base + chunk, side="left")) + 1
+        row1 = max(row1, row0 + 1)
+        rows = np.arange(row0, min(row1, n), dtype=_INT)
+        c = counts[rows]
+        total = int(c.sum())
+        if total:
+            idx_a = np.repeat(rows, c)
+            cc = np.cumsum(c)
+            offsets = np.arange(total, dtype=_INT) - np.repeat(cc - c, c)
+            yield idx_a, idx_a + 1 + offsets
+        base += total
+        row0 = min(row1, n)
+
+
+def kernel_pairs_bruteforce_segmented(
+    buf: EdgeBuffer, threshold: int, *, want_width: bool, chunk: int = 1 << 20
+) -> PairHits:
+    """Batched brute force over every segment in one launch.
+
+    Edges are grouped by segment (stable sort keeps in-row order); each
+    unordered in-segment pair is enumerated exactly once and oriented so
+    ``fixed[b] >= fixed[a]``, matching the per-task brute-force kernel.
+    """
+    n = len(buf)
+    if n < 2:
+        return PairHits.empty()
+    if buf.segment is None:
+        return kernel_pairs_bruteforce(buf, threshold, want_width=want_width)
+    s = buf.take(np.argsort(buf.segment, kind="stable"))
+    seg_end = np.searchsorted(s.segment, s.segment, side="right")
+    counts = (seg_end - np.arange(n, dtype=_INT) - 1).clip(min=0)
+    batches: List[PairHits] = []
+    for idx_a, idx_b in _segment_pair_blocks(counts, chunk):
+        swap = s.fixed[idx_a] > s.fixed[idx_b]
+        a = np.where(swap, idx_b, idx_a)
+        b = np.where(swap, idx_a, idx_b)
+        batches.append(_evaluate_pairs(s, a, b, threshold, want_width=want_width))
+    return PairHits.concatenate(batches)
+
+
+def kernel_pairs_sweep_segmented(
+    buf: EdgeBuffer, threshold: int, *, want_width: bool
+) -> PairHits:
+    """Segmented two-kernel sweep: all segments sorted and scanned at once.
+
+    Edges sort on a composite key that keeps segments contiguous and at
+    least ``threshold + 1`` apart, so the vectorised range scan of
+    :func:`kernel_sweep_ranges` can never produce a cross-segment check
+    range; the check kernel is then identical to the per-task sweep.
+    """
+    if len(buf) < 2:
+        return PairHits.empty()
+    if buf.segment is None:
+        return kernel_pairs_sweep(buf, threshold, want_width=want_width)
+    fixed = buf.fixed
+    fmin = int(fixed.min())
+    span = int(fixed.max()) - fmin + max(int(threshold), 0) + 1
+    key = (fixed - fmin) + buf.segment * span
+    order = np.argsort(key, kind="stable")
+    s = buf.take(order)
+    skey = key[order]
+    begin = np.searchsorted(skey, skey, side="right").astype(_INT)
+    end = np.searchsorted(skey, skey + (threshold - 1), side="right").astype(_INT)
+    return kernel_sweep_check(s, begin, end, threshold, want_width=want_width)
 
 
 # ---------------------------------------------------------------------------
@@ -370,16 +497,32 @@ def reduce_enclosure_best(
 
 @dataclasses.dataclass
 class CornerBuffer:
-    """Flattened convex corners: position, exterior-quadrant signs, owner."""
+    """Flattened convex corners: position, exterior-quadrant signs, owner.
+
+    ``segment`` (optional) carries the row-partition id; the segmented
+    kernel never pairs corners from different segments.
+    """
 
     x: np.ndarray
     y: np.ndarray
     qx: np.ndarray
     qy: np.ndarray
     poly: np.ndarray
+    segment: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.x)
+
+    def take(self, order: np.ndarray) -> "CornerBuffer":
+        """Reindexed copy (device-side gather)."""
+        return CornerBuffer(
+            self.x[order],
+            self.y[order],
+            self.qx[order],
+            self.qy[order],
+            self.poly[order],
+            None if self.segment is None else self.segment[order],
+        )
 
 
 def pack_corners(
@@ -428,6 +571,48 @@ class CornerHits:
         z = np.zeros(0, dtype=_INT)
         return cls(z, z, z, z, z)
 
+    @classmethod
+    def concatenate(cls, batches: Sequence["CornerHits"]) -> "CornerHits":
+        real = [b for b in batches if len(b)]
+        if not real:
+            return cls.empty()
+        return cls(*[np.concatenate([getattr(b, f.name) for b in real])
+                     for f in dataclasses.fields(cls)])
+
+
+def _evaluate_corner_pairs(
+    buf: CornerBuffer, a: np.ndarray, b: np.ndarray, limit: int
+) -> CornerHits:
+    """Classify candidate corner pairs oriented so ``x[b] >= x[a]``.
+
+    Keeps strictly diagonal (dx > 0, dy != 0), mutually-facing pairs closer
+    than ``sqrt(limit)``; buffers carrying ``segment`` additionally reject
+    cross-segment pairs.
+    """
+    dx = buf.x[b] - buf.x[a]
+    dy = buf.y[b] - buf.y[a]
+    keep = (dx > 0) & (dy != 0)
+    if buf.segment is not None:
+        keep &= buf.segment[a] == buf.segment[b]
+    a, b, dx, dy = a[keep], b[keep], dx[keep], dy[keep]
+    d2 = dx * dx + dy * dy
+    sy = np.sign(dy)
+    mask = (
+        (d2 < limit)
+        & (buf.qx[a] == 1)
+        & (buf.qy[a] == sy)
+        & (buf.qx[b] == -1)
+        & (buf.qy[b] == -sy)
+    )
+    if not mask.any():
+        return CornerHits.empty()
+    a, b, d2 = a[mask], b[mask], d2[mask]
+    measured = np.sqrt(d2.astype(np.float64)).astype(_INT)
+    # Guard against float rounding at perfect squares.
+    measured = np.where((measured + 1) ** 2 <= d2, measured + 1, measured)
+    measured = np.where(measured ** 2 > d2, measured - 1, measured)
+    return CornerHits(buf.x[a], buf.y[a], buf.x[b], buf.y[b], measured)
+
 
 def kernel_corner_pairs(buf: CornerBuffer, threshold: int, chunk: int = 2048) -> CornerHits:
     """All mutually-facing diagonal corner pairs closer than ``threshold``.
@@ -447,33 +632,31 @@ def kernel_corner_pairs(buf: CornerBuffer, threshold: int, chunk: int = 2048) ->
         rows = all_idx[start : start + chunk]
         a = np.repeat(rows, n)
         b = np.tile(all_idx, len(rows))
-        dx = buf.x[b] - buf.x[a]
-        dy = buf.y[b] - buf.y[a]
-        keep = (dx > 0) & (dy != 0)
-        a, b, dx, dy = a[keep], b[keep], dx[keep], dy[keep]
-        d2 = dx * dx + dy * dy
-        sy = np.sign(dy)
-        mask = (
-            (d2 < limit)
-            & (buf.qx[a] == 1)
-            & (buf.qy[a] == sy)
-            & (buf.qx[b] == -1)
-            & (buf.qy[b] == -sy)
-        )
-        if not mask.any():
-            continue
-        a, b, d2 = a[mask], b[mask], d2[mask]
-        measured = np.sqrt(d2.astype(np.float64)).astype(_INT)
-        # Guard against float rounding at perfect squares.
-        measured = np.where((measured + 1) ** 2 <= d2, measured + 1, measured)
-        measured = np.where(measured ** 2 > d2, measured - 1, measured)
-        out.append(CornerHits(buf.x[a], buf.y[a], buf.x[b], buf.y[b], measured))
-    if not out:
+        out.append(_evaluate_corner_pairs(buf, a, b, limit))
+    return CornerHits.concatenate(out)
+
+
+def kernel_corner_pairs_segmented(
+    buf: CornerBuffer, threshold: int, chunk: int = 1 << 20
+) -> CornerHits:
+    """All segments' corner pairs in one launch (fused-row execution).
+
+    Corners are grouped by segment; each unordered in-segment pair is
+    enumerated once and oriented by ``x``, matching the per-task kernel.
+    """
+    n = len(buf)
+    if n < 2:
         return CornerHits.empty()
-    return CornerHits(
-        np.concatenate([h.ax for h in out]),
-        np.concatenate([h.ay for h in out]),
-        np.concatenate([h.bx for h in out]),
-        np.concatenate([h.by for h in out]),
-        np.concatenate([h.measured for h in out]),
-    )
+    if buf.segment is None:
+        return kernel_corner_pairs(buf, threshold)
+    limit = threshold * threshold
+    s = buf.take(np.argsort(buf.segment, kind="stable"))
+    seg_end = np.searchsorted(s.segment, s.segment, side="right")
+    counts = (seg_end - np.arange(n, dtype=_INT) - 1).clip(min=0)
+    out = []
+    for idx_a, idx_b in _segment_pair_blocks(counts, chunk):
+        swap = s.x[idx_a] > s.x[idx_b]
+        a = np.where(swap, idx_b, idx_a)
+        b = np.where(swap, idx_a, idx_b)
+        out.append(_evaluate_corner_pairs(s, a, b, limit))
+    return CornerHits.concatenate(out)

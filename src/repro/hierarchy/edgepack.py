@@ -128,6 +128,16 @@ def concat_buffers(buffers: List[EdgeBuffer], *, vertical: bool) -> EdgeBuffer:
         return EdgeBuffer(vertical, z, z, z, z, z)
     if len(buffers) == 1:
         return buffers[0]
+    if any(x.segment is not None for x in buffers):
+        # Buffers without an explicit segment default to segment 0.
+        segment = np.concatenate(
+            [
+                x.segment if x.segment is not None else np.zeros(len(x), dtype=_INT)
+                for x in buffers
+            ]
+        )
+    else:
+        segment = None
     return EdgeBuffer(
         vertical,
         np.concatenate([x.fixed for x in buffers]),
@@ -135,6 +145,40 @@ def concat_buffers(buffers: List[EdgeBuffer], *, vertical: bool) -> EdgeBuffer:
         np.concatenate([x.hi for x in buffers]),
         np.concatenate([x.interior for x in buffers]),
         np.concatenate([x.poly for x in buffers]),
+        segment,
+    )
+
+
+def concat_segmented(pairs: List[EdgeBufferPair]) -> EdgeBufferPair:
+    """Fuse per-row buffer pairs into one segmented pair (one launch's input).
+
+    Every edge is tagged with its row index in ``segment``; polygon ids are
+    offset by a running flat-polygon counter so they stay globally unique
+    across the fused buffer (same-polygon classification — width pairs,
+    notches — survives fusion).
+    """
+    parts_v: List[EdgeBuffer] = []
+    parts_h: List[EdgeBuffer] = []
+    offset = 0
+    for index, pair in enumerate(pairs):
+        for buf, parts in ((pair.vertical, parts_v), (pair.horizontal, parts_h)):
+            if len(buf):
+                parts.append(
+                    EdgeBuffer(
+                        buf.vertical,
+                        buf.fixed,
+                        buf.lo,
+                        buf.hi,
+                        buf.interior,
+                        buf.poly + offset,
+                        np.full(len(buf), index, dtype=_INT),
+                    )
+                )
+        offset += pair.num_polygons
+    return EdgeBufferPair(
+        concat_buffers(parts_v, vertical=True),
+        concat_buffers(parts_h, vertical=False),
+        offset,
     )
 
 

@@ -51,6 +51,17 @@ class RowPartition:
         """Map item index -> row index."""
         return {m: row.index for row in self.rows for m in row.members}
 
+    def signature(self) -> tuple:
+        """Stable, hashable identity of this partition.
+
+        Two partitions over the same item sequence compare equal exactly
+        when every item lands in the same row — the condition under which
+        packed per-row device buffers may be reused across rules (the
+        deck-scoped pack cache keys on this). The margin is included so
+        partitions from different rule distances never collide.
+        """
+        return (self.margin, tuple(tuple(row.members) for row in self.rows))
+
 
 def margin_for_rule(rule_distance: int) -> int:
     """Inflation margin guaranteeing cross-row independence.
