@@ -7,7 +7,6 @@ memory footprint reduction." Measures the compression factor and the
 
 import pytest
 
-from repro.gpu import pack_edges
 from repro.gpu.compression import compress_edge_buffer, measure_compression
 from repro.hierarchy.edgepack import HierarchicalEdgePacker
 from repro.hierarchy.tree import HierarchyTree

@@ -9,14 +9,13 @@ check runtime).
 from __future__ import annotations
 
 import os
-import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.baselines import KLayoutLikeChecker, UnsupportedRuleError, XCheckChecker
 from repro.core import Engine, EngineOptions
 from repro.core.rules import Rule
 from repro.layout.library import Layout
-from repro.workloads import DESIGN_NAMES, build_design
+from repro.workloads import build_design
 
 #: Design order used in the paper's tables.
 TABLE_DESIGNS = ("aes", "ethmac", "ibex", "jpeg", "sha3", "uart")

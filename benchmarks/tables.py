@@ -10,11 +10,11 @@ column, as we value all checks equally regardless of their sizes").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core import Engine
 from repro.core.rules import Rule
-from repro.util.report import format_seconds, format_table, geometric_mean
+from repro.util.report import format_table, geometric_mean
 from repro.workloads import asap7
 
 from .common import TABLE_COLUMNS, TABLE_DESIGNS, design

@@ -129,3 +129,23 @@ def check_corner_spacing(
             corner_pair_violations(corner_sets[i], corner_sets[j], layer, min_space)
         )
     return violations
+
+
+class CornerProcedures:
+    """Diagonal corner-to-corner spacing (roadmap extension).
+
+    The pairwise-procedure object the hierarchical sweeps call; registered
+    per rule kind in :mod:`repro.core.plan`.
+    """
+
+    def self_violations(self, polygon: Polygon, layer: int, value: int):
+        corners = convex_corners(polygon)
+        return corner_pair_violations(corners, corners, layer, value)
+
+    def cross_violations(self, pa: Polygon, pb: Polygon, layer: int, value: int):
+        return corner_pair_violations(
+            convex_corners(pa), convex_corners(pb), layer, value
+        )
+
+    def flat_check(self, polygons, layer: int, value: int):
+        return check_corner_spacing(polygons, layer, value)

@@ -120,6 +120,24 @@ def check_enclosure(
     return violations
 
 
+class EnclosureProcedures:
+    """Via-in-metal enclosure (paper Table II right half).
+
+    The cross-layer procedure object the hierarchical pending-object
+    resolution calls; registered per rule kind in :mod:`repro.core.plan`.
+    """
+
+    def satisfied(self, via: Polygon, metals, value: int) -> bool:
+        for metal in metals:
+            margin = enclosure_margin(via, metal)
+            if margin is not None and margin >= value:
+                return True
+        return False
+
+    def violations(self, via, metals, via_layer, metal_layer, value):
+        return enclosure_pair_violations(via, metals, via_layer, metal_layer, value)
+
+
 def best_margin(via: Polygon, metals: Sequence[Polygon]) -> Tuple[int, bool]:
     """(best margin, enclosed-at-all) across candidates; helper for reports."""
     best = -1

@@ -31,6 +31,32 @@ def overlap_area(polygon: Polygon, others: Sequence[Polygon]) -> int:
     ).area
 
 
+class OverlapProcedures:
+    """Minimum overlapping area between layers (paper §I motivation).
+
+    The cross-layer procedure object the hierarchical pending-object
+    resolution calls; registered per rule kind in :mod:`repro.core.plan`.
+    """
+
+    def satisfied(self, polygon: Polygon, bases, value: int) -> bool:
+        return overlap_area(polygon, bases) >= value
+
+    def violations(self, polygon, bases, top_layer, base_layer, value):
+        area = overlap_area(polygon, bases)
+        if area >= value:
+            return []
+        return [
+            Violation(
+                kind=ViolationKind.OVERLAP,
+                layer=top_layer,
+                other_layer=base_layer,
+                region=polygon.mbr,
+                measured=area,
+                required=value,
+            )
+        ]
+
+
 def check_min_overlap(
     top_polys: Sequence[Polygon],
     base_polys: Sequence[Polygon],

@@ -76,3 +76,20 @@ def _make(layer: int, region, distance: int, min_space: int) -> Violation:
         measured=distance,
         required=min_space,
     )
+
+
+class SpacingProcedures:
+    """Edge-based exterior spacing (paper §IV-D check procedures).
+
+    The pairwise-procedure objects the hierarchical sweeps call; registered
+    per rule kind in :mod:`repro.core.plan`.
+    """
+
+    def self_violations(self, polygon: Polygon, layer: int, value: int):
+        return spacing_notch_violations(polygon, layer, value)
+
+    def cross_violations(self, pa: Polygon, pb: Polygon, layer: int, value: int):
+        return spacing_pair_violations(pa, pb, layer, value)
+
+    def flat_check(self, polygons, layer: int, value: int):
+        return check_spacing(polygons, layer, value)

@@ -6,6 +6,11 @@ Commands
     Run a rule deck on a GDSII file and print the report (optionally CSV
     markers). The default deck is the ASAP7-like benchmark deck; a custom
     deck is any Python file defining ``RULES = [...]`` with DSL rules.
+    ``--fuse-rows/--no-fuse-rows``, ``--num-streams``, and
+    ``--brute-force-threshold`` expose the parallel backend's knobs.
+``check-window <file.gds> <x1> <y1> <x2> <y2>``
+    Incremental check: run the deck only on the given window (dbu
+    coordinates) through the windowed backend.
 ``stats <file.gds>``
     Print layout statistics (cells, instances, flat polygons, hierarchy).
 ``synth <design> <out.gds>``
@@ -19,7 +24,7 @@ import runpy
 import sys
 from typing import List, Optional
 
-from .core import Engine, EngineOptions
+from .core import DEFAULT_BRUTE_FORCE_THRESHOLD, Engine, EngineOptions
 from .core.rules import Rule
 from .gdsii import read_layout, write
 from .layout import compute_stats, gdsii_from_layout
@@ -43,11 +48,22 @@ def _read(path: str, top: Optional[str]):
     return layout
 
 
+def _engine_options(args: argparse.Namespace) -> EngineOptions:
+    try:
+        return EngineOptions(
+            mode=args.mode,
+            use_rows=not args.no_rows,
+            num_streams=args.num_streams,
+            brute_force_threshold=args.brute_force_threshold,
+            fuse_rows=args.fuse_rows,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     layout = _read(args.file, args.top)
-    engine = Engine(
-        options=EngineOptions(mode=args.mode, use_rows=not args.no_rows)
-    )
+    engine = Engine(options=_engine_options(args))
     report = engine.check(layout, rules=_load_deck(args.deck))
     if args.waivers:
         from .core.markers import apply_waivers, load_waivers
@@ -66,6 +82,22 @@ def cmd_check(args: argparse.Namespace) -> int:
             for name, profile in engine.last_profiles.items():
                 print(f"\n[{name}]")
                 print(profile.breakdown_table())
+    return 0 if report.passed else 1
+
+
+def cmd_check_window(args: argparse.Namespace) -> int:
+    from .core import check_window
+    from .geometry import Rect
+
+    layout = _read(args.file, args.top)
+    window = Rect(args.x1, args.y1, args.x2, args.y2)
+    if window.is_empty:
+        raise SystemExit("window must be non-empty (x1 <= x2 and y1 <= y2)")
+    report = check_window(layout, window, rules=_load_deck(args.deck))
+    if args.csv:
+        print(report.to_csv())
+    else:
+        print(report.summary())
     return 0 if report.passed else 1
 
 
@@ -105,7 +137,46 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--no-rows", action="store_true", help="disable the adaptive row partition"
     )
+    fuse = check.add_mutually_exclusive_group()
+    fuse.add_argument(
+        "--fuse-rows",
+        dest="fuse_rows",
+        action="store_true",
+        help="fuse row kernels into segmented launches (default)",
+    )
+    fuse.add_argument(
+        "--no-fuse-rows",
+        dest="fuse_rows",
+        action="store_false",
+        help="launch each row separately (the per-row ablation)",
+    )
+    check.set_defaults(fuse_rows=True)
+    check.add_argument(
+        "--num-streams",
+        type=int,
+        default=2,
+        metavar="N",
+        help="simulated CUDA streams for async overlap (parallel mode)",
+    )
+    check.add_argument(
+        "--brute-force-threshold",
+        type=int,
+        default=DEFAULT_BRUTE_FORCE_THRESHOLD,
+        metavar="EDGES",
+        help="edge count at or below which the brute-force executor runs",
+    )
     check.set_defaults(func=cmd_check)
+
+    window = sub.add_parser(
+        "check-window", help="incrementally check one window of a GDSII file"
+    )
+    window.add_argument("file")
+    for coord in ("x1", "y1", "x2", "y2"):
+        window.add_argument(coord, type=int, help=f"window {coord} (dbu)")
+    window.add_argument("--deck", help="Python file defining RULES = [...]")
+    window.add_argument("--top", help="top cell name (default: inferred)")
+    window.add_argument("--csv", action="store_true", help="print CSV markers")
+    window.set_defaults(func=cmd_check_window)
 
     stats = sub.add_parser("stats", help="print layout statistics")
     stats.add_argument("file")

@@ -1,9 +1,30 @@
-"""OpenDRC's core: rule DSL, engine, sequential/parallel checkers, results."""
+"""OpenDRC's core: rule DSL, CheckPlan IR, engine, backends, results."""
 
 from .engine import MODE_PARALLEL, MODE_SEQUENTIAL, Engine, EngineOptions
-from .incremental import check_window
-from .parallel import DEFAULT_BRUTE_FORCE_THRESHOLD, ParallelChecker
-from .scheduler import ScheduleAnalysis, Task, TaskGraph, build_rule_graph
+from .incremental import WindowedBackend, check_window
+from .parallel import DEFAULT_BRUTE_FORCE_THRESHOLD, ParallelBackend, ParallelChecker
+from .plan import (
+    ALL_MODES,
+    ENGINE_MODES,
+    MODE_WINDOWED,
+    Backend,
+    CheckPlan,
+    CompiledRule,
+    KindSpec,
+    PackCache,
+    PlanCaches,
+    compile_plan,
+    kind_spec,
+    make_backend,
+)
+from .scheduler import (
+    ScheduleAnalysis,
+    Task,
+    TaskGraph,
+    build_plan_graph,
+    build_rule_graph,
+    infer_rule_dependencies,
+)
 from .results import CheckReport, CheckResult, merge_reports
 from .rules import (
     LayerSelector,
@@ -15,29 +36,46 @@ from .rules import (
     polygons,
     validate_rules,
 )
-from .sequential import SequentialChecker
+from .sequential import SequentialBackend, SequentialChecker
 
 __all__ = [
-    "DEFAULT_BRUTE_FORCE_THRESHOLD",
+    "ALL_MODES",
+    "Backend",
+    "CheckPlan",
     "CheckReport",
     "CheckResult",
+    "CompiledRule",
+    "DEFAULT_BRUTE_FORCE_THRESHOLD",
+    "ENGINE_MODES",
     "Engine",
     "EngineOptions",
+    "KindSpec",
     "LayerSelector",
     "MODE_PARALLEL",
     "MODE_SEQUENTIAL",
+    "MODE_WINDOWED",
     "MeasureSelector",
+    "PackCache",
+    "ParallelBackend",
     "ParallelChecker",
+    "PlanCaches",
     "PolygonSelector",
     "Rule",
     "RuleKind",
     "ScheduleAnalysis",
+    "SequentialBackend",
     "SequentialChecker",
     "Task",
     "TaskGraph",
+    "WindowedBackend",
+    "build_plan_graph",
     "build_rule_graph",
     "check_window",
+    "compile_plan",
+    "infer_rule_dependencies",
+    "kind_spec",
     "layer",
+    "make_backend",
     "merge_reports",
     "polygons",
     "validate_rules",

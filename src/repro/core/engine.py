@@ -12,43 +12,40 @@ Usage mirrors the paper::
     ])
     report = engine.check(db)
 
-``check`` runs the full flow: parse/database (done by the caller), layer-wise
-hierarchy-tree construction, adaptive row partition, then the sequential or
-parallel branch per rule.
+``check`` is the two-stage pipeline of the paper's application layer
+(§V-A): the deck is first **compiled** against the layout into a
+:class:`~repro.core.plan.CheckPlan` (validation, per-kind strategy
+resolution, dependency inference, shared caches), then **executed** by the
+:class:`~repro.core.plan.Backend` the plan's mode selects, driven through
+the task scheduler so rule dependencies are honoured.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..gpu.device import Device
-from ..hierarchy.tree import HierarchyTree
 from ..layout.library import Layout
 from ..util.profile import PhaseProfile
-from .parallel import DEFAULT_BRUTE_FORCE_THRESHOLD, ParallelChecker
+from .plan import (
+    MODE_PARALLEL,
+    MODE_SEQUENTIAL,
+    CheckPlan,
+    EngineOptions,
+    compile_plan,
+    make_backend,
+)
 from .results import CheckReport, CheckResult
 from .rules import Rule, validate_rules
-from .sequential import SequentialChecker
+from .scheduler import build_plan_graph
 
-MODE_SEQUENTIAL = "sequential"
-MODE_PARALLEL = "parallel"
-
-
-@dataclasses.dataclass
-class EngineOptions:
-    """Tuning knobs; defaults match the paper's described behaviour."""
-
-    mode: str = MODE_SEQUENTIAL
-    use_rows: bool = True  # adaptive row partition (paper §IV-B)
-    num_streams: int = 2  # CUDA streams for async overlap (paper §V-C)
-    brute_force_threshold: int = DEFAULT_BRUTE_FORCE_THRESHOLD  # executor choice (§IV-E)
-    fuse_rows: bool = True  # fused segmented-row launches; False = per-row ablation
-
-    def __post_init__(self) -> None:
-        if self.mode not in (MODE_SEQUENTIAL, MODE_PARALLEL):
-            raise ValueError(f"unknown mode {self.mode!r}")
+__all__ = [
+    "Engine",
+    "EngineOptions",
+    "MODE_PARALLEL",
+    "MODE_SEQUENTIAL",
+]
 
 
 class Engine:
@@ -69,14 +66,15 @@ class Engine:
                 )
             self.options = options
         else:
+            # EngineOptions validates the mode (and the other knobs) once.
             self.options = EngineOptions(mode=mode if mode is not None else MODE_SEQUENTIAL)
-        if self.options.mode not in (MODE_SEQUENTIAL, MODE_PARALLEL):
-            raise ValueError(f"unknown mode {self.options.mode!r}")
         self.device = device
         self.rules: List[Rule] = []
         #: Profiles of the last check() call, keyed by rule name (Fig. 4 data).
         self.last_profiles: Dict[str, PhaseProfile] = {}
         self.last_checker = None
+        #: The compiled plan of the last check() call.
+        self.last_plan: Optional[CheckPlan] = None
 
     # -- deck management ------------------------------------------------------
 
@@ -96,37 +94,19 @@ class Engine:
 
     # -- execution ---------------------------------------------------------------
 
+    def compile(
+        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None
+    ) -> CheckPlan:
+        """Compile the deck (or an explicit rule list) against ``layout``."""
+        deck = list(rules) if rules is not None else self.rules
+        return compile_plan(layout, deck, self.options)
+
     def check(
         self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None
     ) -> CheckReport:
         """Run the deck (or an explicit rule list) on ``layout``."""
-        deck = list(rules) if rules is not None else self.rules
-        if not deck:
-            raise ValueError("no rules to check; call add_rules() first")
-        validate_rules(deck)
-
-        tree = HierarchyTree(layout)
-        checker = self._make_checker(layout, tree)
-        self.last_checker = checker
-        self.last_profiles = {}
-
-        results: List[CheckResult] = []
-        for rule in deck:
-            profile = PhaseProfile()
-            start = time.perf_counter()
-            violations = checker.run(rule, profile)
-            seconds = time.perf_counter() - start
-            self.last_profiles[rule.name] = profile
-            results.append(
-                CheckResult(
-                    rule=rule,
-                    violations=violations,
-                    seconds=seconds,
-                    profile=profile,
-                    stats=self._checker_stats(checker),
-                )
-            )
-        return CheckReport(layout.name, self.options.mode, results)
+        report, _ = self._execute(layout, rules=rules)
+        return report
 
     def check_with_task_graph(
         self,
@@ -135,23 +115,24 @@ class Engine:
         rules: Optional[Sequence[Rule]] = None,
         workers: int = 4,
     ):
-        """Run the deck through the application-layer task graph.
+        """Run the deck and keep the schedule analysis.
 
-        Rules become tasks (shape rules gate the geometric rules of their
-        layer); execution is topological, and the returned
+        Execution is identical to :meth:`check` (rules become tasks; shape
+        rules gate the geometric rules of their layer); the returned
         :class:`~repro.core.scheduler.ScheduleAnalysis` replays the measured
         durations over ``workers`` to quantify rule-level task parallelism
         (paper §I). Returns ``(report, analysis)``.
         """
-        from .scheduler import build_rule_graph
+        return self._execute(layout, rules=rules)
 
-        deck = list(rules) if rules is not None else self.rules
-        if not deck:
-            raise ValueError("no rules to check; call add_rules() first")
-        validate_rules(deck)
-        tree = HierarchyTree(layout)
-        checker = self._make_checker(layout, tree)
-        self.last_checker = checker
+    def _execute(
+        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None
+    ):
+        """Compile the deck, then drive the backend through the scheduler."""
+        plan = self.compile(layout, rules=rules)
+        backend = make_backend(plan, device=self.device)
+        self.last_plan = plan
+        self.last_checker = backend
         self.last_profiles = {}
 
         results_by_name: Dict[str, CheckResult] = {}
@@ -159,7 +140,7 @@ class Engine:
         def run_rule(rule: Rule) -> CheckResult:
             profile = PhaseProfile()
             start = time.perf_counter()
-            violations = checker.run(rule, profile)
+            violations = backend.run(rule, profile)
             seconds = time.perf_counter() - start
             self.last_profiles[rule.name] = profile
             result = CheckResult(
@@ -167,69 +148,16 @@ class Engine:
                 violations=violations,
                 seconds=seconds,
                 profile=profile,
-                stats=self._checker_stats(checker),
+                stats=backend.stats(),
             )
             results_by_name[rule.name] = result
             return result
 
-        graph = build_rule_graph(deck, run_rule)
+        graph = build_plan_graph(plan, run_rule)
         analysis = graph.execute()
         report = CheckReport(
             layout.name,
-            self.options.mode,
-            [results_by_name[rule.name] for rule in deck],
+            plan.mode,
+            [results_by_name[compiled.name] for compiled in plan.compiled],
         )
         return report, analysis
-
-    def _make_checker(self, layout: Layout, tree: HierarchyTree):
-        if self.options.mode == MODE_PARALLEL:
-            return ParallelChecker(
-                layout,
-                tree=tree,
-                device=self.device,
-                num_streams=self.options.num_streams,
-                brute_force_threshold=self.options.brute_force_threshold,
-                use_rows=self.options.use_rows,
-                fuse_rows=self.options.fuse_rows,
-            )
-        return SequentialChecker(layout, tree=tree, use_rows=self.options.use_rows)
-
-    @staticmethod
-    def _checker_stats(checker) -> Dict[str, float]:
-        stats: Dict[str, float] = {}
-        pruning = getattr(checker, "pruning", None)
-        if pruning is not None:
-            stats.update(
-                checks_run=pruning.checks_run,
-                checks_reused=pruning.checks_reused,
-                pairs_considered=pruning.pairs_considered,
-                pairs_pruned_mbr=pruning.pairs_pruned_mbr,
-            )
-        executor_counts = getattr(checker, "executor_counts", None)
-        if executor_counts is not None:
-            stats.update(
-                kernels_bruteforce=executor_counts["bruteforce"],
-                kernels_sweepline=executor_counts["sweepline"],
-            )
-        device = getattr(checker, "device", None)
-        if device is not None:
-            counters = device.counters()
-            stats.update(
-                kernel_launches=counters["kernel_launches"],
-                h2d_copies=counters["h2d_copies"],
-                h2d_bytes=counters["h2d_bytes"],
-                d2h_copies=counters["d2h_copies"],
-            )
-        fusion_stats = getattr(checker, "fusion_stats", None)
-        if fusion_stats is not None:
-            stats.update(
-                fused_launches=fusion_stats["fused_launches"],
-                fused_segments=fusion_stats["fused_segments"],
-            )
-        pack_cache = getattr(checker, "pack_cache", None)
-        if pack_cache is not None:
-            stats.update(
-                pack_cache_hits=pack_cache.hits,
-                pack_cache_misses=pack_cache.misses,
-            )
-        return stats

@@ -1,7 +1,7 @@
-"""Incremental (windowed) checking.
+"""Incremental (windowed) checking — the windowed backend.
 
 Production DRC flows re-check only the region an edit touched. Given a
-window, the engine gathers just the geometry that can participate in a
+window, the backend gathers just the geometry that can participate in a
 violation whose marker overlaps the window — polygons overlapping the
 window inflated by the rule distance, via the MBR-pruned layer range query
 (paper §IV-A) — checks that sub-population flat, and keeps the violations
@@ -10,26 +10,61 @@ whose region overlaps the window.
 The result equals running the full check and filtering its violations to
 the window (asserted by the tests), at a cost proportional to the window's
 content rather than the chip's.
+
+The per-kind flat procedures come from the same
+:func:`~repro.core.plan.kind_spec` registry the other backends use
+(``spec.flat``), so a rule kind added there is automatically windowable.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 
-from ..checks.area import check_area
 from ..checks.base import Violation
-from ..checks.corner import check_corner_spacing
-from ..checks.enclosure import check_enclosure
-from ..checks.ensure import check_ensures
-from ..checks.rectilinear import check_rectilinear
-from ..checks.spacing import check_spacing
-from ..checks.width import check_width
 from ..geometry import IDENTITY, Rect
-from ..hierarchy.pruning import SubtreeWindow
-from ..hierarchy.tree import HierarchyTree
 from ..layout.library import Layout
+from ..util.profile import PhaseProfile
+from .plan import MODE_WINDOWED, CheckPlan, compile_plan, kind_spec, make_backend
 from .results import CheckReport, CheckResult
-from .rules import Rule, RuleKind, validate_rules
+from .rules import Rule
+
+
+class WindowedBackend:
+    """Executes a plan's rules against one window of the layout."""
+
+    def __init__(self, plan: CheckPlan, window: Rect) -> None:
+        if window.is_empty:
+            raise ValueError("window must be non-empty")
+        self.plan = plan
+        self.window = window
+        self.layout = plan.layout
+        subtree = plan.caches.subtree
+        top = plan.tree.top.name
+
+        def gather(layer: int, margin: int):
+            return subtree.polygons_in_window(
+                top, IDENTITY, layer, window.inflated(margin)
+            )
+
+        def gather_rect(layer: int, rect: Rect):
+            return subtree.polygons_in_window(top, IDENTITY, layer, rect)
+
+        gather.rect = gather_rect
+        gather.window = window
+        self._gather = gather
+
+    def run(self, rule: Rule, profile: Optional[PhaseProfile] = None) -> List[Violation]:
+        """One rule on the window; violations clip to the window."""
+        spec = kind_spec(rule.kind)
+        violations = spec.flat(rule, self.layout, self._gather)
+        return [v for v in violations if v.region.overlaps(self.window)]
+
+    def stats(self) -> Dict[str, float]:
+        return dict(
+            pack_cache_hits=self.plan.caches.pack.hits,
+            pack_cache_misses=self.plan.caches.pack.misses,
+        )
 
 
 def check_window(
@@ -39,31 +74,15 @@ def check_window(
     rules: Sequence[Rule],
 ) -> CheckReport:
     """Check only the given window of ``layout``; violations clip to it."""
-    import time
-
     if window.is_empty:
         raise ValueError("window must be non-empty")
-    validate_rules(list(rules))
-    tree = HierarchyTree(layout)
-    subtree = SubtreeWindow(tree)
-    top = tree.top.name
-
-    def gather(layer: int, margin: int):
-        return subtree.polygons_in_window(
-            top, IDENTITY, layer, window.inflated(margin)
-        )
-
-    def gather_rect(layer: int, rect):
-        return subtree.polygons_in_window(top, IDENTITY, layer, rect)
-
-    gather.rect = gather_rect
-    gather.window = window
+    plan = compile_plan(layout, rules, mode=MODE_WINDOWED)
+    backend = make_backend(plan, window=window)
 
     results: List[CheckResult] = []
-    for rule in rules:
+    for rule in plan.rules:
         start = time.perf_counter()
-        violations = _run_rule(rule, layout, gather)
-        violations = [v for v in violations if v.region.overlaps(window)]
+        violations = backend.run(rule)
         results.append(
             CheckResult(
                 rule=rule,
@@ -71,51 +90,4 @@ def check_window(
                 seconds=time.perf_counter() - start,
             )
         )
-    return CheckReport(layout.name, "windowed", results)
-
-
-def _run_rule(rule: Rule, layout: Layout, gather) -> List[Violation]:
-    if rule.kind is RuleKind.WIDTH:
-        return check_width(gather(rule.layer, 0), rule.layer, rule.value)
-    if rule.kind is RuleKind.AREA:
-        return check_area(gather(rule.layer, 0), rule.layer, rule.value)
-    if rule.kind is RuleKind.SPACING:
-        return check_spacing(gather(rule.layer, rule.value), rule.layer, rule.value)
-    if rule.kind is RuleKind.CORNER_SPACING:
-        return check_corner_spacing(
-            gather(rule.layer, rule.value), rule.layer, rule.value
-        )
-    if rule.kind is RuleKind.ENCLOSURE:
-        return check_enclosure(
-            gather(rule.layer, rule.value),
-            gather(rule.other_layer, rule.value),
-            rule.layer,
-            rule.other_layer,
-            rule.value,
-        )
-    if rule.kind is RuleKind.MIN_OVERLAP:
-        from ..checks.overlap import check_min_overlap
-        from ..geometry import union_all
-
-        tops = gather(rule.layer, 0)
-        # Base partners only matter where they intersect a gathered top
-        # polygon, which can extend beyond the window: gather the base layer
-        # over the union of the window and every gathered top MBR.
-        reach = union_all([gather.window] + [p.mbr for p in tops])
-        bases = gather.rect(rule.other_layer, reach)
-        return check_min_overlap(
-            tops, bases, rule.layer, rule.other_layer, rule.value
-        )
-    if rule.kind is RuleKind.RECTILINEAR:
-        layers = [rule.layer] if rule.layer is not None else layout.layers()
-        out: List[Violation] = []
-        for layer in layers:
-            out.extend(check_rectilinear(gather(layer, 0), layer))
-        return out
-    if rule.kind is RuleKind.ENSURES:
-        layers = [rule.layer] if rule.layer is not None else layout.layers()
-        out = []
-        for layer in layers:
-            out.extend(check_ensures(gather(layer, 0), layer, rule.predicate))
-        return out
-    raise NotImplementedError(rule.kind)
+    return CheckReport(layout.name, MODE_WINDOWED, results)

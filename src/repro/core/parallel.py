@@ -1,4 +1,4 @@
-"""The parallel mode (paper §IV-E): row-by-row checks on the simulated GPU.
+"""The parallel backend (paper §IV-E): row-by-row checks on the simulated GPU.
 
 After the adaptive row partition, cells in different rows cannot produce
 violations together, so rows become independent GPU tasks. Two dispatch
@@ -17,21 +17,29 @@ strategies execute them:
   preprocessing of the next row is recorded against the device timeline,
   reproducing the §V-C overlap analysis.
 
-A deck-scoped :class:`PackCache` memoises the host-side packing artifacts —
-level items, row partitions, per-definition packers, packed per-row and
-fused buffers — keyed by layer and the stable partition signature, so the
-second rule touching a layer pays zero host packing.
+Device work is issued through :class:`~repro.gpu.executor.StreamExecutor`
+policies (Listing 2's stream executor): one executor wraps each stream, and
+every copy/launch in this module goes through it, so swapping the executor
+swaps where the work lands.
+
+Host-side packing artifacts — level items, row partitions, per-definition
+packers, packed per-row and fused buffers — live in the plan's
+:class:`~repro.core.plan.PackCache`, keyed by layer and the stable partition
+signature, so the second rule touching a layer pays zero host packing.
 
 Intra-polygon rules do not need rows: they run one batched kernel over the
 *unique cell definitions* (the hierarchy memoisation of §IV-C) and
 instantiate the per-definition hits through every placement.
+
+Per-rule-kind dispatch resolves through :func:`~repro.core.plan.kind_spec`;
+kinds with no data-parallel strategy (``spec.parallel is None``) delegate to
+a sequential backend sharing this plan's caches.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,12 +53,13 @@ from ..hierarchy.edgepack import (
     concat_buffers as concat_edge_buffers,
     concat_segmented,
 )
-from ..hierarchy.pruning import LevelItem, SubtreeWindow, level_items
+from ..hierarchy.pruning import LevelItem
 from ..hierarchy.tree import HierarchyTree
 from ..layout.library import Layout
 from ..partition.rows import margin_for_rule, partition_rects
 from ..spatial.sweepline import iter_bipartite_overlaps
-from ..gpu.device import Device, Stream
+from ..gpu.device import Device
+from ..gpu.executor import StreamExecutor
 from ..gpu.kernels import (
     CornerBuffer,
     CornerHits,
@@ -76,10 +85,21 @@ from ..util.profile import (
     PHASE_SWEEPLINE,
     PhaseProfile,
 )
-from .rules import Rule, RuleKind
+from .plan import (
+    DEFAULT_BRUTE_FORCE_THRESHOLD,
+    CheckPlan,
+    PackCache,
+    PlanCaches,
+    kind_spec,
+)
+from .rules import Rule
 
-#: Edge count at or below which the brute-force executor is selected.
-DEFAULT_BRUTE_FORCE_THRESHOLD = 256
+__all__ = [
+    "DEFAULT_BRUTE_FORCE_THRESHOLD",
+    "PackCache",
+    "ParallelBackend",
+    "ParallelChecker",
+]
 
 
 def _candidate_pairs_kernel(
@@ -123,41 +143,12 @@ def _candidate_pairs_kernel(
     )
 
 
-class PackCache:
-    """Deck-scoped host-packing cache (cross-rule buffer reuse).
-
-    Every rule on a layer re-walks the same hierarchy level and re-packs
-    identical device buffers. This cache memoises the host-side artifacts —
-    level items, row partitions, per-definition packers, and packed per-row
-    / fused buffers — keyed by layer plus the stable partition signature
-    (:meth:`repro.partition.rows.RowPartition.signature`), so the second
-    rule touching a layer pays zero host packing. A rule whose distance
-    changes the partition margin, or a checker with rows disabled, produces
-    a different signature and is thereby correctly bypassed.
-    """
-
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self._stores: Dict[str, Dict[Any, Any]] = {}
-
-    def get(self, store: str, key: Any, build: Callable[[], Any]) -> Any:
-        bucket = self._stores.setdefault(store, {})
-        if key in bucket:
-            self.hits += 1
-            return bucket[key]
-        self.misses += 1
-        value = build()
-        bucket[key] = value
-        return value
-
-
-class ParallelChecker:
-    """Executes rules on one layout with the row-based GPU algorithms."""
+class ParallelBackend:
+    """Executes a plan's rules with the row-based GPU algorithms."""
 
     def __init__(
         self,
-        layout: Layout,
+        plan_or_layout,
         *,
         tree: Optional[HierarchyTree] = None,
         device: Optional[Device] = None,
@@ -166,54 +157,103 @@ class ParallelChecker:
         use_rows: bool = True,
         fuse_rows: bool = True,
     ) -> None:
-        self.layout = layout
-        self.tree = tree if tree is not None else HierarchyTree(layout)
-        self.subtree = SubtreeWindow(self.tree)
+        if isinstance(plan_or_layout, CheckPlan):
+            self.plan: Optional[CheckPlan] = plan_or_layout
+            self.layout: Layout = self.plan.layout
+            self.tree = self.plan.tree
+            self.caches = self.plan.caches
+            options = self.plan.options
+            num_streams = options.num_streams
+            brute_force_threshold = options.brute_force_threshold
+            use_rows = options.use_rows
+            fuse_rows = options.fuse_rows
+        else:
+            self.plan = None
+            self.layout = plan_or_layout
+            self.tree = tree if tree is not None else HierarchyTree(plan_or_layout)
+            self.caches = PlanCaches(self.tree)
+        self.subtree = self.caches.subtree
         self.device = device if device is not None else Device()
         self.allocator = StreamOrderedAllocator()
-        self.streams = [self.device.create_stream() for _ in range(max(1, num_streams))]
+        self.executors = [
+            StreamExecutor(self.device.create_stream())
+            for _ in range(max(1, num_streams))
+        ]
+        self.streams = [ex.stream for ex in self.executors]
         self.brute_force_threshold = brute_force_threshold
         self.use_rows = use_rows
         self.fuse_rows = fuse_rows
-        self.pack_cache = PackCache()
+        self.pack_cache = self.caches.pack
         self.executor_counts = {"bruteforce": 0, "sweepline": 0}
         self.fusion_stats = {"fused_launches": 0, "fused_segments": 0}
+        self._sequential = None
 
     # -- rule dispatch ------------------------------------------------------
 
     def run(self, rule: Rule, profile: Optional[PhaseProfile] = None) -> List[Violation]:
         if profile is None:
             profile = PhaseProfile()
-        if rule.kind is RuleKind.SPACING:
-            return self._spacing(rule.layer, rule.value, profile)
-        if rule.kind is RuleKind.ENCLOSURE:
-            return self._enclosure(rule.layer, rule.other_layer, rule.value, profile)
-        if rule.kind is RuleKind.WIDTH:
-            return self._width(rule.layer, rule.value, profile)
-        if rule.kind is RuleKind.AREA:
-            return self._area(rule.layer, rule.value, profile)
-        if rule.kind is RuleKind.CORNER_SPACING:
-            return self._corner(rule.layer, rule.value, profile)
-        # Shape / predicate / region-algebra rules have no arithmetic worth
-        # vectorising here; reuse the sequential scheduler.
-        from .sequential import SequentialChecker
+        spec = kind_spec(rule.kind)
+        if spec.parallel is None:
+            # Shape / predicate / region-algebra rules have no arithmetic
+            # worth vectorising; reuse the sequential strategies over the
+            # same plan caches.
+            return self._fallback().run(rule, profile)
+        strategy = getattr(self, f"_run_{spec.parallel}")
+        return strategy(rule, profile)
 
-        return SequentialChecker(self.layout, tree=self.tree).run(rule, profile)
+    def stats(self) -> Dict[str, float]:
+        """Executor-choice, device-traffic, fusion, and cache counters."""
+        counters = self.device.counters()
+        return dict(
+            kernels_bruteforce=self.executor_counts["bruteforce"],
+            kernels_sweepline=self.executor_counts["sweepline"],
+            kernel_launches=counters["kernel_launches"],
+            h2d_copies=counters["h2d_copies"],
+            h2d_bytes=counters["h2d_bytes"],
+            d2h_copies=counters["d2h_copies"],
+            fused_launches=self.fusion_stats["fused_launches"],
+            fused_segments=self.fusion_stats["fused_segments"],
+            pack_cache_hits=self.pack_cache.hits,
+            pack_cache_misses=self.pack_cache.misses,
+        )
+
+    # -- strategy entry points (bound by plan.KIND_SPECS) ----------------------
+
+    def _run_spacing(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        return self._spacing(rule.layer, rule.value, profile)
+
+    def _run_width(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        return self._width(rule.layer, rule.value, profile)
+
+    def _run_area(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        return self._area(rule.layer, rule.value, profile)
+
+    def _run_corner(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        return self._corner(rule.layer, rule.value, profile)
+
+    def _run_enclosure(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        return self._enclosure(rule.layer, rule.other_layer, rule.value, profile)
 
     # -- helpers --------------------------------------------------------------
 
-    def _stream(self, index: int) -> Stream:
-        return self.streams[index % len(self.streams)]
+    def _fallback(self):
+        if self._sequential is None:
+            from .sequential import SequentialBackend
+
+            self._sequential = SequentialBackend(
+                self.layout, tree=self.tree, caches=self.caches
+            )
+        return self._sequential
+
+    def _stream(self, index: int) -> StreamExecutor:
+        return self.executors[index % len(self.executors)]
 
     # -- pack-cache plumbing -------------------------------------------------
 
     def _cached_items(self, layer: int, profile: PhaseProfile) -> List[LevelItem]:
         with profile.phase(PHASE_OTHER):
-            return self.pack_cache.get(
-                "level-items",
-                layer,
-                lambda: level_items(self.tree, self.tree.top, layer),
-            )
+            return self.caches.level_items(self.tree.top, layer)
 
     def _cached_partition(
         self, key: Any, mbrs: List[Rect], value: int, profile: PhaseProfile
@@ -225,7 +265,7 @@ class ParallelChecker:
         the returned signature is the membership tuple alone (packed buffers
         depend only on which items land in which row). With rows disabled
         the signature is a distinct ``norows`` marker, so row-partitioned
-        buffers are never reused by an unpartitioned checker.
+        buffers are never reused by an unpartitioned backend.
         """
         if not mbrs:
             return [], ("empty",)
@@ -293,13 +333,13 @@ class ParallelChecker:
         threshold: int,
         *,
         want_width: bool,
-        stream: Stream,
+        stream: StreamExecutor,
         profile: PhaseProfile,
     ) -> List[PairHits]:
         """Pack, copy, and check one task's edges on the device."""
         host_start = time.perf_counter()
         buffers = pack_edges(polygons)
-        self.device.record_host("pack-edges", time.perf_counter() - host_start)
+        stream.record_host("pack-edges", time.perf_counter() - host_start)
 
         hits: List[PairHits] = []
         for buf in (buffers["v"], buffers["h"]):
@@ -388,7 +428,7 @@ class ParallelChecker:
             stream = self._stream(index)
             host_start = time.perf_counter()
             pair = self._cached_row_pair(layer, sig, index, [items[m] for m in members])
-            self.device.record_host(
+            stream.record_host(
                 f"pack-row-{index}", time.perf_counter() - host_start
             )
             if pair.num_edges < 2:
@@ -509,7 +549,7 @@ class ParallelChecker:
         threshold: int,
         *,
         want_width: bool,
-        stream: Stream,
+        stream: StreamExecutor,
         profile: PhaseProfile,
     ) -> List[PairHits]:
         hits: List[PairHits] = []
@@ -576,7 +616,7 @@ class ParallelChecker:
         stream = self._stream(0)
         host_start = time.perf_counter()
         buf = pack_vertices(polygons)
-        self.device.record_host("pack-vertices", time.perf_counter() - host_start)
+        stream.record_host("pack-vertices", time.perf_counter() - host_start)
         with profile.phase(PHASE_OTHER):
             xs = stream.memcpy_h2d(buf.xs, name="verts.x")
             ys = stream.memcpy_h2d(buf.ys, name="verts.y")
@@ -692,7 +732,7 @@ class ParallelChecker:
             host_start = time.perf_counter()
             polygons = self._flatten_items([items[m] for m in members], layer)
             buf = pack_corners(polygons)
-            self.device.record_host(
+            stream.record_host(
                 f"pack-corners-{index}", time.perf_counter() - host_start
             )
             if len(buf) < 2:
@@ -748,7 +788,7 @@ class ParallelChecker:
                     self._row_rect_buffer(rm, metal_packer),
                 ),
             )
-            self.device.record_host(
+            stream.record_host(
                 f"pack-row-{index}", time.perf_counter() - host_start
             )
             if len(via_buf) == 0:
@@ -890,7 +930,7 @@ class ParallelChecker:
         via_layer: int,
         metal_layer: int,
         value: int,
-        stream: Stream,
+        stream: StreamExecutor,
         profile: PhaseProfile,
         *,
         via_segment: Optional[np.ndarray] = None,
@@ -959,7 +999,7 @@ class ParallelChecker:
         via_layer: int,
         metal_layer: int,
         value: int,
-        stream: Stream,
+        stream: StreamExecutor,
         profile: PhaseProfile,
     ) -> List[Violation]:
         all_rect = all(p.is_rectangle for p in vias) and all(
@@ -992,7 +1032,7 @@ class ParallelChecker:
             metal_arr = np.zeros((0, 4), dtype=np.int64)
         pair_via = np.asarray([i for i, _ in pairs], dtype=np.int64)
         pair_metal = np.asarray([j for _, j in pairs], dtype=np.int64)
-        self.device.record_host("pack-enclosure", time.perf_counter() - host_start)
+        stream.record_host("pack-enclosure", time.perf_counter() - host_start)
         with profile.phase(PHASE_OTHER):
             via_dev = stream.memcpy_h2d(via_arr, name="via.rects")
             metal_dev = (
@@ -1123,3 +1163,7 @@ class ParallelChecker:
                             )
                         )
         return out
+
+
+#: Backwards-compatible name from before the Backend protocol existed.
+ParallelChecker = ParallelBackend

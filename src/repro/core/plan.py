@@ -1,0 +1,417 @@
+"""Rule-deck compilation: the CheckPlan IR and the Backend seam.
+
+The paper's application layer "schedules computation tasks and dispatches
+them to algorithms" (§V-A). This module makes that a two-stage pipeline:
+
+1. **Compile** — :func:`compile_plan` normalizes and validates a rule deck
+   against a layout, resolves every rule kind to its :class:`KindSpec`
+   (the single per-kind dispatch table; together with
+   :data:`repro.checks.base.FLAT_CHECKS` it replaces the three hand-written
+   kind→function maps the sequential, parallel, and windowed paths used to
+   carry), infers the rule dependency graph, and allocates the
+   :class:`PlanCaches` that own the hierarchy tree, row partitions, and
+   packed device buffers for the whole deck.
+2. **Execute** — any :class:`Backend` (sequential CPU sweeps, fused
+   simulated-GPU kernels, or the windowed gatherer) consumes the same plan;
+   ``Engine.check`` drives the chosen backend through the task scheduler.
+
+This is the load-bearing seam for multi-device sharding and rule-level
+task parallelism: a plan is a self-contained, executable artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # Protocol is typing-only; keep runtime deps minimal on 3.9.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py<3.8 fallback, never hit
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from ..checks.base import FLAT_CHECKS, Violation
+from ..checks.corner import CornerProcedures
+from ..checks.enclosure import EnclosureProcedures
+from ..checks.overlap import OverlapProcedures
+from ..checks.spacing import SpacingProcedures
+from ..hierarchy.pruning import (
+    LevelItem,
+    SubtreeWindow,
+    always_invariant,
+    area_invariant,
+    distance_invariant,
+    level_items,
+)
+from ..hierarchy.tree import HierarchyTree
+from ..layout.cell import Cell
+from ..layout.library import Layout
+from ..util.profile import PhaseProfile
+from .rules import Rule, RuleKind, validate_rules
+from .scheduler import infer_rule_dependencies
+
+MODE_SEQUENTIAL = "sequential"
+MODE_PARALLEL = "parallel"
+MODE_WINDOWED = "windowed"
+
+#: Modes an :class:`EngineOptions` may select (windowed needs a window, so
+#: it is reachable through ``check_window``, not ``Engine.check``).
+ENGINE_MODES = (MODE_SEQUENTIAL, MODE_PARALLEL)
+
+#: Every mode a plan can be compiled for.
+ALL_MODES = (MODE_SEQUENTIAL, MODE_PARALLEL, MODE_WINDOWED)
+
+#: Edge count at or below which the brute-force executor is selected (§IV-E).
+DEFAULT_BRUTE_FORCE_THRESHOLD = 256
+
+
+@dataclasses.dataclass
+class EngineOptions:
+    """Tuning knobs; defaults match the paper's described behaviour."""
+
+    mode: str = MODE_SEQUENTIAL
+    use_rows: bool = True  # adaptive row partition (paper §IV-B)
+    num_streams: int = 2  # CUDA streams for async overlap (paper §V-C)
+    brute_force_threshold: int = DEFAULT_BRUTE_FORCE_THRESHOLD  # executor choice (§IV-E)
+    fuse_rows: bool = True  # fused segmented-row launches; False = per-row ablation
+
+    def __post_init__(self) -> None:
+        if self.mode not in ENGINE_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.num_streams < 1:
+            raise ValueError(
+                f"num_streams must be at least 1, got {self.num_streams}"
+            )
+        if self.brute_force_threshold < 0:
+            raise ValueError(
+                "brute_force_threshold must be non-negative, got "
+                f"{self.brute_force_threshold}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# The per-kind dispatch table
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class KindSpec:
+    """Everything any backend needs to know about one rule kind.
+
+    * ``flat`` — the gather-and-check procedure (windowed backend and flat
+      fallbacks), from :data:`repro.checks.base.FLAT_CHECKS`;
+    * ``sequential`` — the hierarchical CPU strategy name the sequential
+      backend binds (``intra`` / ``pairwise`` / ``cross_layer`` /
+      ``coloring``);
+    * ``parallel`` — the data-parallel strategy name the GPU backend binds
+      (``None`` means the kind has no arithmetic worth vectorising and the
+      parallel backend delegates to the sequential strategy);
+    * ``intra`` — for intra-polygon kinds, ``rule -> (check(cell, layer),
+      invariance)``: the per-definition check plus the transform invariance
+      class that makes its results reusable across instances (§IV-C);
+    * ``procedures`` — for pairwise/cross-layer kinds, the factory of the
+      edge-level procedure object.
+    """
+
+    kind: RuleKind
+    flat: Callable
+    sequential: str
+    parallel: Optional[str] = None
+    intra: Optional[Callable] = None
+    procedures: Optional[Callable] = None
+
+
+def _width_intra(rule: Rule):
+    from ..checks.width import check_polygon_width
+
+    def check(cell: Cell, layer: int) -> List[Violation]:
+        vios: List[Violation] = []
+        for polygon in cell.polygons(layer):
+            vios.extend(check_polygon_width(polygon, layer, rule.value))
+        return vios
+
+    return check, distance_invariant
+
+
+def _area_intra(rule: Rule):
+    from ..checks.area import check_polygon_area
+
+    def check(cell: Cell, layer: int) -> List[Violation]:
+        vios: List[Violation] = []
+        for polygon in cell.polygons(layer):
+            vios.extend(check_polygon_area(polygon, layer, rule.value))
+        return vios
+
+    return check, area_invariant
+
+
+def _rectilinear_intra(rule: Rule):
+    from ..checks.rectilinear import check_polygon_rectilinear
+
+    def check(cell: Cell, layer: int) -> List[Violation]:
+        vios: List[Violation] = []
+        for polygon in cell.polygons(layer):
+            vios.extend(check_polygon_rectilinear(polygon, layer))
+        return vios
+
+    return check, always_invariant
+
+
+def _ensures_intra(rule: Rule):
+    from ..checks.ensure import check_ensures
+
+    def check(cell: Cell, layer: int) -> List[Violation]:
+        return check_ensures(cell.polygons(layer), layer, rule.predicate)
+
+    return check, always_invariant
+
+
+def _spec(kind: RuleKind, sequential: str, **kwargs: Any) -> KindSpec:
+    return KindSpec(
+        kind=kind,
+        flat=FLAT_CHECKS.get(kind).run,
+        sequential=sequential,
+        **kwargs,
+    )
+
+
+#: The single registry of rule-kind execution strategies. Every backend —
+#: sequential, parallel, windowed — resolves its per-rule behaviour here.
+KIND_SPECS: Dict[RuleKind, KindSpec] = {
+    RuleKind.WIDTH: _spec(
+        RuleKind.WIDTH, "intra", parallel="width", intra=_width_intra
+    ),
+    RuleKind.AREA: _spec(
+        RuleKind.AREA, "intra", parallel="area", intra=_area_intra
+    ),
+    RuleKind.RECTILINEAR: _spec(
+        RuleKind.RECTILINEAR, "intra", intra=_rectilinear_intra
+    ),
+    RuleKind.ENSURES: _spec(
+        RuleKind.ENSURES, "intra", intra=_ensures_intra
+    ),
+    RuleKind.SPACING: _spec(
+        RuleKind.SPACING, "pairwise", parallel="spacing",
+        procedures=SpacingProcedures,
+    ),
+    RuleKind.CORNER_SPACING: _spec(
+        RuleKind.CORNER_SPACING, "pairwise", parallel="corner",
+        procedures=CornerProcedures,
+    ),
+    RuleKind.ENCLOSURE: _spec(
+        RuleKind.ENCLOSURE, "cross_layer", parallel="enclosure",
+        procedures=EnclosureProcedures,
+    ),
+    RuleKind.MIN_OVERLAP: _spec(
+        RuleKind.MIN_OVERLAP, "cross_layer", procedures=OverlapProcedures
+    ),
+    RuleKind.COLORING: _spec(RuleKind.COLORING, "coloring"),
+}
+
+
+def kind_spec(kind: RuleKind) -> KindSpec:
+    """The execution spec of one rule kind (raises for unknown kinds)."""
+    try:
+        return KIND_SPECS[kind]
+    except KeyError:
+        raise NotImplementedError(f"rule kind {kind!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Plan-owned caches
+# ---------------------------------------------------------------------------
+
+
+class PackCache:
+    """Deck-scoped host-side cache (cross-rule buffer and walk reuse).
+
+    Every rule on a layer re-walks the same hierarchy level and re-packs
+    identical device buffers. This cache memoises the host-side artifacts —
+    level items, row partitions, per-definition packers, and packed per-row
+    / fused buffers — keyed by layer plus the stable partition signature
+    (:meth:`repro.partition.rows.RowPartition.signature`), so the second
+    rule touching a layer pays zero host packing. A rule whose distance
+    changes the partition margin, or a backend with rows disabled, produces
+    a different signature and is thereby correctly bypassed.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._stores: Dict[str, Dict[Any, Any]] = {}
+
+    def get(self, store: str, key: Any, build: Callable[[], Any]) -> Any:
+        bucket = self._stores.setdefault(store, {})
+        if key in bucket:
+            self.hits += 1
+            return bucket[key]
+        self.misses += 1
+        value = build()
+        bucket[key] = value
+        return value
+
+
+class PlanCaches:
+    """Shared state every backend executing one plan reads through.
+
+    Owns the subtree range-query window and the :class:`PackCache`; the
+    level items of a (cell, layer) are identical for every rule in the
+    deck, so they live here rather than in any one backend.
+    """
+
+    def __init__(self, tree: HierarchyTree) -> None:
+        self.tree = tree
+        self.subtree = SubtreeWindow(tree)
+        self.pack = PackCache()
+
+    def level_items(self, cell: Cell, layer: int) -> List[LevelItem]:
+        return self.pack.get(
+            "level-items",
+            (cell.name, layer),
+            lambda: level_items(self.tree, cell, layer),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The IR
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledRule:
+    """One deck rule bound to its execution spec and dependencies."""
+
+    index: int
+    rule: Rule
+    spec: KindSpec
+    depends_on: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.rule.name
+
+
+@dataclasses.dataclass
+class CheckPlan:
+    """A compiled, executable rule deck: the IR every backend consumes."""
+
+    layout: Layout
+    mode: str
+    options: EngineOptions
+    tree: HierarchyTree
+    caches: PlanCaches
+    compiled: List[CompiledRule]
+
+    @property
+    def rules(self) -> List[Rule]:
+        return [c.rule for c in self.compiled]
+
+    def layer_groups(self) -> Dict[Optional[int], List[CompiledRule]]:
+        """Compiled rules grouped by target layer (None = all layers).
+
+        The grouping future sharding work fans out on: rules of one layer
+        share the plan's level items, partitions, and packed buffers.
+        """
+        groups: Dict[Optional[int], List[CompiledRule]] = {}
+        for compiled in self.compiled:
+            groups.setdefault(compiled.rule.layer, []).append(compiled)
+        return groups
+
+    def dependencies(self) -> Dict[str, Tuple[str, ...]]:
+        """Rule name -> names it must run after (shape-sanity gating)."""
+        return {c.name: c.depends_on for c in self.compiled}
+
+
+def compile_plan(
+    layout: Layout,
+    rules: Sequence[Rule],
+    options: Optional[EngineOptions] = None,
+    *,
+    mode: Optional[str] = None,
+    tree: Optional[HierarchyTree] = None,
+) -> CheckPlan:
+    """Compile a rule deck against a layout into an executable plan.
+
+    Validation happens here, once, for every execution path: deck
+    non-emptiness, rule-name uniqueness, known rule kinds, and the mode.
+    """
+    deck = list(rules)
+    if not deck:
+        raise ValueError("no rules to check; call add_rules() first")
+    validate_rules(deck)
+    if options is None:
+        options = EngineOptions()
+    resolved_mode = mode if mode is not None else options.mode
+    if resolved_mode not in ALL_MODES:
+        raise ValueError(f"unknown mode {resolved_mode!r}")
+    if tree is None:
+        tree = HierarchyTree(layout)
+    dependencies = infer_rule_dependencies(deck)
+    compiled = [
+        CompiledRule(
+            index=index,
+            rule=rule,
+            spec=kind_spec(rule.kind),
+            depends_on=dependencies[rule.name],
+        )
+        for index, rule in enumerate(deck)
+    ]
+    return CheckPlan(
+        layout=layout,
+        mode=resolved_mode,
+        options=options,
+        tree=tree,
+        caches=PlanCaches(tree),
+        compiled=compiled,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The Backend protocol
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every plan executor implements.
+
+    ``run`` executes one rule of the plan and returns its violations in
+    top-cell coordinates; ``stats`` snapshots the backend's cumulative
+    counters (pruning, executor choice, device traffic) for
+    :class:`~repro.core.results.CheckResult`.
+    """
+
+    plan: Optional[CheckPlan]
+
+    def run(
+        self, rule: Rule, profile: Optional[PhaseProfile] = None
+    ) -> List[Violation]: ...
+
+    def stats(self) -> Dict[str, float]: ...
+
+
+def make_backend(plan: CheckPlan, *, device=None, window=None) -> "Backend":
+    """Instantiate the backend the plan's mode selects."""
+    if plan.mode == MODE_PARALLEL:
+        from .parallel import ParallelBackend
+
+        return ParallelBackend(plan, device=device)
+    if plan.mode == MODE_WINDOWED:
+        from .incremental import WindowedBackend
+
+        if window is None:
+            raise ValueError("windowed execution needs a window rect")
+        return WindowedBackend(plan, window)
+    from .sequential import SequentialBackend
+
+    return SequentialBackend(plan)

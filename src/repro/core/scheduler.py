@@ -205,21 +205,20 @@ class ScheduleAnalysis:
         return "\n".join(lines)
 
 
-def build_rule_graph(
-    rules: Sequence[Rule],
-    run_rule: Callable[[Rule], object],
-) -> TaskGraph:
-    """One task per rule; geometric rules depend on their layer's shape rule.
+def infer_rule_dependencies(rules: Sequence[Rule]) -> Dict[str, tuple]:
+    """Rule name -> names of the rules it must run after.
 
     Rule decks commonly gate distance/area measurements on shape sanity
-    (a non-rectilinear polygon makes edge checks meaningless), which gives
-    the graph real dependencies; independent rules schedule concurrently.
+    (a non-rectilinear polygon makes edge checks meaningless): every
+    geometric rule on a layer depends on that layer's shape rule when one
+    is present. Plan compilation stores this on each compiled rule, and
+    :func:`build_rule_graph` turns it into task-graph edges.
     """
-    graph = TaskGraph()
     shape_rules: Dict[Optional[int], str] = {}
     for rule in rules:
         if rule.kind is RuleKind.RECTILINEAR:
             shape_rules[rule.layer] = rule.name
+    dependencies: Dict[str, tuple] = {}
     for rule in rules:
         deps: List[str] = []
         if rule.kind is not RuleKind.RECTILINEAR:
@@ -228,5 +227,37 @@ def build_rule_graph(
                 if dep is not None and dep != rule.name:
                     deps.append(dep)
                     break
-        graph.add_task(rule.name, lambda r=rule: run_rule(r), depends_on=deps)
+        dependencies[rule.name] = tuple(deps)
+    return dependencies
+
+
+def build_rule_graph(
+    rules: Sequence[Rule],
+    run_rule: Callable[[Rule], object],
+) -> TaskGraph:
+    """One task per rule, gated by :func:`infer_rule_dependencies`."""
+    graph = TaskGraph()
+    dependencies = infer_rule_dependencies(rules)
+    for rule in rules:
+        graph.add_task(
+            rule.name,
+            lambda r=rule: run_rule(r),
+            depends_on=list(dependencies[rule.name]),
+        )
+    return graph
+
+
+def build_plan_graph(plan, run_rule: Callable[[Rule], object]) -> TaskGraph:
+    """Task graph over a compiled :class:`~repro.core.plan.CheckPlan`.
+
+    Uses the dependencies plan compilation already inferred, so scheduling
+    and compilation cannot drift apart.
+    """
+    graph = TaskGraph()
+    for compiled in plan.compiled:
+        graph.add_task(
+            compiled.name,
+            lambda r=compiled.rule: run_rule(r),
+            depends_on=list(compiled.depends_on),
+        )
     return graph

@@ -1,4 +1,4 @@
-"""The sequential mode (paper §IV-D): hierarchical CPU checking.
+"""The sequential backend (paper §IV-D): hierarchical CPU checking.
 
 Pipeline per rule:
 
@@ -13,30 +13,24 @@ Pipeline per rule:
 
 Each of the three stages is attributed to its profile phase, which is what
 the Fig. 4 runtime-breakdown benchmark reads out.
+
+Per-rule-kind behaviour is resolved through the plan's
+:data:`~repro.core.plan.KIND_SPECS` table — this module implements the
+*strategies* (``intra`` / ``pairwise`` / ``cross_layer`` / ``coloring``)
+and carries no kind table of its own.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..checks.base import Violation, ViolationKind
-from ..checks.enclosure import enclosure_margin, enclosure_pair_violations
-from ..checks.spacing import spacing_notch_violations, spacing_pair_violations
-from ..checks.width import check_polygon_width
-from ..checks.area import check_polygon_area
-from ..checks.rectilinear import check_polygon_rectilinear
-from ..checks.ensure import check_ensures
+from ..checks.base import Violation
 from ..geometry import IDENTITY, Polygon, Transform
 from ..hierarchy.pruning import (
     IntraCheckScheduler,
     LevelItem,
     PruningStats,
-    SubtreeWindow,
-    always_invariant,
-    area_invariant,
-    distance_invariant,
     gather_pair_polygons,
-    level_items,
 )
 from ..hierarchy.query import invert
 from ..hierarchy.tree import HierarchyTree
@@ -51,37 +45,50 @@ from ..util.profile import (
     PHASE_SWEEPLINE,
     PhaseProfile,
 )
-from .rules import Rule, RuleKind
+from .plan import CheckPlan, PlanCaches, kind_spec
+from .rules import Rule
 
 
-class SequentialChecker:
-    """Executes rules on one layout with the hierarchical CPU algorithms."""
+class SequentialBackend:
+    """Executes a plan's rules with the hierarchical CPU algorithms."""
 
     def __init__(
         self,
+        plan_or_layout,
+        *,
+        tree: Optional[HierarchyTree] = None,
+        use_rows: bool = True,
+        caches: Optional[PlanCaches] = None,
+    ) -> None:
+        if isinstance(plan_or_layout, CheckPlan):
+            self.plan: Optional[CheckPlan] = plan_or_layout
+            self.layout: Layout = self.plan.layout
+            self.tree = self.plan.tree
+            self.caches = self.plan.caches
+            self.use_rows = self.plan.options.use_rows
+        else:
+            self.plan = None
+            self.layout = plan_or_layout
+            self.tree = tree if tree is not None else HierarchyTree(plan_or_layout)
+            self.caches = caches if caches is not None else PlanCaches(self.tree)
+            self.use_rows = use_rows
+        self.subtree = self.caches.subtree
+        self.pruning = PruningStats()
+        self._pair_memo: Dict[tuple, List[Violation]] = {}
+
+    @classmethod
+    def for_layout(
+        cls,
         layout: Layout,
         *,
         tree: Optional[HierarchyTree] = None,
         use_rows: bool = True,
-    ) -> None:
-        self.layout = layout
-        self.tree = tree if tree is not None else HierarchyTree(layout)
-        self.subtree = SubtreeWindow(self.tree)
-        self.use_rows = use_rows
-        self.pruning = PruningStats()
-        self._pair_memo: Dict[tuple, List[Violation]] = {}
-        # Deck-scoped mirror of the parallel mode's pack cache: level items
-        # of a (cell, layer) are identical for every rule in the deck, so
-        # the second rule touching a layer pays zero re-walk of the level.
-        self._level_items_memo: Dict[tuple, List[LevelItem]] = {}
+    ) -> "SequentialBackend":
+        """A standalone backend over a bare layout (no pre-compiled plan)."""
+        return cls(layout, tree=tree, use_rows=use_rows)
 
     def _level_items(self, cell: Cell, layer: int) -> List[LevelItem]:
-        key = (cell.name, layer)
-        cached = self._level_items_memo.get(key)
-        if cached is None:
-            cached = level_items(self.tree, cell, layer)
-            self._level_items_memo[key] = cached
-        return cached
+        return self.caches.level_items(cell, layer)
 
     # -- rule dispatch ------------------------------------------------------
 
@@ -89,36 +96,45 @@ class SequentialChecker:
         """Execute one rule; violations are in top-cell coordinates."""
         if profile is None:
             profile = PhaseProfile()
-        if rule.kind is RuleKind.WIDTH:
-            return self._intra(rule, profile)
-        if rule.kind is RuleKind.AREA:
-            return self._intra(rule, profile)
-        if rule.kind is RuleKind.RECTILINEAR:
-            return self._intra(rule, profile)
-        if rule.kind is RuleKind.ENSURES:
-            return self._intra(rule, profile)
-        if rule.kind is RuleKind.SPACING:
-            return self._pairwise(rule.layer, rule.value, _SpacingProcedures(), profile)
-        if rule.kind is RuleKind.CORNER_SPACING:
-            return self._pairwise(rule.layer, rule.value, _CornerProcedures(), profile)
-        if rule.kind is RuleKind.ENCLOSURE:
-            return self._cross_layer(
-                rule.layer, rule.other_layer, rule.value, _EnclosureProcedures(), profile
-            )
-        if rule.kind is RuleKind.COLORING:
-            return self._coloring(rule.layer, rule.value, profile)
-        if rule.kind is RuleKind.MIN_OVERLAP:
-            return self._cross_layer(
-                rule.layer, rule.other_layer, rule.value, _OverlapProcedures(), profile
-            )
-        raise NotImplementedError(f"rule kind {rule.kind!r}")
+        spec = kind_spec(rule.kind)
+        strategy = getattr(self, f"_run_{spec.sequential}")
+        return strategy(rule, spec, profile)
+
+    def stats(self) -> Dict[str, float]:
+        """Cumulative pruning and cache counters (for CheckResult.stats)."""
+        return dict(
+            checks_run=self.pruning.checks_run,
+            checks_reused=self.pruning.checks_reused,
+            pairs_considered=self.pruning.pairs_considered,
+            pairs_pruned_mbr=self.pruning.pairs_pruned_mbr,
+            pack_cache_hits=self.caches.pack.hits,
+            pack_cache_misses=self.caches.pack.misses,
+        )
+
+    # -- strategy entry points (bound by plan.KIND_SPECS) ----------------------
+
+    def _run_intra(self, rule: Rule, spec, profile: PhaseProfile) -> List[Violation]:
+        return self._intra(rule, spec, profile)
+
+    def _run_pairwise(self, rule: Rule, spec, profile: PhaseProfile) -> List[Violation]:
+        return self._pairwise(rule.layer, rule.value, spec.procedures(), profile)
+
+    def _run_cross_layer(
+        self, rule: Rule, spec, profile: PhaseProfile
+    ) -> List[Violation]:
+        return self._cross_layer(
+            rule.layer, rule.other_layer, rule.value, spec.procedures(), profile
+        )
+
+    def _run_coloring(self, rule: Rule, spec, profile: PhaseProfile) -> List[Violation]:
+        return self._coloring(rule.layer, rule.value, profile)
 
     # -- intra-polygon rules (paper §IV-C intra checks) ------------------------
 
-    def _intra(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+    def _intra(self, rule: Rule, spec, profile: PhaseProfile) -> List[Violation]:
         layers = [rule.layer] if rule.layer is not None else self.layout.layers()
         scheduler = IntraCheckScheduler(self.tree)
-        check, invariance = self._intra_check_fn(rule)
+        check, invariance = spec.intra(rule)
         out: List[Violation] = []
         with profile.phase(PHASE_EDGE_CHECKS):
             for layer in layers:
@@ -132,49 +148,13 @@ class SequentialChecker:
         self._merge_stats(scheduler.stats)
         return out
 
-    def _intra_check_fn(self, rule: Rule):
-        if rule.kind is RuleKind.WIDTH:
-
-            def check(cell: Cell, layer: int) -> List[Violation]:
-                vios: List[Violation] = []
-                for polygon in cell.polygons(layer):
-                    vios.extend(check_polygon_width(polygon, layer, rule.value))
-                return vios
-
-            return check, distance_invariant
-        if rule.kind is RuleKind.AREA:
-
-            def check(cell: Cell, layer: int) -> List[Violation]:
-                vios = []
-                for polygon in cell.polygons(layer):
-                    vios.extend(check_polygon_area(polygon, layer, rule.value))
-                return vios
-
-            return check, area_invariant
-        if rule.kind is RuleKind.RECTILINEAR:
-
-            def check(cell: Cell, layer: int) -> List[Violation]:
-                vios = []
-                for polygon in cell.polygons(layer):
-                    vios.extend(check_polygon_rectilinear(polygon, layer))
-                return vios
-
-            return check, always_invariant
-        if rule.kind is RuleKind.ENSURES:
-
-            def check(cell: Cell, layer: int) -> List[Violation]:
-                return check_ensures(cell.polygons(layer), layer, rule.predicate)
-
-            return check, always_invariant
-        raise NotImplementedError(rule.kind)
-
     # -- spacing (intra-layer inter-polygon) --------------------------------------
 
     def _pairwise(
         self,
         layer: int,
         value: int,
-        procedures: "_PairProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Violation]:
         """Generic intra-layer pairwise rule (spacing, corner spacing)."""
@@ -238,7 +218,7 @@ class SequentialChecker:
         items: List[LevelItem],
         layer: int,
         value: int,
-        procedures: "_PairProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Violation]:
         """Level pairs of the top cell, row-partitioned when enabled."""
@@ -265,7 +245,7 @@ class SequentialChecker:
         cell: Cell,
         layer: int,
         value: int,
-        procedures: "_PairProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Violation]:
         """Self checks plus this level's cross-item pairs (no recursion)."""
@@ -283,7 +263,7 @@ class SequentialChecker:
         items: Sequence[LevelItem],
         layer: int,
         value: int,
-        procedures: "_PairProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Violation]:
         margin = margin_for_rule(value)
@@ -307,7 +287,7 @@ class SequentialChecker:
         item_b: LevelItem,
         layer: int,
         value: int,
-        procedures: "_PairProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Violation]:
         """One candidate pair, with relative-position memoisation."""
@@ -341,7 +321,7 @@ class SequentialChecker:
         side_b: Sequence[Polygon],
         layer: int,
         value: int,
-        procedures: "_PairProcedures",
+        procedures,
     ) -> List[Violation]:
         """Edge checks between two polygon sets, MBR-pruned per pair.
 
@@ -371,7 +351,7 @@ class SequentialChecker:
         placement: Transform,
         layer: int,
         value: int,
-        procedures: "_PairProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Violation]:
         """Fallback for non-distance-preserving placements: flatten and check."""
@@ -387,7 +367,7 @@ class SequentialChecker:
         via_layer: int,
         metal_layer: int,
         value: int,
-        procedures: "_CrossLayerProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Violation]:
         """Pending-object resolution up the hierarchy (enclosure, overlap).
@@ -450,7 +430,7 @@ class SequentialChecker:
         vias: List[Polygon],
         metal_layer: int,
         value: int,
-        procedures: "_CrossLayerProcedures",
+        procedures,
         profile: PhaseProfile,
     ) -> List[Polygon]:
         """Drop every via satisfied by metal in this cell's subtree.
@@ -542,78 +522,5 @@ class SequentialChecker:
         self.pruning.pairs_pruned_mbr += stats.pairs_pruned_mbr
 
 
-class _SpacingProcedures:
-    """Edge-based exterior spacing (paper §IV-D check procedures)."""
-
-    def self_violations(self, polygon: Polygon, layer: int, value: int):
-        return spacing_notch_violations(polygon, layer, value)
-
-    def cross_violations(self, pa: Polygon, pb: Polygon, layer: int, value: int):
-        return spacing_pair_violations(pa, pb, layer, value)
-
-    def flat_check(self, polygons, layer: int, value: int):
-        from ..checks.spacing import check_spacing
-
-        return check_spacing(polygons, layer, value)
-
-
-class _CornerProcedures:
-    """Diagonal corner-to-corner spacing (roadmap extension)."""
-
-    def self_violations(self, polygon: Polygon, layer: int, value: int):
-        from ..checks.corner import convex_corners, corner_pair_violations
-
-        corners = convex_corners(polygon)
-        return corner_pair_violations(corners, corners, layer, value)
-
-    def cross_violations(self, pa: Polygon, pb: Polygon, layer: int, value: int):
-        from ..checks.corner import convex_corners, corner_pair_violations
-
-        return corner_pair_violations(
-            convex_corners(pa), convex_corners(pb), layer, value
-        )
-
-    def flat_check(self, polygons, layer: int, value: int):
-        from ..checks.corner import check_corner_spacing
-
-        return check_corner_spacing(polygons, layer, value)
-
-
-class _EnclosureProcedures:
-    """Via-in-metal enclosure (paper Table II right half)."""
-
-    def satisfied(self, via: Polygon, metals, value: int) -> bool:
-        for metal in metals:
-            margin = enclosure_margin(via, metal)
-            if margin is not None and margin >= value:
-                return True
-        return False
-
-    def violations(self, via, metals, via_layer, metal_layer, value):
-        return enclosure_pair_violations(via, metals, via_layer, metal_layer, value)
-
-
-class _OverlapProcedures:
-    """Minimum overlapping area between layers (paper §I motivation)."""
-
-    def satisfied(self, polygon: Polygon, bases, value: int) -> bool:
-        from ..checks.overlap import overlap_area
-
-        return overlap_area(polygon, bases) >= value
-
-    def violations(self, polygon, bases, top_layer, base_layer, value):
-        from ..checks.overlap import overlap_area
-
-        area = overlap_area(polygon, bases)
-        if area >= value:
-            return []
-        return [
-            Violation(
-                kind=ViolationKind.OVERLAP,
-                layer=top_layer,
-                other_layer=base_layer,
-                region=polygon.mbr,
-                measured=area,
-                required=value,
-            )
-        ]
+#: Backwards-compatible name from before the Backend protocol existed.
+SequentialChecker = SequentialBackend

@@ -26,7 +26,13 @@ class SequencedPolicy:
 
 
 class StreamExecutor:
-    """Wrapper over a device stream: operations append to the stream."""
+    """Wrapper over a device stream: operations append to the stream.
+
+    This is the execution seam the parallel backend dispatches through
+    (Listing 2's ``stream_policy``): copies and launches are issued against
+    the wrapped stream, host preprocessing is recorded against the device
+    timeline, so swapping the executor swaps where the work lands.
+    """
 
     is_device = True
 
@@ -36,6 +42,18 @@ class StreamExecutor:
     @property
     def device(self) -> Device:
         return self.stream.device
+
+    def memcpy_h2d(self, array, *, name: str = "h2d"):
+        return self.stream.memcpy_h2d(array, name=name)
+
+    def memcpy_d2h(self, array, *, name: str = "d2h"):
+        return self.stream.memcpy_d2h(array, name=name)
+
+    def launch(self, name: str, kernel, *args, items: int = 0, **kwargs):
+        return self.stream.launch(name, kernel, *args, items=items, **kwargs)
+
+    def record_host(self, name: str, seconds: float, *, items: int = 0) -> None:
+        self.stream.device.record_host(name, seconds, items=items)
 
     def __repr__(self) -> str:
         return f"StreamExecutor({self.stream!r})"

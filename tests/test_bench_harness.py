@@ -1,7 +1,5 @@
 """Smoke tests for the benchmark harness itself (on the smallest design)."""
 
-import pytest
-
 from benchmarks import tables
 from benchmarks.common import TABLE_COLUMNS, design, verify_agreement
 from repro.workloads import asap7
@@ -29,7 +27,7 @@ class TestTableGenerators:
 
     def test_xcheck_area_column_empty(self):
         text = tables.table1_intra(designs=("uart",))
-        area_rows = [l for l in text.splitlines() if ".A.1" in l]
+        area_rows = [ln for ln in text.splitlines() if ".A.1" in ln]
         assert area_rows and all(" - " in row or row.rstrip().count(" -") for row in area_rows)
 
     def test_fig4_breakdown_structure(self):

@@ -1,5 +1,3 @@
-import pytest
-
 from repro.checks.base import ViolationKind
 from repro.checks.coloring import check_two_colorable, conflict_edges, two_color
 from repro.core import Engine

@@ -1,5 +1,3 @@
-import pytest
-
 from repro.checks.base import ViolationKind
 from repro.checks.overlap import check_min_overlap, overlap_area
 from repro.core import Engine

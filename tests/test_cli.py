@@ -65,6 +65,70 @@ class TestCheckCommand:
             main(["check", uart_gds, "--deck", str(deck)])
 
 
+class TestBackendFlags:
+    def test_parallel_knobs_accepted(self, uart_gds):
+        code = main([
+            "check", uart_gds, "--top", "top", "--mode", "parallel",
+            "--num-streams", "3", "--brute-force-threshold", "0",
+        ])
+        assert code == 0
+
+    def test_no_fuse_rows_ablation(self, uart_gds):
+        code = main([
+            "check", uart_gds, "--top", "top", "--mode", "parallel",
+            "--no-fuse-rows",
+        ])
+        assert code == 0
+
+    def test_fuse_rows_flags_conflict(self, uart_gds, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", uart_gds, "--fuse-rows", "--no-fuse-rows"])
+
+    def test_invalid_num_streams_rejected(self, uart_gds, capsys):
+        with pytest.raises(SystemExit, match="num_streams"):
+            main(["check", uart_gds, "--top", "top", "--num-streams", "0"])
+
+    def test_invalid_threshold_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="brute_force_threshold"):
+            main([
+                "check", uart_gds, "--top", "top",
+                "--brute-force-threshold", "-5",
+            ])
+
+
+class TestCheckWindowCommand:
+    def test_clean_window_exit_zero(self, uart_gds, capsys):
+        code = main(["check-window", uart_gds, "0", "0", "2000", "2000", "--top", "top"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windowed" in out and "PASS" in out
+
+    def test_dirty_window_exit_one(self, dirty_gds, capsys):
+        code = main([
+            "check-window", dirty_gds,
+            "-100000", "-100000", "100000", "100000", "--top", "top",
+        ])
+        assert code == 1
+        assert "violations" in capsys.readouterr().out
+
+    def test_window_away_from_violations_passes(self, dirty_gds):
+        # The injected scratch strip sits above the core rows.
+        assert main([
+            "check-window", dirty_gds, "0", "0", "400", "400", "--top", "top",
+        ]) == 0
+
+    def test_empty_window_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="non-empty"):
+            main(["check-window", uart_gds, "100", "100", "50", "900", "--top", "top"])
+
+    def test_csv_output(self, dirty_gds, capsys):
+        main([
+            "check-window", dirty_gds,
+            "-100000", "-100000", "100000", "100000", "--top", "top", "--csv",
+        ])
+        assert capsys.readouterr().out.startswith("rule,kind")
+
+
 class TestStatsCommand:
     def test_stats(self, uart_gds, capsys):
         assert main(["stats", uart_gds, "--top", "top"]) == 0

@@ -5,7 +5,6 @@ from repro.core.rules import layer, polygons
 from repro.geometry import Polygon, Transform
 from repro.layout import CellReference, Layout
 from repro.util.profile import PHASE_EDGE_CHECKS
-from repro.workloads import asap7
 
 
 def simple_layout() -> Layout:

@@ -1,11 +1,9 @@
 """End-to-end integration: GDSII file -> engine -> markers, across modes."""
 
-import pytest
-
 from repro.core import Engine
 from repro.core.rules import layer
 from repro.gdsii import read_layout, write
-from repro.layout import compute_stats, gdsii_from_layout
+from repro.layout import gdsii_from_layout
 from repro.workloads import InjectionPlan, asap7, build_design, inject_violations
 
 

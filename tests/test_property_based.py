@@ -11,7 +11,7 @@ from repro.spatial import (
     iter_overlapping_pairs,
     merge_intervals_pigeonhole,
 )
-from repro.partition import margin_for_rule, partition_rects
+from repro.partition import partition_rects
 
 coords = st.integers(min_value=-1000, max_value=1000)
 sizes = st.integers(min_value=0, max_value=80)

@@ -1,5 +1,3 @@
-import time
-
 import pytest
 
 from repro.core import Engine
