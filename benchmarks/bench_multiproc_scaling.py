@@ -1,0 +1,140 @@
+"""Multi-core scaling: wall-clock speedup vs. worker count.
+
+Runs the full ASAP7-like deck on generator workloads with the multiprocess
+backend at ``jobs`` ∈ {1, 2, 4} and emits a machine-readable
+``BENCH_multiproc.json`` with the speedup-vs-workers curve. Two properties
+are checked:
+
+* **Determinism (hard, everywhere)**: the CSV marker dump must be
+  byte-identical at every worker count — the canonical violation sort makes
+  shard scheduling invisible in the report.
+* **Speedup (hardware-gated)**: ≥ 2x at 4 workers over ``jobs=1`` on the
+  largest generator workload. Process parallelism cannot beat the core
+  count, so this is asserted only on hosts with ≥ 4 CPUs; the JSON records
+  ``cpu_count`` so a reader can judge the curve honestly.
+
+Run directly (``python -m benchmarks.bench_multiproc_scaling``) or through
+pytest.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.common import SCALE, design, write_bench_json
+from repro.core import Engine, EngineOptions
+from repro.workloads import asap7
+
+JOB_COUNTS = (1, 2, 4)
+
+#: Generator workloads, smallest to largest flat polygon count.
+DESIGNS = ("uart", "jpeg")
+
+#: The largest workload — the speedup criterion applies here.
+LARGEST = "jpeg"
+
+SPEEDUP_TARGET = 2.0
+SPEEDUP_AT_JOBS = 4
+
+
+def _run(layout, deck, jobs: int):
+    engine = Engine(
+        options=EngineOptions(mode="multiproc", jobs=jobs)
+    )
+    start = time.perf_counter()
+    report = engine.check(layout, rules=deck)
+    return report, time.perf_counter() - start
+
+
+def run_curve(design_name: str) -> dict:
+    """One design's speedup curve + byte-identical report check."""
+    layout = design(design_name)
+    deck = asap7.full_deck()
+    baseline_csv = None
+    baseline_seconds = None
+    points = []
+    for jobs in JOB_COUNTS:
+        report, seconds = _run(layout, deck, jobs)
+        csv = report.to_csv()
+        if baseline_csv is None:
+            baseline_csv, baseline_seconds = csv, seconds
+        elif csv != baseline_csv:
+            raise AssertionError(
+                f"{design_name}: report at jobs={jobs} differs from jobs=1"
+            )
+        points.append(
+            {
+                "jobs": jobs,
+                "seconds": seconds,
+                "speedup": baseline_seconds / seconds if seconds else None,
+                "violations": report.total_violations,
+            }
+        )
+    return {"design": design_name, "scale": SCALE, "points": points}
+
+
+def run_benchmark() -> dict:
+    cpu_count = os.cpu_count() or 1
+    curves = [run_curve(name) for name in DESIGNS]
+    largest = next(c for c in curves if c["design"] == LARGEST)
+    at_target = next(
+        (p for p in largest["points"] if p["jobs"] == SPEEDUP_AT_JOBS), None
+    )
+    payload = {
+        "benchmark": "multiproc_scaling",
+        "cpu_count": cpu_count,
+        "deck": "asap7_full",
+        "curves": curves,
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_at_jobs": SPEEDUP_AT_JOBS,
+        "speedup_measured": at_target["speedup"] if at_target else None,
+        "speedup_enforced": cpu_count >= SPEEDUP_AT_JOBS,
+        "reports_identical": True,  # run_curve raises otherwise
+    }
+    path = write_bench_json("multiproc", payload)
+    payload["path"] = path
+    return payload
+
+
+def test_multiproc_reports_byte_identical():
+    """Determinism: every worker count produces the identical CSV dump."""
+    curve = run_curve("uart")
+    assert [p["jobs"] for p in curve["points"]] == list(JOB_COUNTS)
+
+
+def test_multiproc_scaling_curve():
+    """Emit BENCH_multiproc.json; enforce 2x@4 only on >= 4-core hosts."""
+    payload = run_benchmark()
+    assert payload["reports_identical"]
+    if payload["speedup_enforced"]:
+        assert payload["speedup_measured"] >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x at {SPEEDUP_AT_JOBS} workers, "
+            f"measured {payload['speedup_measured']:.2f}x "
+            f"on {payload['cpu_count']} cores"
+        )
+
+
+def main() -> None:
+    payload = run_benchmark()
+    print(f"multiproc scaling ({payload['deck']}, {payload['cpu_count']} cores)")
+    for curve in payload["curves"]:
+        print(f"  [{curve['design']} @ {curve['scale']}]")
+        for point in curve["points"]:
+            print(
+                f"    jobs={point['jobs']}: {point['seconds'] * 1e3:8.1f} ms  "
+                f"speedup {point['speedup']:.2f}x  "
+                f"({point['violations']} violations)"
+            )
+    status = "enforced" if payload["speedup_enforced"] else (
+        f"not enforced ({payload['cpu_count']} cores < {SPEEDUP_AT_JOBS})"
+    )
+    print(
+        f"  target {SPEEDUP_TARGET}x at {SPEEDUP_AT_JOBS} workers: "
+        f"measured {payload['speedup_measured']:.2f}x [{status}]"
+    )
+    print(f"  wrote {payload['path']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,8 +8,9 @@ check runtime).
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.baselines import KLayoutLikeChecker, UnsupportedRuleError, XCheckChecker
 from repro.core import Engine, EngineOptions
@@ -31,6 +32,20 @@ def design(name: str, scale: str = SCALE) -> Layout:
     if key not in _design_cache:
         _design_cache[key] = build_design(name, scale)
     return _design_cache[key]
+
+
+#: Repository root: machine-readable benchmark outputs land here.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Write ``BENCH_<name>.json`` at the repo root (the perf trajectory's
+    machine-readable data points); returns the path written."""
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 ColumnRunner = Callable[[Layout, Rule], Optional[float]]

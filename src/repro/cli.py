@@ -20,6 +20,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import runpy
 import sys
 from typing import List, Optional
@@ -48,14 +49,31 @@ def _read(path: str, top: Optional[str]):
     return layout
 
 
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """--jobs wins; otherwise the REPRO_JOBS env var; otherwise 1."""
+    if getattr(args, "jobs", None) is not None:
+        return args.jobs
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            raise SystemExit(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    return 1
+
+
 def _engine_options(args: argparse.Namespace) -> EngineOptions:
+    jobs = _resolve_jobs(args)
+    # No explicit --mode: multiple jobs select the multiprocess backend.
+    mode = args.mode or ("multiproc" if jobs > 1 else "sequential")
     try:
         return EngineOptions(
-            mode=args.mode,
+            mode=mode,
             use_rows=not args.no_rows,
             num_streams=args.num_streams,
             brute_force_threshold=args.brute_force_threshold,
             fuse_rows=args.fuse_rows,
+            jobs=jobs,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -93,7 +111,14 @@ def cmd_check_window(args: argparse.Namespace) -> int:
     window = Rect(args.x1, args.y1, args.x2, args.y2)
     if window.is_empty:
         raise SystemExit("window must be non-empty (x1 <= x2 and y1 <= y2)")
-    report = check_window(layout, window, rules=_load_deck(args.deck))
+    jobs = _resolve_jobs(args)
+    try:
+        options = EngineOptions(jobs=jobs)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    report = check_window(
+        layout, window, rules=_load_deck(args.deck), options=options
+    )
     if args.csv:
         print(report.to_csv())
     else:
@@ -125,7 +150,20 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("file")
     check.add_argument("--deck", help="Python file defining RULES = [...]")
     check.add_argument(
-        "--mode", choices=["sequential", "parallel"], default="sequential"
+        "--mode",
+        choices=["sequential", "parallel", "multiproc"],
+        default=None,
+        help="execution backend (default: sequential, or multiproc when "
+        "--jobs > 1)",
+    )
+    check.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the multiprocess backend "
+        "(default: $REPRO_JOBS or 1)",
     )
     check.add_argument("--top", help="top cell name (default: inferred)")
     check.add_argument("--csv", action="store_true", help="print CSV markers")
@@ -176,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
     window.add_argument("--deck", help="Python file defining RULES = [...]")
     window.add_argument("--top", help="top cell name (default: inferred)")
     window.add_argument("--csv", action="store_true", help="print CSV markers")
+    window.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the windowed check "
+        "(default: $REPRO_JOBS or 1)",
+    )
     window.set_defaults(func=cmd_check_window)
 
     stats = sub.add_parser("stats", help="print layout statistics")

@@ -154,7 +154,18 @@ class Engine:
             return result
 
         graph = build_plan_graph(plan, run_rule)
-        analysis = graph.execute()
+        try:
+            # Backends driving their own worker pools (multiproc) submit
+            # rule-level tasks eagerly here, so workers run ahead of the
+            # serial scheduler drive below.
+            prefetch = getattr(backend, "prefetch", None)
+            if prefetch is not None:
+                prefetch()
+            analysis = graph.execute()
+        finally:
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
         report = CheckReport(
             layout.name,
             plan.mode,

@@ -25,7 +25,15 @@ from ..checks.base import Violation
 from ..geometry import IDENTITY, Rect
 from ..layout.library import Layout
 from ..util.profile import PhaseProfile
-from .plan import MODE_WINDOWED, CheckPlan, compile_plan, kind_spec, make_backend
+from .plan import (
+    MODE_MULTIPROC,
+    MODE_WINDOWED,
+    CheckPlan,
+    EngineOptions,
+    compile_plan,
+    kind_spec,
+    make_backend,
+)
 from .results import CheckReport, CheckResult
 from .rules import Rule
 
@@ -72,22 +80,39 @@ def check_window(
     window: Rect,
     *,
     rules: Sequence[Rule],
+    options: Optional[EngineOptions] = None,
 ) -> CheckReport:
-    """Check only the given window of ``layout``; violations clip to it."""
+    """Check only the given window of ``layout``; violations clip to it.
+
+    With ``options.jobs > 1`` the rules fan out across a worker-process
+    pool (rule-level tasks; windowed gathering has no row partition), each
+    worker running the same windowed procedure — the report is identical.
+    """
     if window.is_empty:
         raise ValueError("window must be non-empty")
-    plan = compile_plan(layout, rules, mode=MODE_WINDOWED)
+    jobs = options.jobs if options is not None else 1
+    mode = MODE_MULTIPROC if jobs > 1 else MODE_WINDOWED
+    plan = compile_plan(layout, rules, options, mode=mode)
     backend = make_backend(plan, window=window)
 
     results: List[CheckResult] = []
-    for rule in plan.rules:
-        start = time.perf_counter()
-        violations = backend.run(rule)
-        results.append(
-            CheckResult(
-                rule=rule,
-                violations=violations,
-                seconds=time.perf_counter() - start,
+    try:
+        prefetch = getattr(backend, "prefetch", None)
+        if prefetch is not None:
+            prefetch()
+        for rule in plan.rules:
+            start = time.perf_counter()
+            violations = backend.run(rule)
+            results.append(
+                CheckResult(
+                    rule=rule,
+                    violations=violations,
+                    seconds=time.perf_counter() - start,
+                    stats=backend.stats(),
+                )
             )
-        )
+    finally:
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
     return CheckReport(layout.name, MODE_WINDOWED, results)

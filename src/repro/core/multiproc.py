@@ -1,0 +1,757 @@
+"""Multi-core sharded execution: a process-parallel backend over the rows.
+
+Every other backend in this reproduction models parallelism on one OS core;
+this one uses the machine's. A compiled :class:`~repro.core.plan.CheckPlan`
+is cut two ways across a pool of worker processes:
+
+* **Row shards** — for intra-layer rules (spacing, corner spacing,
+  enclosure) the rows of the adaptive partition (paper §IV-B) are the shard
+  unit: cross-row pairs are provably beyond the rule distance, so whole rows
+  can be checked on different cores with no communication. Rows are packed
+  into shards by the greedy LPT assignment
+  (:func:`~repro.core.scheduler.greedy_balanced_shards`), oversubscribed so
+  the pool's shared task queue acts as a work-stealing deque: a worker that
+  finishes a light shard steals the next pending one instead of idling
+  behind a skewed row (the paper's row-skew problem, now across cores).
+* **Rule tasks** — every other rule kind becomes one pool task, submitted
+  eagerly by :meth:`MultiprocessBackend.prefetch` so workers run ahead of
+  the engine's serial per-rule drive.
+
+Workers receive the layout + rule deck once, at pool start (the initializer
+payload), compile their own plan, and stay warm across rules. Packed edge /
+corner / rect buffers travel through ``multiprocessing.shared_memory``
+views (:mod:`repro.gpu.shmem`) rather than pickled polygon objects. Each
+task returns its violation list plus stats-counter deltas and a
+:class:`~repro.util.profile.PhaseProfile` dict; the parent merges them in
+submission order, and the canonical violation sort in
+:class:`~repro.core.results.CheckResult` makes the merged report *equal as
+a plain list* to the sequential one, regardless of worker count or
+scheduling order.
+
+Rules that cannot cross a process boundary (e.g. ``ensures`` rules with
+lambda predicates) are detected by a pickle probe and run inline in the
+parent — correctness never depends on picklability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..checks.base import Violation, ViolationKind
+from ..gpu.device import Device
+from ..gpu.executor import StreamExecutor
+from ..gpu.kernels import (
+    CornerBuffer,
+    EdgeBuffer,
+    PairHits,
+    kernel_corner_pairs_segmented,
+    kernel_enclosure_margins,
+    kernel_pairs_bruteforce_segmented,
+    kernel_pairs_sweep_segmented,
+    reduce_enclosure_best,
+)
+from ..gpu.shmem import ArrayRef, ShmArena
+from ..util.profile import PHASE_EDGE_CHECKS, PHASE_OTHER, PHASE_SWEEPLINE, PhaseProfile
+from .plan import (
+    MODE_PARALLEL,
+    MODE_WINDOWED,
+    CheckPlan,
+    compile_plan,
+    make_backend,
+)
+from .rules import Rule, RuleKind
+from .scheduler import greedy_balanced_shards, shard_count
+
+__all__ = ["MultiprocessBackend", "ROW_SHARDED_KINDS"]
+
+#: Rule kinds sharded at row granularity; everything else fans out per rule.
+ROW_SHARDED_KINDS = (RuleKind.SPACING, RuleKind.CORNER_SPACING, RuleKind.ENCLOSURE)
+
+_INT = np.int64
+
+
+def _rule_picklable(rule: Rule) -> bool:
+    try:
+        pickle.dumps(rule)
+        return True
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Buffer transport (ArrayRef payloads for the shard tasks)
+# ---------------------------------------------------------------------------
+
+
+def _share_edges(arena: ShmArena, buf: EdgeBuffer) -> Dict[str, Any]:
+    return {
+        "vertical": buf.vertical,
+        "fixed": arena.stage(buf.fixed),
+        "lo": arena.stage(buf.lo),
+        "hi": arena.stage(buf.hi),
+        "interior": arena.stage(buf.interior),
+        "poly": arena.stage(buf.poly),
+        "segment": None if buf.segment is None else arena.stage(buf.segment),
+    }
+
+
+def _resolve_edges(payload: Dict[str, Any]) -> EdgeBuffer:
+    segment = payload["segment"]
+    return EdgeBuffer(
+        payload["vertical"],
+        payload["fixed"].resolve(),
+        payload["lo"].resolve(),
+        payload["hi"].resolve(),
+        payload["interior"].resolve(),
+        payload["poly"].resolve(),
+        None if segment is None else segment.resolve(),
+    )
+
+
+def _share_corners(arena: ShmArena, buf: CornerBuffer) -> Dict[str, Any]:
+    return {
+        "x": arena.stage(buf.x),
+        "y": arena.stage(buf.y),
+        "qx": arena.stage(buf.qx),
+        "qy": arena.stage(buf.qy),
+        "poly": arena.stage(buf.poly),
+        "segment": None if buf.segment is None else arena.stage(buf.segment),
+    }
+
+
+def _resolve_corners(payload: Dict[str, Any]) -> CornerBuffer:
+    segment = payload["segment"]
+    return CornerBuffer(
+        payload["x"].resolve(),
+        payload["y"].resolve(),
+        payload["qx"].resolve(),
+        payload["qy"].resolve(),
+        payload["poly"].resolve(),
+        None if segment is None else segment.resolve(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state and tasks
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process state: the unpickled pool payload, the lazily built
+#: plan backend (rule tasks), and the shard device + stream executors.
+_WORKER: Dict[str, Any] = {}
+
+
+def _worker_initializer(payload: bytes) -> None:
+    layout, rules, options, window = pickle.loads(payload)
+    _WORKER.clear()
+    _WORKER.update(layout=layout, rules=rules, options=options, window=window)
+
+
+def _worker_backend():
+    """The worker's own backend over its own compiled plan (warm per rule)."""
+    backend = _WORKER.get("backend")
+    if backend is None:
+        window = _WORKER["window"]
+        if window is not None:
+            plan = compile_plan(
+                _WORKER["layout"], _WORKER["rules"], _WORKER["options"],
+                mode=MODE_WINDOWED,
+            )
+            backend = make_backend(plan, window=window)
+        else:
+            plan = compile_plan(
+                _WORKER["layout"], _WORKER["rules"], _WORKER["options"],
+                mode=MODE_PARALLEL,
+            )
+            backend = make_backend(plan)
+        _WORKER["backend"] = backend
+    return backend
+
+
+def _worker_device() -> Tuple[Device, List[StreamExecutor]]:
+    """Shard tasks share one simulated device per worker process."""
+    state = _WORKER.get("device")
+    if state is None:
+        device = Device("mp-worker")
+        executors = [StreamExecutor(device.create_stream()) for _ in range(2)]
+        state = (device, executors)
+        _WORKER["device"] = state
+    return state
+
+
+def _counter_delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
+@dataclasses.dataclass
+class _RuleTask:
+    """One whole rule, run on the worker's warm backend."""
+
+    rule: Rule
+
+    def execute(self):
+        backend = _worker_backend()
+        before = backend.stats()
+        profile = PhaseProfile()
+        violations = backend.run(self.rule, profile)
+        return violations, _counter_delta(before, backend.stats()), profile.to_dict()
+
+
+@dataclasses.dataclass
+class _PairShardTask:
+    """A shard of fused segmented rows for a pair rule (spacing)."""
+
+    layer: int
+    value: int
+    threshold: int
+    vertical: Optional[Dict[str, Any]]
+    horizontal: Optional[Dict[str, Any]]
+
+    def execute(self):
+        from .parallel import pair_hits_to_violations
+
+        device, executors = _worker_device()
+        before = device.counters()
+        stats = {
+            "kernels_bruteforce": 0, "kernels_sweepline": 0,
+            "fused_launches": 0, "fused_segments": 0,
+        }
+        profile = PhaseProfile()
+        hits: List[PairHits] = []
+        # Same mixed lane policy as ParallelBackend._launch_fused_kernels:
+        # segments at or below the threshold ride the batched brute-force
+        # lane, larger ones the segmented sweepline lane. Segment sizes are
+        # whole rows, so lane choice matches the unsharded launch exactly.
+        for payload, stream in ((self.vertical, executors[0]), (self.horizontal, executors[1])):
+            if payload is None:
+                continue
+            buf = _resolve_edges(payload)
+            if len(buf) < 2:
+                continue
+            with profile.phase(PHASE_OTHER):
+                device_buf = EdgeBuffer(
+                    buf.vertical,
+                    stream.memcpy_h2d(buf.fixed, name="edges.fixed"),
+                    stream.memcpy_h2d(buf.lo, name="edges.lo"),
+                    stream.memcpy_h2d(buf.hi, name="edges.hi"),
+                    stream.memcpy_h2d(buf.interior, name="edges.interior"),
+                    stream.memcpy_h2d(buf.poly, name="edges.poly"),
+                    stream.memcpy_h2d(buf.segment, name="edges.segment")
+                    if buf.segment is not None
+                    else None,
+                )
+            seg = (
+                buf.segment
+                if buf.segment is not None
+                else np.zeros(len(buf), dtype=_INT)
+            )
+            small = np.bincount(seg)[seg] <= self.threshold
+            lanes = (
+                ("pairs-bruteforce-fused", kernel_pairs_bruteforce_segmented,
+                 "kernels_bruteforce", small),
+                ("pairs-sweepline-fused", kernel_pairs_sweep_segmented,
+                 "kernels_sweepline", ~small),
+            )
+            for name, kernel, counter, mask in lanes:
+                count = int(mask.sum())
+                if count < 2:
+                    continue
+                lane_buf = device_buf.take(np.flatnonzero(mask))
+                with profile.phase(PHASE_EDGE_CHECKS):
+                    stats[counter] += 1
+                    stats["fused_launches"] += 1
+                    stats["fused_segments"] += int(np.unique(seg[mask]).size)
+                    hits.append(
+                        stream.launch(
+                            name, kernel, lane_buf, self.value,
+                            want_width=False, items=count,
+                        )
+                    )
+        violations = pair_hits_to_violations(
+            hits, ViolationKind.SPACING, self.layer, self.value
+        )
+        stats.update(_counter_delta(before, device.counters()))
+        return violations, stats, profile.to_dict()
+
+
+@dataclasses.dataclass
+class _CornerShardTask:
+    """A shard of fused segmented rows for a corner-spacing rule."""
+
+    layer: int
+    value: int
+    corners: Dict[str, Any]
+
+    def execute(self):
+        from .parallel import corner_hits_to_violations
+
+        device, executors = _worker_device()
+        before = device.counters()
+        stats = {"fused_launches": 0, "fused_segments": 0}
+        profile = PhaseProfile()
+        buf = _resolve_corners(self.corners)
+        stream = executors[0]
+        with profile.phase(PHASE_OTHER):
+            device_buf = CornerBuffer(
+                stream.memcpy_h2d(buf.x, name="corners.x"),
+                stream.memcpy_h2d(buf.y, name="corners.y"),
+                buf.qx,
+                buf.qy,
+                buf.poly,
+                stream.memcpy_h2d(buf.segment, name="corners.segment")
+                if buf.segment is not None
+                else None,
+            )
+        with profile.phase(PHASE_EDGE_CHECKS):
+            stats["fused_launches"] += 1
+            if buf.segment is not None:
+                stats["fused_segments"] += int(np.unique(buf.segment).size)
+            hits = stream.launch(
+                "corner-pairs-fused",
+                kernel_corner_pairs_segmented,
+                device_buf,
+                self.value,
+                items=len(buf),
+            )
+        violations = corner_hits_to_violations(hits, self.layer, self.value)
+        stats.update(_counter_delta(before, device.counters()))
+        return violations, stats, profile.to_dict()
+
+
+@dataclasses.dataclass
+class _EnclosureShardTask:
+    """A shard of all-rectangle rows for an enclosure rule."""
+
+    via_layer: int
+    metal_layer: int
+    value: int
+    via_rects: ArrayRef
+    via_segment: ArrayRef
+    metal_rects: ArrayRef
+    metal_segment: ArrayRef
+
+    def execute(self):
+        from .parallel import _candidate_pairs_kernel, enclosure_margins_to_violations
+
+        device, executors = _worker_device()
+        before = device.counters()
+        stats = {"fused_launches": 0, "fused_segments": 0}
+        profile = PhaseProfile()
+        via_rects = self.via_rects.resolve()
+        via_seg = self.via_segment.resolve()
+        metal_rects = self.metal_rects.resolve()
+        metal_seg = self.metal_segment.resolve()
+        stream = executors[0]
+        with profile.phase(PHASE_OTHER):
+            via_dev = stream.memcpy_h2d(via_rects, name="via.rects")
+            metal_dev = (
+                stream.memcpy_h2d(metal_rects, name="metal.rects")
+                if len(metal_rects)
+                else metal_rects
+            )
+            via_seg_dev = stream.memcpy_h2d(via_seg, name="via.segment")
+            metal_seg_dev = (
+                stream.memcpy_h2d(metal_seg, name="metal.segment")
+                if len(metal_seg)
+                else metal_seg
+            )
+        stats["fused_launches"] += 1
+        stats["fused_segments"] += int(np.unique(via_seg).size)
+        with profile.phase(PHASE_SWEEPLINE):
+            pair_via, pair_metal = stream.launch(
+                "enclosure-candidates",
+                _candidate_pairs_kernel,
+                via_dev,
+                metal_dev,
+                self.value,
+                via_segment=via_seg_dev,
+                metal_segment=metal_seg_dev,
+                items=len(via_rects),
+            )
+        with profile.phase(PHASE_EDGE_CHECKS):
+            margins = stream.launch(
+                "enclosure-margins",
+                kernel_enclosure_margins,
+                via_dev, metal_dev, pair_via, pair_metal,
+                items=len(pair_via),
+            )
+            best = stream.launch(
+                "enclosure-reduce",
+                reduce_enclosure_best,
+                len(via_rects), pair_via, margins,
+                items=len(via_rects),
+            )
+        violations = enclosure_margins_to_violations(
+            via_rects, best, self.via_layer, self.metal_layer, self.value
+        )
+        stats.update(_counter_delta(before, device.counters()))
+        return violations, stats, profile.to_dict()
+
+
+def _run_task(task):
+    """Pool entry point: dispatch one task in the worker process."""
+    return task.execute()
+
+
+# ---------------------------------------------------------------------------
+# The parent-side backend
+# ---------------------------------------------------------------------------
+
+
+class MultiprocessBackend:
+    """Shards a compiled plan across a pool of worker processes.
+
+    ``jobs == 1`` degrades to the in-process fused backend (exact parity —
+    the honest baseline for the scaling benchmark). With a window, rules fan
+    out at rule granularity only (windowed gathering has no row partition).
+    """
+
+    def __init__(
+        self,
+        plan: CheckPlan,
+        *,
+        device: Optional[Device] = None,
+        window=None,
+    ) -> None:
+        self.plan = plan
+        self.window = window
+        self.options = plan.options
+        self.jobs = self.options.jobs
+        self.device = device if device is not None else Device()
+        self._pool = None
+        self._prefetched: Dict[str, Any] = {}
+        self._inline_rules: set = set()
+        self._picklable: Dict[str, bool] = {}
+        self._totals: Dict[str, float] = {}
+        self._mp_counters: Dict[str, float] = {
+            "mp_rule_tasks": 0,
+            "mp_shard_tasks": 0,
+            "mp_shm_bytes": 0,
+        }
+        self._local = None
+
+    # -- backend protocol ---------------------------------------------------
+
+    def run(self, rule: Rule, profile: Optional[PhaseProfile] = None) -> List[Violation]:
+        if profile is None:
+            profile = PhaseProfile()
+        pending = self._prefetched.pop(rule.name, None)
+        if pending is not None:
+            return self._collect(pending, profile)
+        if self.jobs == 1 or rule.name in self._inline_rules:
+            return self._local_backend().run(rule, profile)
+        if self.window is None and rule.kind in ROW_SHARDED_KINDS:
+            return self._run_sharded(rule, profile)
+        if not self._probe(rule):
+            self._inline_rules.add(rule.name)
+            return self._local_backend().run(rule, profile)
+        self._mp_counters["mp_rule_tasks"] += 1
+        pool = self._ensure_pool()
+        return self._collect(pool.apply_async(_run_task, (_RuleTask(rule),)), profile)
+
+    def stats(self) -> Dict[str, float]:
+        merged = dict(self._totals)
+        if self._local is not None:
+            for key, value in self._local.stats().items():
+                merged[key] = merged.get(key, 0) + value
+        for key, value in self._mp_counters.items():
+            merged[key] = merged.get(key, 0) + value
+        merged["mp_jobs"] = self.jobs
+        return merged
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def prefetch(self) -> None:
+        """Submit every rule-granular task now, ahead of the serial drive.
+
+        Rule executions are independent pure functions of the plan (the
+        dependency edges only order *results*), so workers can run rule N+5
+        while the parent is still merging rule N.
+        """
+        if self.jobs == 1:
+            return
+        for compiled in self.plan.compiled:
+            rule = compiled.rule
+            if self.window is None and rule.kind in ROW_SHARDED_KINDS:
+                continue
+            if not self._probe(rule):
+                self._inline_rules.add(rule.name)
+                continue
+            pool = self._ensure_pool()
+            self._mp_counters["mp_rule_tasks"] += 1
+            self._prefetched[rule.name] = pool.apply_async(
+                _run_task, (_RuleTask(rule),)
+            )
+
+    def close(self) -> None:
+        """Tear the pool down (also the error path: abandons pending work)."""
+        pool, self._pool = self._pool, None
+        self._prefetched.clear()
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            method = self.options.mp_start_method or os.environ.get(
+                "REPRO_MP_START"
+            ) or None
+            context = multiprocessing.get_context(method)
+            shippable = [r for r in self.plan.rules if self._probe(r)]
+            worker_options = dataclasses.replace(
+                self.options, jobs=1, mode=MODE_PARALLEL
+            )
+            payload = pickle.dumps(
+                (self.plan.layout, shippable, worker_options, self.window),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._pool = context.Pool(
+                self.jobs, initializer=_worker_initializer, initargs=(payload,)
+            )
+        return self._pool
+
+    # -- helpers ------------------------------------------------------------
+
+    def _probe(self, rule: Rule) -> bool:
+        cached = self._picklable.get(rule.name)
+        if cached is None:
+            cached = _rule_picklable(rule)
+            self._picklable[rule.name] = cached
+        return cached
+
+    def _local_backend(self):
+        """In-process fallback/packer: fused GPU backend (or windowed)."""
+        if self._local is None:
+            if self.window is not None:
+                from .incremental import WindowedBackend
+
+                self._local = WindowedBackend(self.plan, self.window)
+            else:
+                from .parallel import ParallelBackend
+
+                self._local = ParallelBackend(self.plan, device=self.device)
+        return self._local
+
+    def _merge_stats(self, delta: Dict[str, float]) -> None:
+        for key, value in delta.items():
+            self._totals[key] = self._totals.get(key, 0) + value
+
+    def _collect(self, async_result, profile: PhaseProfile) -> List[Violation]:
+        violations, stats_delta, profile_dict = async_result.get()
+        self._merge_stats(stats_delta)
+        profile.add_dict(profile_dict)
+        return violations
+
+    def _gather_shards(
+        self, arena: ShmArena, tasks: List[Any], profile: PhaseProfile
+    ) -> List[Violation]:
+        """Seal, fan out, and merge one rule's shard tasks (in order)."""
+        if not tasks:
+            arena.dispose()
+            return []
+        arena.seal()
+        self._mp_counters["mp_shard_tasks"] += len(tasks)
+        self._mp_counters["mp_shm_bytes"] += arena.nbytes
+        pool = self._ensure_pool()
+        pending = [pool.apply_async(_run_task, (task,)) for task in tasks]
+        violations: List[Violation] = []
+        try:
+            for async_result in pending:
+                violations.extend(self._collect(async_result, profile))
+        finally:
+            arena.dispose()
+        return violations
+
+    # -- row sharding -------------------------------------------------------
+
+    def _run_sharded(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        if rule.kind is RuleKind.SPACING:
+            return self._shard_spacing(rule, profile)
+        if rule.kind is RuleKind.CORNER_SPACING:
+            return self._shard_corners(rule, profile)
+        return self._shard_enclosure(rule, profile)
+
+    def _shard_spacing(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        local = self._local_backend()
+        items = local._cached_items(rule.layer, profile)
+        member_rows, sig = local._cached_partition(
+            rule.layer, [it.mbr for it in items], rule.value, profile
+        )
+        if len(member_rows) < 2:
+            return local.run(rule, profile)
+        host_start = time.perf_counter()
+        fused = local._cached_fused_pair(rule.layer, sig, member_rows, items)
+        self.device.record_host("pack-fused", time.perf_counter() - host_start)
+        if fused.num_edges < 2:
+            return []
+        num_rows = len(member_rows)
+        weights = np.zeros(num_rows, dtype=_INT)
+        for buf in (fused.vertical, fused.horizontal):
+            if len(buf):
+                seg = self._segments(buf)
+                weights += np.bincount(seg, minlength=num_rows)
+        shards = greedy_balanced_shards(
+            weights.tolist(), shard_count(num_rows, self.jobs)
+        )
+        if len(shards) < 2:
+            return local.run(rule, profile)
+        arena = ShmArena()
+        tasks: List[_PairShardTask] = []
+        for rows in shards:
+            rowset = np.asarray(rows, dtype=_INT)
+            payloads = []
+            for buf in (fused.vertical, fused.horizontal):
+                sub = None
+                if len(buf):
+                    index = np.flatnonzero(np.isin(self._segments(buf), rowset))
+                    if len(index) >= 2:
+                        sub = _share_edges(arena, buf.take(index))
+                payloads.append(sub)
+            if payloads[0] is None and payloads[1] is None:
+                continue
+            tasks.append(
+                _PairShardTask(
+                    layer=rule.layer,
+                    value=rule.value,
+                    threshold=self.options.brute_force_threshold,
+                    vertical=payloads[0],
+                    horizontal=payloads[1],
+                )
+            )
+        return self._gather_shards(arena, tasks, profile)
+
+    def _shard_corners(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        local = self._local_backend()
+        items = local._cached_items(rule.layer, profile)
+        member_rows, sig = local._cached_partition(
+            rule.layer, [it.mbr for it in items], rule.value, profile
+        )
+        if len(member_rows) < 2:
+            return local.run(rule, profile)
+        host_start = time.perf_counter()
+        fused = local._cached_fused_corners(rule.layer, sig, member_rows, items)
+        self.device.record_host("pack-corners-fused", time.perf_counter() - host_start)
+        if len(fused) < 2:
+            return []
+        seg = self._segments(fused)
+        weights = np.bincount(seg, minlength=len(member_rows))
+        shards = greedy_balanced_shards(
+            weights.tolist(), shard_count(len(member_rows), self.jobs)
+        )
+        if len(shards) < 2:
+            return local.run(rule, profile)
+        arena = ShmArena()
+        tasks: List[_CornerShardTask] = []
+        for rows in shards:
+            index = np.flatnonzero(np.isin(seg, np.asarray(rows, dtype=_INT)))
+            if len(index) < 2:
+                continue
+            tasks.append(
+                _CornerShardTask(
+                    layer=rule.layer,
+                    value=rule.value,
+                    corners=_share_corners(arena, fused.take(index)),
+                )
+            )
+        return self._gather_shards(arena, tasks, profile)
+
+    def _shard_enclosure(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        local = self._local_backend()
+        via_layer, metal_layer, value = rule.layer, rule.other_layer, rule.value
+        via_items = local._cached_items(via_layer, profile)
+        metal_items = local._cached_items(metal_layer, profile)
+        if not via_items:
+            return []
+        combined = via_items + metal_items
+        member_rows, sig = local._cached_partition(
+            (via_layer, metal_layer), [it.mbr for it in combined], value, profile
+        )
+        num_vias = len(via_items)
+        host_start = time.perf_counter()
+        rect_rows = local._cached_rect_rows(
+            via_layer, metal_layer, sig, member_rows, combined, num_vias
+        )
+        self.device.record_host("pack-rects-fused", time.perf_counter() - host_start)
+        rect_ids = [
+            index
+            for index, (via_buf, metal_buf) in enumerate(rect_rows)
+            if len(via_buf) and via_buf.all_rect and metal_buf.all_rect
+        ]
+        if len(rect_ids) < 2:
+            return local.run(rule, profile)
+        # Rectilinear (non-rectangle) rows keep the exact host fallback, in
+        # the parent — identical to the fused in-process path.
+        violations: List[Violation] = []
+        for index, (via_buf, metal_buf) in enumerate(rect_rows):
+            if len(via_buf) == 0 or index in rect_ids:
+                continue
+            members = member_rows[index]
+            vias = local._flatten_items(
+                [combined[m] for m in members if m < num_vias], via_layer
+            )
+            metals = local._flatten_items(
+                [combined[m] for m in members if m >= num_vias], metal_layer
+            )
+            violations.extend(
+                local._enclosure_row(
+                    vias, metals, via_layer, metal_layer, value,
+                    local._stream(index), profile,
+                )
+            )
+        weights = [
+            len(rect_rows[i][0]) + len(rect_rows[i][1]) for i in rect_ids
+        ]
+        shards = greedy_balanced_shards(weights, shard_count(len(rect_ids), self.jobs))
+        arena = ShmArena()
+        tasks: List[_EnclosureShardTask] = []
+        for shard in shards:
+            via_parts, via_segs, metal_parts, metal_segs = [], [], [], []
+            for position in shard:
+                row_id = rect_ids[position]
+                via_buf, metal_buf = rect_rows[row_id]
+                via_parts.append(via_buf.rects)
+                via_segs.append(np.full(len(via_buf), row_id, dtype=_INT))
+                if len(metal_buf):
+                    metal_parts.append(metal_buf.rects)
+                    metal_segs.append(np.full(len(metal_buf), row_id, dtype=_INT))
+            tasks.append(
+                _EnclosureShardTask(
+                    via_layer=via_layer,
+                    metal_layer=metal_layer,
+                    value=value,
+                    via_rects=arena.stage(np.concatenate(via_parts, axis=0)),
+                    via_segment=arena.stage(np.concatenate(via_segs)),
+                    metal_rects=arena.stage(
+                        np.concatenate(metal_parts, axis=0)
+                        if metal_parts
+                        else np.zeros((0, 4), dtype=_INT)
+                    ),
+                    metal_segment=arena.stage(
+                        np.concatenate(metal_segs)
+                        if metal_segs
+                        else np.zeros(0, dtype=_INT)
+                    ),
+                )
+            )
+        violations.extend(self._gather_shards(arena, tasks, profile))
+        return violations
+
+    @staticmethod
+    def _segments(buf) -> np.ndarray:
+        return (
+            buf.segment
+            if buf.segment is not None
+            else np.zeros(len(buf), dtype=_INT)
+        )

@@ -99,6 +99,9 @@ __all__ = [
     "PackCache",
     "ParallelBackend",
     "ParallelChecker",
+    "corner_hits_to_violations",
+    "enclosure_margins_to_violations",
+    "pair_hits_to_violations",
 ]
 
 
@@ -141,6 +144,89 @@ def _candidate_pairs_kernel(
         np.concatenate(out_v).astype(np.int64),
         np.concatenate(out_m).astype(np.int64),
     )
+
+
+def pair_hits_to_violations(
+    hits: Sequence[PairHits],
+    kind: ViolationKind,
+    layer: int,
+    required: int,
+    *,
+    other_layer: Optional[int] = None,
+) -> List[Violation]:
+    """Host-side conversion of pair-kernel hits to violation markers.
+
+    Module-level (not a backend method) so worker processes convert shard
+    hits with the exact same code the in-process backend uses.
+    """
+    batch = PairHits.concatenate(list(hits))
+    if len(batch) == 0:
+        return []
+    regions = np.stack([batch.xlo, batch.ylo, batch.xhi, batch.yhi], axis=1)
+    return [
+        Violation(
+            kind=kind,
+            layer=layer,
+            other_layer=other_layer,
+            region=Rect(*coords),
+            measured=measured,
+            required=required,
+        )
+        for coords, measured in zip(regions.tolist(), batch.measured.tolist())
+    ]
+
+
+def corner_hits_to_violations(
+    hits: CornerHits, layer: int, value: int
+) -> List[Violation]:
+    """Corner-kernel hits to violation markers (shared with shard workers)."""
+    if len(hits) == 0:
+        return []
+    regions = np.stack(
+        [
+            np.minimum(hits.ax, hits.bx),
+            np.minimum(hits.ay, hits.by),
+            np.maximum(hits.ax, hits.bx),
+            np.maximum(hits.ay, hits.by),
+        ],
+        axis=1,
+    )
+    return [
+        Violation(
+            kind=ViolationKind.CORNER,
+            layer=layer,
+            region=Rect(*coords),
+            measured=measured,
+            required=value,
+        )
+        for coords, measured in zip(regions.tolist(), hits.measured.tolist())
+    ]
+
+
+def enclosure_margins_to_violations(
+    via_rects: np.ndarray,
+    best: np.ndarray,
+    via_layer: int,
+    metal_layer: int,
+    value: int,
+) -> List[Violation]:
+    """Reduced per-via enclosure margins to violation markers."""
+    out: List[Violation] = []
+    for index, margin in enumerate(best):
+        if int(margin) >= value:
+            continue
+        r = via_rects[index]
+        out.append(
+            Violation(
+                kind=ViolationKind.ENCLOSURE,
+                layer=via_layer,
+                other_layer=metal_layer,
+                region=Rect(int(r[0]), int(r[1]), int(r[2]), int(r[3])).inflated(value),
+                measured=max(int(margin), 0),
+                required=value,
+            )
+        )
+    return out
 
 
 class ParallelBackend:
@@ -390,21 +476,9 @@ class ParallelBackend:
         *,
         other_layer: Optional[int] = None,
     ) -> List[Violation]:
-        batch = PairHits.concatenate(list(hits))
-        if len(batch) == 0:
-            return []
-        regions = np.stack([batch.xlo, batch.ylo, batch.xhi, batch.yhi], axis=1)
-        return [
-            Violation(
-                kind=kind,
-                layer=layer,
-                other_layer=other_layer,
-                region=Rect(*coords),
-                measured=measured,
-                required=required,
-            )
-            for coords, measured in zip(regions.tolist(), batch.measured.tolist())
-        ]
+        return pair_hits_to_violations(
+            hits, kind, layer, required, other_layer=other_layer
+        )
 
     # -- spacing ---------------------------------------------------------------
 
@@ -667,27 +741,7 @@ class ParallelBackend:
     def _corner_hits_to_violations(
         self, hits: CornerHits, layer: int, value: int
     ) -> List[Violation]:
-        if len(hits) == 0:
-            return []
-        regions = np.stack(
-            [
-                np.minimum(hits.ax, hits.bx),
-                np.minimum(hits.ay, hits.by),
-                np.maximum(hits.ax, hits.bx),
-                np.maximum(hits.ay, hits.by),
-            ],
-            axis=1,
-        )
-        return [
-            Violation(
-                kind=ViolationKind.CORNER,
-                layer=layer,
-                region=Rect(*coords),
-                measured=measured,
-                required=value,
-            )
-            for coords, measured in zip(regions.tolist(), hits.measured.tolist())
-        ]
+        return corner_hits_to_violations(hits, layer, value)
 
     def _corner(self, layer: int, value: int, profile: PhaseProfile) -> List[Violation]:
         """Diagonal corner checks: one fused launch, or row-by-row (ablation)."""
@@ -825,24 +879,9 @@ class ParallelBackend:
         """All-rectangle rows fused into one segmented candidate/measure/reduce
         round; rectilinear rows fall back to the exact per-row host path."""
 
-        def build() -> List[tuple]:
-            via_packer = self._rect_packer(via_layer)
-            metal_packer = self._rect_packer(metal_layer)
-            return [
-                (
-                    self._row_rect_buffer(
-                        [combined[m] for m in members if m < num_vias], via_packer
-                    ),
-                    self._row_rect_buffer(
-                        [combined[m] for m in members if m >= num_vias], metal_packer
-                    ),
-                )
-                for members in member_rows
-            ]
-
         host_start = time.perf_counter()
-        rect_rows = self.pack_cache.get(
-            "rect-rows", (via_layer, metal_layer, sig), build
+        rect_rows = self._cached_rect_rows(
+            via_layer, metal_layer, sig, member_rows, combined, num_vias
         )
         self.device.record_host("pack-rects-fused", time.perf_counter() - host_start)
 
@@ -898,6 +937,38 @@ class ParallelBackend:
                 )
             )
         return violations
+
+    def _cached_rect_rows(
+        self,
+        via_layer: int,
+        metal_layer: int,
+        sig: Any,
+        member_rows: List[List[int]],
+        combined: List[LevelItem],
+        num_vias: int,
+    ) -> List[tuple]:
+        """Per-row ``(via RectBuffer, metal RectBuffer)`` pairs, cached.
+
+        Shared by the fused enclosure path and the multiprocess shard
+        builder, which cuts these rows across worker processes.
+        """
+
+        def build() -> List[tuple]:
+            via_packer = self._rect_packer(via_layer)
+            metal_packer = self._rect_packer(metal_layer)
+            return [
+                (
+                    self._row_rect_buffer(
+                        [combined[m] for m in members if m < num_vias], via_packer
+                    ),
+                    self._row_rect_buffer(
+                        [combined[m] for m in members if m >= num_vias], metal_packer
+                    ),
+                )
+                for members in member_rows
+            ]
+
+        return self.pack_cache.get("rect-rows", (via_layer, metal_layer, sig), build)
 
     def _row_rect_buffer(
         self, row_items: Sequence[LevelItem], packer: HierarchicalRectPacker
@@ -975,22 +1046,9 @@ class ParallelBackend:
                 len(via_rects), pair_via, margins,
                 items=len(via_rects),
             )
-        out: List[Violation] = []
-        for index, margin in enumerate(best):
-            if int(margin) >= value:
-                continue
-            r = via_rects[index]
-            out.append(
-                Violation(
-                    kind=ViolationKind.ENCLOSURE,
-                    layer=via_layer,
-                    other_layer=metal_layer,
-                    region=Rect(int(r[0]), int(r[1]), int(r[2]), int(r[3])).inflated(value),
-                    measured=max(int(margin), 0),
-                    required=value,
-                )
-            )
-        return out
+        return enclosure_margins_to_violations(
+            via_rects, best, via_layer, metal_layer, value
+        )
 
     def _enclosure_row(
         self,

@@ -63,16 +63,22 @@ from .scheduler import infer_rule_dependencies
 MODE_SEQUENTIAL = "sequential"
 MODE_PARALLEL = "parallel"
 MODE_WINDOWED = "windowed"
+MODE_MULTIPROC = "multiproc"
 
 #: Modes an :class:`EngineOptions` may select (windowed needs a window, so
 #: it is reachable through ``check_window``, not ``Engine.check``).
-ENGINE_MODES = (MODE_SEQUENTIAL, MODE_PARALLEL)
+ENGINE_MODES = (MODE_SEQUENTIAL, MODE_PARALLEL, MODE_MULTIPROC)
 
 #: Every mode a plan can be compiled for.
-ALL_MODES = (MODE_SEQUENTIAL, MODE_PARALLEL, MODE_WINDOWED)
+ALL_MODES = (MODE_SEQUENTIAL, MODE_PARALLEL, MODE_WINDOWED, MODE_MULTIPROC)
 
 #: Edge count at or below which the brute-force executor is selected (§IV-E).
 DEFAULT_BRUTE_FORCE_THRESHOLD = 256
+
+#: Start methods ``EngineOptions.mp_start_method`` accepts (None = platform
+#: default; ``spawn`` is the macOS/Windows-portable semantics the CI smoke
+#: job forces).
+MP_START_METHODS = (None, "fork", "spawn", "forkserver")
 
 
 @dataclasses.dataclass
@@ -84,6 +90,8 @@ class EngineOptions:
     num_streams: int = 2  # CUDA streams for async overlap (paper §V-C)
     brute_force_threshold: int = DEFAULT_BRUTE_FORCE_THRESHOLD  # executor choice (§IV-E)
     fuse_rows: bool = True  # fused segmented-row launches; False = per-row ablation
+    jobs: int = 1  # worker processes for the multiprocess backend
+    mp_start_method: Optional[str] = None  # None = platform default
 
     def __post_init__(self) -> None:
         if self.mode not in ENGINE_MODES:
@@ -96,6 +104,13 @@ class EngineOptions:
             raise ValueError(
                 "brute_force_threshold must be non-negative, got "
                 f"{self.brute_force_threshold}"
+            )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {self.jobs}")
+        if self.mp_start_method not in MP_START_METHODS:
+            raise ValueError(
+                f"unknown mp_start_method {self.mp_start_method!r}; "
+                f"expected one of {MP_START_METHODS[1:]}"
             )
 
 
@@ -352,7 +367,7 @@ def compile_plan(
     if options is None:
         options = EngineOptions()
     resolved_mode = mode if mode is not None else options.mode
-    if resolved_mode not in ALL_MODES:
+    if resolved_mode not in ALL_MODES and resolved_mode not in BACKEND_FACTORIES:
         raise ValueError(f"unknown mode {resolved_mode!r}")
     if tree is None:
         tree = HierarchyTree(layout)
@@ -400,18 +415,54 @@ class Backend(Protocol):
     def stats(self) -> Dict[str, float]: ...
 
 
-def make_backend(plan: CheckPlan, *, device=None, window=None) -> "Backend":
-    """Instantiate the backend the plan's mode selects."""
-    if plan.mode == MODE_PARALLEL:
-        from .parallel import ParallelBackend
-
-        return ParallelBackend(plan, device=device)
-    if plan.mode == MODE_WINDOWED:
-        from .incremental import WindowedBackend
-
-        if window is None:
-            raise ValueError("windowed execution needs a window rect")
-        return WindowedBackend(plan, window)
+def _sequential_backend(plan: CheckPlan, *, device=None, window=None) -> "Backend":
     from .sequential import SequentialBackend
 
     return SequentialBackend(plan)
+
+
+def _parallel_backend(plan: CheckPlan, *, device=None, window=None) -> "Backend":
+    from .parallel import ParallelBackend
+
+    return ParallelBackend(plan, device=device)
+
+
+def _windowed_backend(plan: CheckPlan, *, device=None, window=None) -> "Backend":
+    from .incremental import WindowedBackend
+
+    if window is None:
+        raise ValueError("windowed execution needs a window rect")
+    return WindowedBackend(plan, window)
+
+
+def _multiproc_backend(plan: CheckPlan, *, device=None, window=None) -> "Backend":
+    from .multiproc import MultiprocessBackend
+
+    return MultiprocessBackend(plan, device=device, window=window)
+
+
+#: Mode -> backend factory. Factories take ``(plan, *, device, window)`` and
+#: return a :class:`Backend`; :func:`register_backend` lets extensions (or
+#: tests) plug in additional execution modes without touching the engine.
+BACKEND_FACTORIES: Dict[str, Callable[..., "Backend"]] = {
+    MODE_SEQUENTIAL: _sequential_backend,
+    MODE_PARALLEL: _parallel_backend,
+    MODE_WINDOWED: _windowed_backend,
+    MODE_MULTIPROC: _multiproc_backend,
+}
+
+
+def register_backend(mode: str, factory: Callable[..., "Backend"]) -> None:
+    """Register (or replace) the backend factory executing ``mode`` plans."""
+    if not mode:
+        raise ValueError("backend mode must be a non-empty string")
+    BACKEND_FACTORIES[mode] = factory
+
+
+def make_backend(plan: CheckPlan, *, device=None, window=None) -> "Backend":
+    """Instantiate the backend the plan's mode selects (via the registry)."""
+    try:
+        factory = BACKEND_FACTORIES[plan.mode]
+    except KeyError:
+        raise ValueError(f"no backend registered for mode {plan.mode!r}") from None
+    return factory(plan, device=device, window=window)

@@ -89,12 +89,67 @@ class CheckReport:
         return "\n".join(lines)
 
 
+def merge_stats(parts: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Sum counter dictionaries across shards/workers, key-union.
+
+    Launch, copy, and pruning counters are additive by construction; wall
+    times accumulate the same way (total work, not elapsed time).
+    """
+    totals: Dict[str, float] = {}
+    for part in parts:
+        for key, value in part.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def combine_results(parts: Sequence[CheckResult]) -> CheckResult:
+    """Merge per-shard results of the *same* rule into one result.
+
+    Violations concatenate and re-canonicalise (dedup + total order, so the
+    merged list is identical however the shards were cut); seconds, phase
+    profiles, and stats counters sum.
+    """
+    if not parts:
+        raise ValueError("no results to combine")
+    first = parts[0]
+    if len(parts) == 1:
+        return first
+    if any(p.rule.name != first.rule.name for p in parts):
+        names = sorted({p.rule.name for p in parts})
+        raise ValueError(f"cannot combine results of different rules: {names}")
+    violations: List[Violation] = []
+    profile = PhaseProfile()
+    for part in parts:
+        violations.extend(part.violations)
+        if part.profile is not None:
+            profile.merge(part.profile)
+    return CheckResult(
+        rule=first.rule,
+        violations=violations,
+        seconds=sum(p.seconds for p in parts),
+        profile=profile,
+        stats=merge_stats([p.stats for p in parts]),
+    )
+
+
 def merge_reports(reports: Sequence[CheckReport]) -> CheckReport:
-    """Concatenate reports over the same layout (e.g. per-rule runs)."""
+    """Merge reports over the same layout (e.g. per-rule or per-shard runs).
+
+    Results for distinct rules concatenate in first-seen order; results for
+    the *same* rule (shards of one rule split across reports) combine via
+    :func:`combine_results`, so counters and phase times sum instead of
+    being duplicated or dropped.
+    """
     if not reports:
         raise ValueError("no reports to merge")
     first = reports[0]
-    results: List[CheckResult] = []
+    by_name: Dict[str, List[CheckResult]] = {}
+    order: List[str] = []
     for report in reports:
-        results.extend(report.results)
+        for result in report.results:
+            if result.rule.name not in by_name:
+                by_name[result.rule.name] = []
+                order.append(result.rule.name)
+            by_name[result.rule.name].append(result)
+    results = [combine_results(by_name[name]) for name in order]
     return CheckReport(first.layout_name, first.mode, results)

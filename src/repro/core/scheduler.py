@@ -261,3 +261,58 @@ def build_plan_graph(plan, run_rule: Callable[[Rule], object]) -> TaskGraph:
             depends_on=list(compiled.depends_on),
         )
     return graph
+
+
+# ---------------------------------------------------------------------------
+# Shard planning (multi-core row sharding)
+# ---------------------------------------------------------------------------
+
+#: How many shards each worker gets on average. Oversubscription keeps the
+#: pool's shared task queue non-empty so idle workers steal the remaining
+#: shards instead of waiting on a skewed one (the paper's row-skew problem,
+#: now across cores).
+SHARD_OVERSUBSCRIPTION = 4
+
+
+def greedy_balanced_shards(
+    weights: Sequence[int], num_shards: int
+) -> List[List[int]]:
+    """Greedy size-balanced assignment of weighted items to shards (LPT).
+
+    Items (indices into ``weights``) are taken heaviest-first and each lands
+    in the currently lightest shard — the classic longest-processing-time
+    heuristic, guaranteeing a makespan within 4/3 of optimal. Zero-weight
+    items are dropped (an empty row produces no work). The result is
+    deterministic: ties break on item index, then shard index; shards are
+    returned heaviest-first (the submission order that lets a work-stealing
+    queue drain the big shards while small ones backfill), each shard's
+    members sorted ascending.
+    """
+    if num_shards < 1:
+        raise SchedulerError(f"need at least 1 shard, got {num_shards}")
+    items = sorted(
+        (i for i, w in enumerate(weights) if w > 0),
+        key=lambda i: (-weights[i], i),
+    )
+    if not items:
+        return []
+    num_shards = min(num_shards, len(items))
+    loads: List = [(0, shard, []) for shard in range(num_shards)]
+    heapq.heapify(loads)
+    for item in items:
+        load, shard, members = heapq.heappop(loads)
+        members.append(item)
+        heapq.heappush(loads, (load + weights[item], shard, members))
+    shards = [
+        (load, shard, sorted(members)) for load, shard, members in loads if members
+    ]
+    shards.sort(key=lambda entry: (-entry[0], entry[1]))
+    return [members for _, _, members in shards]
+
+
+def shard_count(num_items: int, jobs: int) -> int:
+    """How many shards to cut ``num_items`` weighted items into for ``jobs``
+    workers: oversubscribed for stealing, never more shards than items."""
+    if jobs < 1:
+        raise SchedulerError(f"need at least 1 job, got {jobs}")
+    return max(1, min(num_items, jobs * SHARD_OVERSUBSCRIPTION))

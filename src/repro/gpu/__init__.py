@@ -33,9 +33,11 @@ from .kernels import (
     reduce_enclosure_best,
 )
 from .memory import AllocatorStats, DeviceBuffer, StreamOrderedAllocator
+from .shmem import ArrayRef, ShmArena, shm_enabled
 
 __all__ = [
     "AllocatorStats",
+    "ArrayRef",
     "AsyncTimeline",
     "Device",
     "DeviceBuffer",
@@ -45,6 +47,7 @@ __all__ = [
     "OpRecord",
     "PairHits",
     "SequencedPolicy",
+    "ShmArena",
     "Stream",
     "StreamExecutor",
     "StreamOrderedAllocator",
@@ -64,4 +67,5 @@ __all__ = [
     "pack_vertices",
     "reduce_enclosure_best",
     "seq",
+    "shm_enabled",
 ]

@@ -170,3 +170,52 @@ class TestWaiverFlag:
         }))
         code = main(["check", dirty_gds, "--top", "top", "--waivers", str(waiver_path)])
         assert code == 0  # everything waived -> clean exit
+
+
+class TestJobsFlag:
+    def test_jobs_flag_selects_multiproc(self, dirty_gds, capsys):
+        code = main(["check", dirty_gds, "--top", "top", "--jobs", "2"])
+        assert code == 1
+        assert "multiproc" in capsys.readouterr().out
+
+    def test_short_flag(self, uart_gds):
+        assert main(["check", uart_gds, "--top", "top", "-j", "2"]) == 0
+
+    def test_explicit_mode_wins_over_jobs_default(self, uart_gds, capsys):
+        main(["check", uart_gds, "--top", "top", "--mode", "parallel", "-j", "2"])
+        assert "parallel" in capsys.readouterr().out
+
+    def test_env_fallback(self, uart_gds, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert main(["check", uart_gds, "--top", "top"]) == 0
+        assert "multiproc" in capsys.readouterr().out
+
+    def test_flag_wins_over_env(self, uart_gds, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        main(["check", uart_gds, "--top", "top", "--jobs", "1"])
+        assert "sequential" in capsys.readouterr().out
+
+    def test_bad_env_rejected(self, uart_gds, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(SystemExit, match="REPRO_JOBS"):
+            main(["check", uart_gds, "--top", "top"])
+
+    def test_zero_jobs_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="jobs"):
+            main(["check", uart_gds, "--top", "top", "--jobs", "0"])
+
+    def test_check_window_jobs(self, dirty_gds, capsys):
+        code = main([
+            "check-window", dirty_gds,
+            "-100000", "-100000", "100000", "100000",
+            "--top", "top", "--jobs", "2",
+        ])
+        assert code == 1
+        assert "violations" in capsys.readouterr().out
+
+    def test_check_window_zero_jobs_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="jobs"):
+            main([
+                "check-window", uart_gds, "0", "0", "100", "100",
+                "--top", "top", "--jobs", "0",
+            ])

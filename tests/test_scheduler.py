@@ -159,3 +159,48 @@ class TestRuleGraph:
         graph_report, _ = engine.check_with_task_graph(uart_layout, rules=deck)
         for a, b in zip(plain.results, graph_report.results):
             assert a.violation_set() == b.violation_set()
+
+
+class TestShards:
+    def test_lpt_balance(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        shards = greedy_balanced_shards([10, 9, 8, 1, 1, 1], 2)
+        totals = sorted(sum((10, 9, 8, 1, 1, 1)[i] for i in s) for s in shards)
+        # LPT places each row into the lightest shard: 13/17, never 27/3.
+        assert totals == [13, 17]
+
+    def test_deterministic_and_sorted_members(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        weights = [3, 7, 2, 7, 5, 1, 4]
+        first = greedy_balanced_shards(weights, 3)
+        assert first == greedy_balanced_shards(weights, 3)
+        for shard in first:
+            assert shard == sorted(shard)
+
+    def test_every_weighted_item_assigned_once(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        weights = [4, 0, 2, 9, 0, 1]
+        shards = greedy_balanced_shards(weights, 2)
+        members = sorted(i for shard in shards for i in shard)
+        assert members == [0, 2, 3, 5]  # zero-weight rows dropped
+
+    def test_all_zero_weights_yield_no_shards(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        assert greedy_balanced_shards([0, 0, 0], 4) == []
+
+    def test_bad_shard_request(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        with pytest.raises(SchedulerError):
+            greedy_balanced_shards([1, 2], 0)
+
+    def test_shard_count_oversubscribes(self):
+        from repro.core.scheduler import SHARD_OVERSUBSCRIPTION, shard_count
+
+        assert shard_count(100, 4) == 4 * SHARD_OVERSUBSCRIPTION
+        assert shard_count(3, 4) == 3  # never more shards than rows
+        assert shard_count(0, 4) == 1
