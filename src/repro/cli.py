@@ -15,6 +15,11 @@ Commands
     Print layout statistics (cells, instances, flat polygons, hierarchy).
 ``synth <design> <out.gds>``
     Synthesize one of the six benchmark designs to a GDSII file.
+``cache stats|clear``
+    Inspect or empty the persistent pack store (``--cache-dir`` or
+    ``$REPRO_CACHE_DIR``). ``check``/``check-window`` warm-start from the
+    same store via ``--cache-dir`` / ``REPRO_CACHE_DIR``; ``--no-cache``
+    disables it.
 """
 
 from __future__ import annotations
@@ -74,6 +79,8 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
             brute_force_threshold=args.brute_force_threshold,
             fuse_rows=args.fuse_rows,
             jobs=jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -113,7 +120,11 @@ def cmd_check_window(args: argparse.Namespace) -> int:
         raise SystemExit("window must be non-empty (x1 <= x2 and y1 <= y2)")
     jobs = _resolve_jobs(args)
     try:
-        options = EngineOptions(jobs=jobs)
+        options = EngineOptions(
+            jobs=jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
     except ValueError as error:
         raise SystemExit(str(error)) from None
     report = check_window(
@@ -124,6 +135,37 @@ def cmd_check_window(args: argparse.Namespace) -> int:
     else:
         print(report.summary())
     return 0 if report.passed else 1
+
+
+def _resolve_cache_root(args: argparse.Namespace) -> str:
+    from .core.packstore import CACHE_DIR_ENV
+
+    root = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        raise SystemExit(
+            "no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR"
+        )
+    return root
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .core.packstore import PackStore
+
+    store = PackStore(_resolve_cache_root(args))
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    entries = store.entries()
+    totals = store.persisted_counters()
+    print(f"cache: {store.root}")
+    print(f"entries: {len(entries)}")
+    print(f"bytes: {sum(nbytes for _, nbytes in entries)}")
+    print(f"hits: {totals.get('hits', 0)}")
+    print(f"misses: {totals.get('misses', 0)}")
+    print(f"bytes_read: {totals.get('bytes_read', 0)}")
+    print(f"bytes_written: {totals.get('bytes_written', 0)}")
+    return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -138,6 +180,20 @@ def cmd_synth(args: argparse.Namespace) -> int:
     write(gdsii_from_layout(layout), args.out)
     print(f"wrote {args.out}: {compute_stats(layout).summary()}")
     return 0
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm-start pack store directory (default: $REPRO_CACHE_DIR; "
+        "packing artifacts are reused across runs when set)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any configured pack store (pure cold path)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -203,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EDGES",
         help="edge count at or below which the brute-force executor runs",
     )
+    _add_cache_args(check)
     check.set_defaults(func=cmd_check)
 
     window = sub.add_parser(
@@ -223,7 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the windowed check "
         "(default: $REPRO_JOBS or 1)",
     )
+    _add_cache_args(window)
     window.set_defaults(func=cmd_check_window)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent pack store"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir",
+        help="pack-store directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     stats = sub.add_parser("stats", help="print layout statistics")
     stats.add_argument("file")

@@ -69,10 +69,21 @@ class WindowedBackend:
         return [v for v in violations if v.region.overlaps(self.window)]
 
     def stats(self) -> Dict[str, float]:
+        store = self.plan.caches.store
+        cache = store.counters() if store is not None else {}
         return dict(
             pack_cache_hits=self.plan.caches.pack.hits,
             pack_cache_misses=self.plan.caches.pack.misses,
+            cache_hits=cache.get("hits", 0),
+            cache_misses=cache.get("misses", 0),
+            cache_bytes_read=cache.get("bytes_read", 0),
+            cache_bytes_written=cache.get("bytes_written", 0),
         )
+
+    def close(self) -> None:
+        store = self.plan.caches.store
+        if store is not None:
+            store.persist_counters()
 
 
 def check_window(

@@ -57,7 +57,7 @@ from ..gpu.kernels import (
     kernel_pairs_sweep_segmented,
     reduce_enclosure_best,
 )
-from ..gpu.shmem import ArrayRef, ShmArena
+from ..gpu.shmem import ArrayRef, ShmArena, file_backed_ref
 from ..util.profile import PHASE_EDGE_CHECKS, PHASE_OTHER, PHASE_SWEEPLINE, PhaseProfile
 from .plan import (
     MODE_PARALLEL,
@@ -102,9 +102,30 @@ def _share_edges(arena: ShmArena, buf: EdgeBuffer) -> Dict[str, Any]:
     }
 
 
+def _edges_file_refs(buf: EdgeBuffer) -> Optional[Dict[str, Any]]:
+    """Memmap descriptors for a pack-store-backed fused buffer, or ``None``.
+
+    When the fused buffer was served from the persistent pack store, every
+    component array is a window of the store's memmap — the shard payload
+    can then carry (path, offset) descriptors plus the shard's row ids, and
+    each worker maps the same pages instead of copying bytes through shared
+    memory. Any non-file-backed component (cold run, `--no-cache`) vetoes
+    the whole payload so the ShmArena transport takes over.
+    """
+    if buf.segment is None:
+        return None
+    refs: Dict[str, Any] = {"vertical": buf.vertical}
+    for name in ("fixed", "lo", "hi", "interior", "poly", "segment"):
+        ref = file_backed_ref(getattr(buf, name))
+        if ref is None:
+            return None
+        refs[name] = ref
+    return refs
+
+
 def _resolve_edges(payload: Dict[str, Any]) -> EdgeBuffer:
     segment = payload["segment"]
-    return EdgeBuffer(
+    buf = EdgeBuffer(
         payload["vertical"],
         payload["fixed"].resolve(),
         payload["lo"].resolve(),
@@ -113,6 +134,13 @@ def _resolve_edges(payload: Dict[str, Any]) -> EdgeBuffer:
         payload["poly"].resolve(),
         None if segment is None else segment.resolve(),
     )
+    rows = payload.get("rows")
+    if rows is not None:
+        # Memmap payloads carry the whole fused buffer; cut this shard's
+        # rows here (same np.isin select the parent-side arena path does).
+        index = np.flatnonzero(np.isin(buf.segment, np.asarray(rows, dtype=_INT)))
+        buf = buf.take(index)
+    return buf
 
 
 def _share_corners(arena: ShmArena, buf: CornerBuffer) -> Dict[str, Any]:
@@ -126,9 +154,22 @@ def _share_corners(arena: ShmArena, buf: CornerBuffer) -> Dict[str, Any]:
     }
 
 
+def _corners_file_refs(buf: CornerBuffer) -> Optional[Dict[str, Any]]:
+    """Memmap descriptors for a store-backed corner buffer (see edges)."""
+    if buf.segment is None:
+        return None
+    refs: Dict[str, Any] = {}
+    for name in ("x", "y", "qx", "qy", "poly", "segment"):
+        ref = file_backed_ref(getattr(buf, name))
+        if ref is None:
+            return None
+        refs[name] = ref
+    return refs
+
+
 def _resolve_corners(payload: Dict[str, Any]) -> CornerBuffer:
     segment = payload["segment"]
-    return CornerBuffer(
+    buf = CornerBuffer(
         payload["x"].resolve(),
         payload["y"].resolve(),
         payload["qx"].resolve(),
@@ -136,6 +177,11 @@ def _resolve_corners(payload: Dict[str, Any]) -> CornerBuffer:
         payload["poly"].resolve(),
         None if segment is None else segment.resolve(),
     )
+    rows = payload.get("rows")
+    if rows is not None:
+        index = np.flatnonzero(np.isin(buf.segment, np.asarray(rows, dtype=_INT)))
+        buf = buf.take(index)
+    return buf
 
 
 # ---------------------------------------------------------------------------
@@ -296,6 +342,8 @@ class _CornerShardTask:
         stats = {"fused_launches": 0, "fused_segments": 0}
         profile = PhaseProfile()
         buf = _resolve_corners(self.corners)
+        if len(buf) < 2:
+            return [], stats, profile.to_dict()
         stream = executors[0]
         with profile.phase(PHASE_OTHER):
             device_buf = CornerBuffer(
@@ -433,6 +481,7 @@ class MultiprocessBackend:
             "mp_rule_tasks": 0,
             "mp_shard_tasks": 0,
             "mp_shm_bytes": 0,
+            "mp_mmap_bytes": 0,
         }
         self._local = None
 
@@ -496,6 +545,9 @@ class MultiprocessBackend:
         if pool is not None:
             pool.terminate()
             pool.join()
+        store = self.plan.caches.store
+        if store is not None:
+            store.persist_counters()
 
     def __del__(self) -> None:  # pragma: no cover - safety net
         try:
@@ -592,7 +644,9 @@ class MultiprocessBackend:
         if len(member_rows) < 2:
             return local.run(rule, profile)
         host_start = time.perf_counter()
-        fused = local._cached_fused_pair(rule.layer, sig, member_rows, items)
+        fused = local._cached_fused_pair(
+            rule.layer, sig, member_rows, items, rule.value
+        )
         self.device.record_host("pack-fused", time.perf_counter() - host_start)
         if fused.num_edges < 2:
             return []
@@ -617,7 +671,16 @@ class MultiprocessBackend:
                 if len(buf):
                     index = np.flatnonzero(np.isin(self._segments(buf), rowset))
                     if len(index) >= 2:
-                        sub = _share_edges(arena, buf.take(index))
+                        refs = _edges_file_refs(buf)
+                        if refs is not None:
+                            # Store-served buffer: ship memmap descriptors
+                            # plus this shard's row ids — workers map the
+                            # same pack-store pages, zero bytes copied.
+                            refs["rows"] = rowset.tolist()
+                            sub = refs
+                            self._mp_counters["mp_mmap_bytes"] += buf.nbytes
+                        else:
+                            sub = _share_edges(arena, buf.take(index))
                 payloads.append(sub)
             if payloads[0] is None and payloads[1] is None:
                 continue
@@ -641,7 +704,9 @@ class MultiprocessBackend:
         if len(member_rows) < 2:
             return local.run(rule, profile)
         host_start = time.perf_counter()
-        fused = local._cached_fused_corners(rule.layer, sig, member_rows, items)
+        fused = local._cached_fused_corners(
+            rule.layer, sig, member_rows, items, rule.value
+        )
         self.device.record_host("pack-corners-fused", time.perf_counter() - host_start)
         if len(fused) < 2:
             return []
@@ -655,14 +720,25 @@ class MultiprocessBackend:
         arena = ShmArena()
         tasks: List[_CornerShardTask] = []
         for rows in shards:
-            index = np.flatnonzero(np.isin(seg, np.asarray(rows, dtype=_INT)))
+            rowset = np.asarray(rows, dtype=_INT)
+            index = np.flatnonzero(np.isin(seg, rowset))
             if len(index) < 2:
                 continue
+            refs = _corners_file_refs(fused)
+            if refs is not None:
+                refs["rows"] = rowset.tolist()
+                payload = refs
+                self._mp_counters["mp_mmap_bytes"] += sum(
+                    getattr(fused, name).nbytes
+                    for name in ("x", "y", "qx", "qy", "poly", "segment")
+                )
+            else:
+                payload = _share_corners(arena, fused.take(index))
             tasks.append(
                 _CornerShardTask(
                     layer=rule.layer,
                     value=rule.value,
-                    corners=_share_corners(arena, fused.take(index)),
+                    corners=payload,
                 )
             )
         return self._gather_shards(arena, tasks, profile)
@@ -681,7 +757,7 @@ class MultiprocessBackend:
         num_vias = len(via_items)
         host_start = time.perf_counter()
         rect_rows = local._cached_rect_rows(
-            via_layer, metal_layer, sig, member_rows, combined, num_vias
+            via_layer, metal_layer, sig, member_rows, combined, num_vias, value
         )
         self.device.record_host("pack-rects-fused", time.perf_counter() - host_start)
         rect_ids = [

@@ -38,8 +38,9 @@ a sequential backend sharing this plan's caches.
 
 from __future__ import annotations
 
+import contextlib
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,11 +53,17 @@ from ..hierarchy.edgepack import (
     HierarchicalRectPacker,
     concat_buffers as concat_edge_buffers,
     concat_segmented,
+    corners_from_arrays,
+    corners_to_arrays,
+    edge_pair_from_arrays,
+    edge_pair_to_arrays,
+    rect_rows_from_arrays,
+    rect_rows_to_arrays,
 )
 from ..hierarchy.pruning import LevelItem
 from ..hierarchy.tree import HierarchyTree
 from ..layout.library import Layout
-from ..partition.rows import margin_for_rule, partition_rects
+from ..partition.rows import margin_for_rule
 from ..spatial.sweepline import iter_bipartite_overlaps
 from ..gpu.device import Device
 from ..gpu.executor import StreamExecutor
@@ -85,6 +92,7 @@ from ..util.profile import (
     PHASE_SWEEPLINE,
     PhaseProfile,
 )
+from .packstore import store_key
 from .plan import (
     DEFAULT_BRUTE_FORCE_THRESHOLD,
     CheckPlan,
@@ -272,6 +280,8 @@ class ParallelBackend:
         self.pack_cache = self.caches.pack
         self.executor_counts = {"bruteforce": 0, "sweepline": 0}
         self.fusion_stats = {"fused_launches": 0, "fused_segments": 0}
+        self.phase_seconds = {"pack_seconds": 0.0, "kernel_seconds": 0.0}
+        self._pack_depth = 0
         self._sequential = None
 
     # -- rule dispatch ------------------------------------------------------
@@ -291,6 +301,8 @@ class ParallelBackend:
     def stats(self) -> Dict[str, float]:
         """Executor-choice, device-traffic, fusion, and cache counters."""
         counters = self.device.counters()
+        store = self.caches.store
+        cache = store.counters() if store is not None else {}
         return dict(
             kernels_bruteforce=self.executor_counts["bruteforce"],
             kernels_sweepline=self.executor_counts["sweepline"],
@@ -302,7 +314,19 @@ class ParallelBackend:
             fused_segments=self.fusion_stats["fused_segments"],
             pack_cache_hits=self.pack_cache.hits,
             pack_cache_misses=self.pack_cache.misses,
+            cache_hits=cache.get("hits", 0),
+            cache_misses=cache.get("misses", 0),
+            cache_bytes_read=cache.get("bytes_read", 0),
+            cache_bytes_written=cache.get("bytes_written", 0),
+            pack_seconds=self.phase_seconds["pack_seconds"],
+            kernel_seconds=self.phase_seconds["kernel_seconds"],
         )
+
+    def close(self) -> None:
+        """Flush pack-store counter deltas (idempotent; engine calls this)."""
+        store = self.caches.store
+        if store is not None:
+            store.persist_counters()
 
     # -- strategy entry points (bound by plan.KIND_SPECS) ----------------------
 
@@ -335,6 +359,35 @@ class ParallelBackend:
     def _stream(self, index: int) -> StreamExecutor:
         return self.executors[index % len(self.executors)]
 
+    # -- phase timing --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _pack_timer(self):
+        """Attribute elapsed time to ``pack_seconds`` (outermost scope only).
+
+        Entered strictly inside *cold* build bodies — never around cache
+        lookups — so a warm-start run (every artifact served from the memo
+        or the pack store) reports exactly zero pack seconds. The depth
+        guard keeps nested builds (fused pair -> per-row pairs) from double
+        counting.
+        """
+        self._pack_depth += 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._pack_depth -= 1
+            if self._pack_depth == 0:
+                self.phase_seconds["pack_seconds"] += time.perf_counter() - start
+
+    @contextlib.contextmanager
+    def _kernel_phase(self, profile: PhaseProfile):
+        """PHASE_EDGE_CHECKS attribution plus the ``kernel_seconds`` counter."""
+        start = time.perf_counter()
+        with profile.phase(PHASE_EDGE_CHECKS):
+            yield
+        self.phase_seconds["kernel_seconds"] += time.perf_counter() - start
+
     # -- pack-cache plumbing -------------------------------------------------
 
     def _cached_items(self, layer: int, profile: PhaseProfile) -> List[LevelItem]:
@@ -344,27 +397,43 @@ class ParallelBackend:
     def _cached_partition(
         self, key: Any, mbrs: List[Rect], value: int, profile: PhaseProfile
     ) -> Tuple[List[List[int]], Any]:
-        """Row membership lists plus a stable signature for buffer reuse.
+        """The plan-level shared partition seam (memo + pack store)."""
 
-        The partition store is keyed by the rule-distance *margin*, so two
-        rules whose distances round to the same margin share one partition;
-        the returned signature is the membership tuple alone (packed buffers
-        depend only on which items land in which row). With rows disabled
-        the signature is a distinct ``norows`` marker, so row-partitioned
-        buffers are never reused by an unpartitioned backend.
+        @contextlib.contextmanager
+        def cold():
+            with self._pack_timer(), profile.phase(PHASE_PARTITION):
+                yield
+
+        return self.caches.partition_rows(
+            key, mbrs, value, use_rows=self.use_rows, cold_timer=cold
+        )
+
+    # -- pack-store plumbing (persistent, content-addressed) ------------------
+
+    def _store_key(self, kind: str, layers: Any, value: int) -> str:
+        """Content key: geometry digest(s) + partition parameters.
+
+        ``use_rows`` and the margin fully determine the row membership given
+        the geometry, so they (not the raw signature) key the fused buffers;
+        the brute-force threshold is launch-time lane policy and deliberately
+        not part of the key.
         """
-        if not mbrs:
-            return [], ("empty",)
-        if not self.use_rows:
-            return [list(range(len(mbrs)))], ("norows", len(mbrs))
-        margin = margin_for_rule(value)
+        return store_key(
+            kind, self.caches.digest_of(layers), self.use_rows, margin_for_rule(value)
+        )
 
-        def build() -> Tuple[List[List[int]], Any]:
-            with profile.phase(PHASE_PARTITION):
-                partition = partition_rects(mbrs, value)
-            return [row.members for row in partition.rows], partition.signature()[1]
+    def _store_load(self, kind: str, layers: Any, value: int, decode: Callable) -> Any:
+        store = self.caches.store
+        if store is None:
+            return None
+        return store.load(
+            self._store_key(kind, layers, value), lambda a, m: decode(a, m)
+        )
 
-        return self.pack_cache.get("partition", (key, margin), build)
+    def _store_save(self, kind: str, layers: Any, value: int, arrays, meta) -> None:
+        store = self.caches.store
+        if store is not None:
+            store.save(self._store_key(kind, layers, value), arrays, meta)
 
     def _edge_packer(self, layer: int) -> HierarchicalEdgePacker:
         return self.pack_cache.get(
@@ -379,22 +448,34 @@ class ParallelBackend:
     def _cached_row_pair(
         self, layer: int, sig: Any, index: int, row_items: List[LevelItem]
     ) -> EdgeBufferPair:
-        return self.pack_cache.get(
-            "edge-rows",
-            (layer, sig, index),
-            lambda: self._row_edge_buffers(row_items, self._edge_packer(layer)),
-        )
+        def build() -> EdgeBufferPair:
+            with self._pack_timer():
+                return self._row_edge_buffers(row_items, self._edge_packer(layer))
+
+        return self.pack_cache.get("edge-rows", (layer, sig, index), build)
 
     def _cached_fused_pair(
-        self, layer: int, sig: Any, member_rows: List[List[int]], items: List[LevelItem]
+        self,
+        layer: int,
+        sig: Any,
+        member_rows: List[List[int]],
+        items: List[LevelItem],
+        value: int,
     ) -> EdgeBufferPair:
         def build() -> EdgeBufferPair:
-            return concat_segmented(
-                [
-                    self._cached_row_pair(layer, sig, i, [items[m] for m in row])
-                    for i, row in enumerate(member_rows)
-                ]
-            )
+            loaded = self._store_load("fused-edges", layer, value, edge_pair_from_arrays)
+            if loaded is not None:
+                return loaded
+            with self._pack_timer():
+                pair = concat_segmented(
+                    [
+                        self._cached_row_pair(layer, sig, i, [items[m] for m in row])
+                        for i, row in enumerate(member_rows)
+                    ]
+                )
+            arrays, meta = edge_pair_to_arrays(pair)
+            self._store_save("fused-edges", layer, value, arrays, meta)
+            return pair
 
         return self.pack_cache.get("fused-edges", (layer, sig), build)
 
@@ -424,7 +505,8 @@ class ParallelBackend:
     ) -> List[PairHits]:
         """Pack, copy, and check one task's edges on the device."""
         host_start = time.perf_counter()
-        buffers = pack_edges(polygons)
+        with self._pack_timer():
+            buffers = pack_edges(polygons)
         stream.record_host("pack-edges", time.perf_counter() - host_start)
 
         hits: List[PairHits] = []
@@ -440,7 +522,7 @@ class ParallelBackend:
                     stream.memcpy_h2d(buf.interior, name="edges.interior"),
                     stream.memcpy_h2d(buf.poly, name="edges.poly"),
                 )
-            with profile.phase(PHASE_EDGE_CHECKS):
+            with self._kernel_phase(profile):
                 if len(buf) <= self.brute_force_threshold:
                     self.executor_counts["bruteforce"] += 1
                     hits.append(
@@ -489,7 +571,7 @@ class ParallelBackend:
         )
         if self.fuse_rows:
             host_start = time.perf_counter()
-            fused = self._cached_fused_pair(layer, sig, member_rows, items)
+            fused = self._cached_fused_pair(layer, sig, member_rows, items, value)
             self.device.record_host("pack-fused", time.perf_counter() - host_start)
             if fused.num_edges < 2:
                 return []
@@ -567,7 +649,7 @@ class ParallelBackend:
                 if count < 2:
                     continue
                 lane_buf = device_buf.take(np.flatnonzero(mask))
-                with profile.phase(PHASE_EDGE_CHECKS):
+                with self._kernel_phase(profile):
                     self.executor_counts[counter] += 1
                     self.fusion_stats["fused_launches"] += 1
                     self.fusion_stats["fused_segments"] += int(np.unique(seg[mask]).size)
@@ -639,7 +721,7 @@ class ParallelBackend:
                     stream.memcpy_h2d(buf.interior, name="edges.interior"),
                     stream.memcpy_h2d(buf.poly, name="edges.poly"),
                 )
-            with profile.phase(PHASE_EDGE_CHECKS):
+            with self._kernel_phase(profile):
                 if len(buf) <= self.brute_force_threshold:
                     self.executor_counts["bruteforce"] += 1
                     kernel, name = kernel_pairs_bruteforce, "pairs-bruteforce"
@@ -689,13 +771,14 @@ class ParallelBackend:
                 owner.append(def_index)
         stream = self._stream(0)
         host_start = time.perf_counter()
-        buf = pack_vertices(polygons)
+        with self._pack_timer():
+            buf = pack_vertices(polygons)
         stream.record_host("pack-vertices", time.perf_counter() - host_start)
         with profile.phase(PHASE_OTHER):
             xs = stream.memcpy_h2d(buf.xs, name="verts.x")
             ys = stream.memcpy_h2d(buf.ys, name="verts.y")
             buf.xs, buf.ys = xs, ys
-        with profile.phase(PHASE_EDGE_CHECKS):
+        with self._kernel_phase(profile):
             areas = stream.launch("area", kernel_area, buf, items=len(buf))
         per_def: Dict[int, List[Violation]] = {}
         for poly_index, area in enumerate(areas):
@@ -715,26 +798,39 @@ class ParallelBackend:
     # -- corner spacing (roadmap extension) --------------------------------------
 
     def _cached_fused_corners(
-        self, layer: int, sig: Any, member_rows: List[List[int]], items: List[LevelItem]
+        self,
+        layer: int,
+        sig: Any,
+        member_rows: List[List[int]],
+        items: List[LevelItem],
+        value: int,
     ) -> CornerBuffer:
         def build() -> CornerBuffer:
-            parts: List[CornerBuffer] = []
-            for index, members in enumerate(member_rows):
-                polygons = self._flatten_items([items[m] for m in members], layer)
-                row_buf = pack_corners(polygons)
-                if len(row_buf):
-                    row_buf.segment = np.full(len(row_buf), index, dtype=np.int64)
-                    parts.append(row_buf)
-            if not parts:
-                return pack_corners([])
-            return CornerBuffer(
-                np.concatenate([p.x for p in parts]),
-                np.concatenate([p.y for p in parts]),
-                np.concatenate([p.qx for p in parts]),
-                np.concatenate([p.qy for p in parts]),
-                np.concatenate([p.poly for p in parts]),
-                np.concatenate([p.segment for p in parts]),
-            )
+            loaded = self._store_load("fused-corners", layer, value, corners_from_arrays)
+            if loaded is not None:
+                return loaded
+            with self._pack_timer():
+                parts: List[CornerBuffer] = []
+                for index, members in enumerate(member_rows):
+                    polygons = self._flatten_items([items[m] for m in members], layer)
+                    row_buf = pack_corners(polygons)
+                    if len(row_buf):
+                        row_buf.segment = np.full(len(row_buf), index, dtype=np.int64)
+                        parts.append(row_buf)
+                if not parts:
+                    buf = pack_corners([])
+                else:
+                    buf = CornerBuffer(
+                        np.concatenate([p.x for p in parts]),
+                        np.concatenate([p.y for p in parts]),
+                        np.concatenate([p.qx for p in parts]),
+                        np.concatenate([p.qy for p in parts]),
+                        np.concatenate([p.poly for p in parts]),
+                        np.concatenate([p.segment for p in parts]),
+                    )
+            arrays, meta = corners_to_arrays(buf)
+            self._store_save("fused-corners", layer, value, arrays, meta)
+            return buf
 
         return self.pack_cache.get("fused-corners", (layer, sig), build)
 
@@ -753,7 +849,7 @@ class ParallelBackend:
         )
         if self.fuse_rows:
             host_start = time.perf_counter()
-            buf = self._cached_fused_corners(layer, sig, member_rows, items)
+            buf = self._cached_fused_corners(layer, sig, member_rows, items, value)
             self.device.record_host(
                 "pack-corners-fused", time.perf_counter() - host_start
             )
@@ -769,7 +865,7 @@ class ParallelBackend:
                     buf.poly,
                     stream.memcpy_h2d(buf.segment, name="corners.segment"),
                 )
-            with profile.phase(PHASE_EDGE_CHECKS):
+            with self._kernel_phase(profile):
                 self.fusion_stats["fused_launches"] += 1
                 self.fusion_stats["fused_segments"] += len(member_rows)
                 hits = stream.launch(
@@ -784,8 +880,9 @@ class ParallelBackend:
         for index, members in enumerate(member_rows):
             stream = self._stream(index)
             host_start = time.perf_counter()
-            polygons = self._flatten_items([items[m] for m in members], layer)
-            buf = pack_corners(polygons)
+            with self._pack_timer():
+                polygons = self._flatten_items([items[m] for m in members], layer)
+                buf = pack_corners(polygons)
             stream.record_host(
                 f"pack-corners-{index}", time.perf_counter() - host_start
             )
@@ -795,7 +892,7 @@ class ParallelBackend:
                 device_x = stream.memcpy_h2d(buf.x, name="corners.x")
                 device_y = stream.memcpy_h2d(buf.y, name="corners.y")
                 buf.x, buf.y = device_x, device_y
-            with profile.phase(PHASE_EDGE_CHECKS):
+            with self._kernel_phase(profile):
                 hits = stream.launch(
                     "corner-pairs", kernel_corner_pairs, buf, value, items=len(buf)
                 )
@@ -881,7 +978,7 @@ class ParallelBackend:
 
         host_start = time.perf_counter()
         rect_rows = self._cached_rect_rows(
-            via_layer, metal_layer, sig, member_rows, combined, num_vias
+            via_layer, metal_layer, sig, member_rows, combined, num_vias, value
         )
         self.device.record_host("pack-rects-fused", time.perf_counter() - host_start)
 
@@ -946,6 +1043,7 @@ class ParallelBackend:
         member_rows: List[List[int]],
         combined: List[LevelItem],
         num_vias: int,
+        value: int,
     ) -> List[tuple]:
         """Per-row ``(via RectBuffer, metal RectBuffer)`` pairs, cached.
 
@@ -954,19 +1052,31 @@ class ParallelBackend:
         """
 
         def build() -> List[tuple]:
-            via_packer = self._rect_packer(via_layer)
-            metal_packer = self._rect_packer(metal_layer)
-            return [
-                (
-                    self._row_rect_buffer(
-                        [combined[m] for m in members if m < num_vias], via_packer
-                    ),
-                    self._row_rect_buffer(
-                        [combined[m] for m in members if m >= num_vias], metal_packer
-                    ),
-                )
-                for members in member_rows
-            ]
+            loaded = self._store_load(
+                "rect-rows", (via_layer, metal_layer), value, rect_rows_from_arrays
+            )
+            if loaded is not None:
+                return [
+                    (loaded[i], loaded[i + 1]) for i in range(0, len(loaded), 2)
+                ]
+            with self._pack_timer():
+                via_packer = self._rect_packer(via_layer)
+                metal_packer = self._rect_packer(metal_layer)
+                rows = [
+                    (
+                        self._row_rect_buffer(
+                            [combined[m] for m in members if m < num_vias], via_packer
+                        ),
+                        self._row_rect_buffer(
+                            [combined[m] for m in members if m >= num_vias],
+                            metal_packer,
+                        ),
+                    )
+                    for members in member_rows
+                ]
+            arrays, meta = rect_rows_to_arrays([buf for pair in rows for buf in pair])
+            self._store_save("rect-rows", (via_layer, metal_layer), value, arrays, meta)
+            return rows
 
         return self.pack_cache.get("rect-rows", (via_layer, metal_layer, sig), build)
 
@@ -1033,7 +1143,7 @@ class ParallelBackend:
                 metal_segment=metal_segment,
                 items=len(via_rects),
             )
-        with profile.phase(PHASE_EDGE_CHECKS):
+        with self._kernel_phase(profile):
             margins = stream.launch(
                 "enclosure-margins",
                 kernel_enclosure_margins,
@@ -1073,7 +1183,7 @@ class ParallelBackend:
             for i, j in pairs:
                 candidates[i].append(metals[j])
             out: List[Violation] = []
-            with profile.phase(PHASE_EDGE_CHECKS):
+            with self._kernel_phase(profile):
                 for via, cands in zip(vias, candidates):
                     out.extend(
                         enclosure_pair_violations(
@@ -1098,7 +1208,7 @@ class ParallelBackend:
                 if len(metal_arr)
                 else metal_arr
             )
-        with profile.phase(PHASE_EDGE_CHECKS):
+        with self._kernel_phase(profile):
             margins = stream.launch(
                 "enclosure-margins",
                 kernel_enclosure_margins,

@@ -56,7 +56,16 @@ from ..hierarchy.pruning import (
 from ..hierarchy.tree import HierarchyTree
 from ..layout.cell import Cell
 from ..layout.library import Layout
+from ..partition.rows import margin_for_rule, partition_rects
 from ..util.profile import PhaseProfile
+from .packstore import (
+    PackStore,
+    layer_geometry_digest,
+    member_rows_from_arrays,
+    member_rows_to_arrays,
+    resolve_store,
+    store_key,
+)
 from .rules import Rule, RuleKind, validate_rules
 from .scheduler import infer_rule_dependencies
 
@@ -92,6 +101,8 @@ class EngineOptions:
     fuse_rows: bool = True  # fused segmented-row launches; False = per-row ablation
     jobs: int = 1  # worker processes for the multiprocess backend
     mp_start_method: Optional[str] = None  # None = platform default
+    cache_dir: Optional[str] = None  # persistent pack store root (or $REPRO_CACHE_DIR)
+    use_cache: bool = True  # False restores the uncached code path exactly
 
     def __post_init__(self) -> None:
         if self.mode not in ENGINE_MODES:
@@ -282,12 +293,21 @@ class PlanCaches:
     Owns the subtree range-query window and the :class:`PackCache`; the
     level items of a (cell, layer) are identical for every rule in the
     deck, so they live here rather than in any one backend.
+
+    When a persistent :class:`~repro.core.packstore.PackStore` is attached
+    (``store``), cross-*process* artifacts — the adaptive row partition here,
+    packed fused buffers in the parallel backend — are consulted on disk
+    before being rebuilt, keyed by per-layer geometry digests
+    (:func:`~repro.core.packstore.layer_geometry_digest`), so a warm-start
+    check skips partitioning and packing entirely.
     """
 
-    def __init__(self, tree: HierarchyTree) -> None:
+    def __init__(self, tree: HierarchyTree, *, store: Optional[PackStore] = None) -> None:
         self.tree = tree
         self.subtree = SubtreeWindow(tree)
         self.pack = PackCache()
+        self.store = store
+        self._layer_digests: Dict[int, str] = {}
 
     def level_items(self, cell: Cell, layer: int) -> List[LevelItem]:
         return self.pack.get(
@@ -295,6 +315,68 @@ class PlanCaches:
             (cell.name, layer),
             lambda: level_items(self.tree, cell, layer),
         )
+
+    def layer_digest(self, layer: int) -> str:
+        """Geometry content hash of one layer, memoised for the deck."""
+        digest = self._layer_digests.get(layer)
+        if digest is None:
+            digest = layer_geometry_digest(self.tree, layer)
+            self._layer_digests[layer] = digest
+        return digest
+
+    def digest_of(self, key: Any) -> Any:
+        """Digest(s) for a partition key: one layer or a tuple of layers."""
+        if isinstance(key, tuple):
+            return tuple(self.layer_digest(layer) for layer in key)
+        return self.layer_digest(key)
+
+    def partition_rows(
+        self,
+        key: Any,
+        mbrs: Sequence[Any],
+        value: int,
+        *,
+        use_rows: bool,
+        cold_timer: Optional[Callable[[], Any]] = None,
+    ) -> Tuple[List[List[int]], Any]:
+        """Row membership lists plus a stable signature for buffer reuse.
+
+        The shared partition seam: both the sequential and parallel backends
+        resolve the adaptive row partition (paper §IV-B) here, so they share
+        one in-memory memo per (key, margin) and — with a store attached —
+        one on-disk entry per (layer geometry, margin). The signature is the
+        membership tuple alone (packed buffers depend only on which items
+        land in which row); with rows disabled it is a distinct ``norows``
+        marker so row-partitioned buffers are never reused by an
+        unpartitioned backend. ``cold_timer`` is a context-manager factory
+        wrapped around the actual partition computation only — a warm start
+        never enters it.
+        """
+        if not mbrs:
+            return [], ("empty",)
+        if not use_rows:
+            return [list(range(len(mbrs)))], ("norows", len(mbrs))
+        margin = margin_for_rule(value)
+
+        def build() -> Tuple[List[List[int]], Any]:
+            skey = None
+            if self.store is not None:
+                skey = store_key("partition", self.digest_of(key), margin)
+                rows = self.store.load(skey, member_rows_from_arrays)
+                if rows is not None:
+                    return rows, tuple(tuple(row) for row in rows)
+            if cold_timer is not None:
+                with cold_timer():
+                    partition = partition_rects(list(mbrs), value)
+            else:
+                partition = partition_rects(list(mbrs), value)
+            rows = [row.members for row in partition.rows]
+            if skey is not None:
+                arrays, meta = member_rows_to_arrays(rows)
+                self.store.save(skey, arrays, meta)
+            return rows, partition.signature()[1]
+
+        return self.pack.get("partition", (key, margin), build)
 
 
 # ---------------------------------------------------------------------------
@@ -386,7 +468,7 @@ def compile_plan(
         mode=resolved_mode,
         options=options,
         tree=tree,
-        caches=PlanCaches(tree),
+        caches=PlanCaches(tree, store=resolve_store(options)),
         compiled=compiled,
     )
 

@@ -36,7 +36,7 @@ from ..hierarchy.query import invert
 from ..hierarchy.tree import HierarchyTree
 from ..layout.cell import Cell
 from ..layout.library import Layout
-from ..partition.rows import margin_for_rule, partition_rects
+from ..partition.rows import margin_for_rule
 from ..spatial.sweepline import iter_bipartite_overlaps, report_overlapping_pairs
 from ..util.profile import (
     PHASE_EDGE_CHECKS,
@@ -102,6 +102,8 @@ class SequentialBackend:
 
     def stats(self) -> Dict[str, float]:
         """Cumulative pruning and cache counters (for CheckResult.stats)."""
+        store = self.caches.store
+        cache = store.counters() if store is not None else {}
         return dict(
             checks_run=self.pruning.checks_run,
             checks_reused=self.pruning.checks_reused,
@@ -109,7 +111,17 @@ class SequentialBackend:
             pairs_pruned_mbr=self.pruning.pairs_pruned_mbr,
             pack_cache_hits=self.caches.pack.hits,
             pack_cache_misses=self.caches.pack.misses,
+            cache_hits=cache.get("hits", 0),
+            cache_misses=cache.get("misses", 0),
+            cache_bytes_read=cache.get("bytes_read", 0),
+            cache_bytes_written=cache.get("bytes_written", 0),
         )
+
+    def close(self) -> None:
+        """Flush pack-store counter deltas (idempotent; engine calls this)."""
+        store = self.caches.store
+        if store is not None:
+            store.persist_counters()
 
     # -- strategy entry points (bound by plan.KIND_SPECS) ----------------------
 
@@ -227,14 +239,16 @@ class SequentialBackend:
             for polygon in top.polygons(layer):
                 vios.extend(procedures.self_violations(polygon, layer, value))
 
-        if self.use_rows and items:
-            with profile.phase(PHASE_PARTITION):
-                partition = partition_rects([it.mbr for it in items], value)
-            groups: List[List[LevelItem]] = [
-                [items[m] for m in row.members] for row in partition.rows
-            ]
-        else:
-            groups = [items]
+        member_rows, _sig = self.caches.partition_rows(
+            layer,
+            [it.mbr for it in items],
+            value,
+            use_rows=self.use_rows,
+            cold_timer=lambda: profile.phase(PHASE_PARTITION),
+        )
+        groups: List[List[LevelItem]] = [
+            [items[m] for m in row] for row in member_rows
+        ]
 
         for group in groups:
             vios.extend(self._group_pairs(group, layer, value, procedures, profile))

@@ -250,14 +250,25 @@ def kernel_pairs_bruteforce(
     if n < 2:
         return PairHits.empty()
     batches: List[PairHits] = []
-    all_idx = np.arange(n, dtype=_INT)
-    for start in range(0, n, chunk):
-        rows = all_idx[start : start + chunk]
-        a = np.repeat(rows, n)
-        b = np.tile(all_idx, len(rows))
-        keep = buf.fixed[a] < buf.fixed[b]  # orient pairs once; gap >= 1 anyway
+    for start in range(0, n - 1, chunk):
+        # Upper-triangular enumeration: row i contributes pairs (i, i+1..n-1),
+        # so each unordered pair is materialized exactly once — half the
+        # memory of the old full chunk×n block + mask. Orientation is fixed
+        # afterwards so ``fixed[b] >= fixed[a]`` still holds; equal-fixed
+        # pairs survive enumeration but the ``gap >= 1`` mask rejects them,
+        # exactly as the old strict ``<`` filter did.
+        rows = np.arange(start, min(start + chunk, n - 1), dtype=_INT)
+        c = (n - 1) - rows
+        total = int(c.sum())
+        idx_a = np.repeat(rows, c)
+        cc = np.cumsum(c)
+        offsets = np.arange(total, dtype=_INT) - np.repeat(cc - c, c)
+        idx_b = idx_a + 1 + offsets
+        swap = buf.fixed[idx_a] > buf.fixed[idx_b]
+        a = np.where(swap, idx_b, idx_a)
+        b = np.where(swap, idx_a, idx_b)
         batches.append(
-            _evaluate_pairs(buf, a[keep], b[keep], threshold, want_width=want_width)
+            _evaluate_pairs(buf, a, b, threshold, want_width=want_width)
         )
     return PairHits.concatenate(batches)
 

@@ -36,6 +36,7 @@ __all__ = [
     "ArrayRef",
     "ShmArena",
     "attached_block_count",
+    "file_backed_ref",
     "release_attachments",
     "shm_enabled",
 ]
@@ -61,8 +62,10 @@ def shm_enabled() -> bool:
 class ArrayRef:
     """A picklable reference to one ndarray.
 
-    Either a view into a shared block (``block``/``offset`` set) or the raw
-    bytes themselves (``data`` set, the inline fallback).
+    A view into a shared block (``block``/``offset`` set), a window of an
+    on-disk pack-store entry (``path``/``offset`` set — workers ``mmap`` the
+    same pages the parent reads, copying nothing), or the raw bytes
+    themselves (``data`` set, the inline fallback).
     """
 
     dtype: str
@@ -70,21 +73,68 @@ class ArrayRef:
     block: Optional[str] = None
     offset: int = 0
     data: Optional[bytes] = None
+    path: Optional[str] = None
 
     def resolve(self) -> np.ndarray:
         """Materialise the array in this process (read-only view or copy)."""
-        if self.block is None:
+        count = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        if self.path is not None:
+            if count == 0:
+                array = np.zeros(self.shape, dtype=np.dtype(self.dtype))
+                array.flags.writeable = False
+                return array
+            array = np.memmap(
+                self.path,
+                dtype=np.dtype(self.dtype),
+                mode="r",
+                offset=self.offset,
+                shape=(count,),
+            )
+        elif self.block is None:
             assert self.data is not None
             array = np.frombuffer(self.data, dtype=np.dtype(self.dtype))
         else:
             shm = _attach(self.block)
-            count = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
             array = np.frombuffer(
                 shm.buf, dtype=np.dtype(self.dtype), count=count, offset=self.offset
             )
         array = array.reshape(self.shape)
         array.flags.writeable = False
         return array
+
+
+def file_backed_ref(array: np.ndarray) -> Optional[ArrayRef]:
+    """An :class:`ArrayRef` into the memmap file backing ``array``, if any.
+
+    Walks the view's base chain to an ``np.memmap``; returns ``None`` when
+    the array is not a contiguous window of a mapped file (workers then fall
+    back to the :class:`ShmArena` transport). The descriptor carries only
+    (path, dtype, shape, byte offset) — the worker maps the same pack-store
+    pages the parent reads, so shipping a buffer costs zero copies.
+    """
+    if not isinstance(array, np.ndarray) or not array.flags.c_contiguous:
+        return None
+    # Walk to the *root* of the view chain: slices/views of a memmap are
+    # np.memmap instances too, but inherit the parent's ``offset`` attribute
+    # unadjusted — only the directly-constructed root's offset is truthful,
+    # so the file position must come from pointer arithmetic against it.
+    base = array
+    while isinstance(getattr(base, "base", None), np.ndarray):
+        base = base.base
+    if not isinstance(base, np.memmap) or getattr(base, "filename", None) is None:
+        return None
+    delta = (
+        array.__array_interface__["data"][0]
+        - base.__array_interface__["data"][0]
+    )
+    if delta < 0 or delta + array.nbytes > base.nbytes:
+        return None
+    return ArrayRef(
+        str(array.dtype),
+        array.shape,
+        offset=int(base.offset) + int(delta),
+        path=str(base.filename),
+    )
 
 
 class ShmArena:

@@ -184,3 +184,83 @@ class TestEnclosureKernel:
             np.zeros(0, dtype=np.int64),
         )
         assert len(margins) == 0
+
+
+class TestTriangularEnumeration:
+    """The brute-force kernel's upper-triangular pair enumeration must be
+    hit-for-hit identical to the reference full chunk×n product + mask."""
+
+    @staticmethod
+    def _reference_full_product(buf, threshold, *, want_width, chunk=1024):
+        from repro.gpu.kernels import PairHits, _evaluate_pairs
+
+        n = len(buf)
+        if n < 2:
+            return PairHits.empty()
+        batches = []
+        all_idx = np.arange(n, dtype=np.int64)
+        for start in range(0, n, chunk):
+            rows = all_idx[start : start + chunk]
+            a = np.repeat(rows, n)
+            b = np.tile(all_idx, len(rows))
+            keep = buf.fixed[a] < buf.fixed[b]
+            batches.append(
+                _evaluate_pairs(buf, a[keep], b[keep], threshold, want_width=want_width)
+            )
+        return PairHits.concatenate(batches)
+
+    @staticmethod
+    def _canonical(hits):
+        return sorted(
+            zip(
+                hits.xlo.tolist(), hits.ylo.tolist(),
+                hits.xhi.tolist(), hits.yhi.tolist(),
+                hits.measured.tolist(),
+                hits.poly_a.tolist(), hits.poly_b.tolist(),
+            )
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("threshold", [5, 12, 25])
+    def test_spacing_identical_to_full_product(self, seed, threshold):
+        bufs = pack_edges(random_rects(seed, n=70))
+        for buf in (bufs["v"], bufs["h"]):
+            got = kernel_pairs_bruteforce(buf, threshold, want_width=False)
+            want = self._reference_full_product(buf, threshold, want_width=False)
+            assert self._canonical(got) == self._canonical(want)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_width_identical_to_full_product(self, seed):
+        bufs = pack_edges(random_rects(seed, n=50))
+        for buf in (bufs["v"], bufs["h"]):
+            got = kernel_pairs_bruteforce(buf, 40, want_width=True)
+            want = self._reference_full_product(buf, 40, want_width=True)
+            assert self._canonical(got) == self._canonical(want)
+
+    def test_small_chunks_identical(self):
+        buf = pack_edges(random_rects(11, n=40))["v"]
+        want = self._reference_full_product(buf, 15, want_width=False)
+        for chunk in (1, 3, 7, 64):
+            got = kernel_pairs_bruteforce(buf, 15, want_width=False, chunk=chunk)
+            assert self._canonical(got) == self._canonical(want)
+
+    def test_materializes_half_the_pairs(self):
+        # n=40 edges: the triangular enumeration builds n(n-1)/2 = 780 pairs
+        # per full pass instead of the reference's chunk-bounded n*n = 1600.
+        buf = pack_edges(random_rects(12, n=10))["v"]
+        n = len(buf)
+        calls = []
+        from repro.gpu import kernels as K
+
+        original = K._evaluate_pairs
+
+        def spy(buf_, idx_a, idx_b, threshold, *, want_width):
+            calls.append(len(idx_a))
+            return original(buf_, idx_a, idx_b, threshold, want_width=want_width)
+
+        K._evaluate_pairs = spy
+        try:
+            kernel_pairs_bruteforce(buf, 15, want_width=False, chunk=4096)
+        finally:
+            K._evaluate_pairs = original
+        assert sum(calls) == n * (n - 1) // 2
