@@ -31,6 +31,7 @@ import sys
 from typing import List, Optional
 
 from .core import DEFAULT_BRUTE_FORCE_THRESHOLD, Engine, EngineOptions
+from .core.plan import DEFAULT_MAX_RETRIES, DEFAULT_TASK_TIMEOUT
 from .core.rules import Rule
 from .gdsii import read_layout, write
 from .layout import compute_stats, gdsii_from_layout
@@ -57,14 +58,22 @@ def _read(path: str, top: Optional[str]):
 def _resolve_jobs(args: argparse.Namespace) -> int:
     """--jobs wins; otherwise the REPRO_JOBS env var; otherwise 1."""
     if getattr(args, "jobs", None) is not None:
-        return args.jobs
-    env = os.environ.get("REPRO_JOBS")
-    if env:
+        jobs, source = args.jobs, "--jobs"
+    else:
+        env = os.environ.get("REPRO_JOBS")
+        if not env:
+            return 1
         try:
-            return int(env)
+            jobs = int(env)
         except ValueError:
             raise SystemExit(f"REPRO_JOBS must be an integer, got {env!r}") from None
-    return 1
+        source = "REPRO_JOBS"
+    if jobs < 1:
+        raise SystemExit(
+            f"{source} must be a positive integer, got {jobs}; "
+            "use 1 for in-process execution"
+        )
+    return jobs
 
 
 def _engine_options(args: argparse.Namespace) -> EngineOptions:
@@ -81,6 +90,8 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
             jobs=jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -124,6 +135,8 @@ def cmd_check_window(args: argparse.Namespace) -> int:
             jobs=jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -163,6 +176,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"bytes: {sum(nbytes for _, nbytes in entries)}")
     print(f"hits: {totals.get('hits', 0)}")
     print(f"misses: {totals.get('misses', 0)}")
+    print(f"corrupt: {totals.get('corrupt', 0)}")
     print(f"bytes_read: {totals.get('bytes_read', 0)}")
     print(f"bytes_written: {totals.get('bytes_written', 0)}")
     return 0
@@ -180,6 +194,25 @@ def cmd_synth(args: argparse.Namespace) -> int:
     write(gdsii_from_layout(layout), args.out)
     print(f"wrote {args.out}: {compute_stats(layout).summary()}")
     return 0
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=DEFAULT_TASK_TIMEOUT,
+        metavar="SECONDS",
+        help="per-task wait before a hung/lost worker task is retried "
+        f"(multiprocess backend; default {DEFAULT_TASK_TIMEOUT:g}s)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=DEFAULT_MAX_RETRIES,
+        metavar="N",
+        help="resubmissions per failed/timed-out task before it runs "
+        f"in-process instead (default {DEFAULT_MAX_RETRIES})",
+    )
 
 
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -259,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EDGES",
         help="edge count at or below which the brute-force executor runs",
     )
+    _add_fault_args(check)
     _add_cache_args(check)
     check.set_defaults(func=cmd_check)
 
@@ -280,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the windowed check "
         "(default: $REPRO_JOBS or 1)",
     )
+    _add_fault_args(window)
     _add_cache_args(window)
     window.set_defaults(func=cmd_check_window)
 

@@ -31,6 +31,17 @@ scheduling order.
 Rules that cannot cross a process boundary (e.g. ``ensures`` rules with
 lambda predicates) are detected by a pickle probe and run inline in the
 parent — correctness never depends on picklability.
+
+Fault tolerance (the production posture): every ``get()`` carries a
+per-task timeout, failed or timed-out tasks are resubmitted with bounded
+exponential backoff, a task that exhausts its retries runs in-process
+instead (and its rule stops using the pool), and if the pool itself cannot
+be kept alive the whole backend degrades to the sequential backend — the
+check always completes with the canonical report; only the
+``mp_retries`` / ``mp_timeouts`` / ``mp_inline_fallbacks`` /
+``mp_degraded`` counters reveal that recovery happened. Recovery paths run
+under :func:`repro.util.faults.suppressed` so injected faults can never
+fail the fallback itself.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ import dataclasses
 import multiprocessing
 import os
 import pickle
+import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -58,6 +70,8 @@ from ..gpu.kernels import (
     reduce_enclosure_best,
 )
 from ..gpu.shmem import ArrayRef, ShmArena, file_backed_ref
+from ..util import faults
+from ..util.logging import get_logger
 from ..util.profile import PHASE_EDGE_CHECKS, PHASE_OTHER, PHASE_SWEEPLINE, PhaseProfile
 from .plan import (
     MODE_PARALLEL,
@@ -74,7 +88,16 @@ __all__ = ["MultiprocessBackend", "ROW_SHARDED_KINDS"]
 #: Rule kinds sharded at row granularity; everything else fans out per rule.
 ROW_SHARDED_KINDS = (RuleKind.SPACING, RuleKind.CORNER_SPACING, RuleKind.ENCLOSURE)
 
+#: Pool teardown-and-rebuild attempts before the backend degrades for good.
+MAX_POOL_RESTARTS = 2
+
+#: First retry backoff (seconds); doubles per attempt, capped below.
+RETRY_BACKOFF = 0.05
+RETRY_BACKOFF_CAP = 1.0
+
 _INT = np.int64
+
+_logger = get_logger("multiproc")
 
 
 def _rule_picklable(rule: Rule) -> bool:
@@ -197,6 +220,9 @@ def _worker_initializer(payload: bytes) -> None:
     layout, rules, options, window = pickle.loads(payload)
     _WORKER.clear()
     _WORKER.update(layout=layout, rules=rules, options=options, window=window)
+    # Arm worker-side fault sites (shm attach, pack-store reads) before the
+    # first task; shard tasks never compile a plan, so this is the one hook.
+    faults.install(faults.resolve_spec(options))
 
 
 def _worker_backend():
@@ -442,9 +468,25 @@ class _EnclosureShardTask:
         return violations, stats, profile.to_dict()
 
 
-def _run_task(task):
-    """Pool entry point: dispatch one task in the worker process."""
+def _run_task(task, fault: Optional[str] = None):
+    """Pool entry point: dispatch one task in the worker process.
+
+    ``fault`` is the parent-decided injected action ("raise"/"hang"/"die")
+    executed before the task body; None on every healthy submission.
+    """
+    if fault is not None:
+        faults.act(fault)
     return task.execute()
+
+
+@dataclasses.dataclass
+class _Pending:
+    """One submitted task plus what is needed to retry or run it inline."""
+
+    task: Any
+    rule: Rule
+    result: Any  # multiprocessing AsyncResult
+    attempts: int = 1
 
 
 # ---------------------------------------------------------------------------
@@ -471,28 +513,41 @@ class MultiprocessBackend:
         self.window = window
         self.options = plan.options
         self.jobs = self.options.jobs
+        self.task_timeout = self.options.task_timeout
+        self.max_retries = self.options.max_retries
         self.device = device if device is not None else Device()
         self._pool = None
-        self._prefetched: Dict[str, Any] = {}
+        self._pool_restarts = 0
+        self._closed = False
+        self._prefetched: Dict[str, _Pending] = {}
         self._inline_rules: set = set()
         self._picklable: Dict[str, bool] = {}
         self._totals: Dict[str, float] = {}
+        self._arenas: List[ShmArena] = []
         self._mp_counters: Dict[str, float] = {
             "mp_rule_tasks": 0,
             "mp_shard_tasks": 0,
             "mp_shm_bytes": 0,
             "mp_mmap_bytes": 0,
+            "mp_retries": 0,
+            "mp_timeouts": 0,
+            "mp_inline_fallbacks": 0,
+            "mp_degraded": 0,
         }
         self._local = None
+        self._fallback = None
 
     # -- backend protocol ---------------------------------------------------
 
     def run(self, rule: Rule, profile: Optional[PhaseProfile] = None) -> List[Violation]:
         if profile is None:
             profile = PhaseProfile()
+        self._closed = False
         pending = self._prefetched.pop(rule.name, None)
         if pending is not None:
             return self._collect(pending, profile)
+        if self._degraded:
+            return self._degraded_run(rule, profile)
         if self.jobs == 1 or rule.name in self._inline_rules:
             return self._local_backend().run(rule, profile)
         if self.window is None and rule.kind in ROW_SHARDED_KINDS:
@@ -501,13 +556,18 @@ class MultiprocessBackend:
             self._inline_rules.add(rule.name)
             return self._local_backend().run(rule, profile)
         self._mp_counters["mp_rule_tasks"] += 1
-        pool = self._ensure_pool()
-        return self._collect(pool.apply_async(_run_task, (_RuleTask(rule),)), profile)
+        try:
+            pending = self._submit(_RuleTask(rule), rule)
+        except Exception as error:
+            self._degrade(f"cannot submit to the worker pool: {error!r}")
+            return self._degraded_run(rule, profile)
+        return self._collect(pending, profile)
 
     def stats(self) -> Dict[str, float]:
         merged = dict(self._totals)
-        if self._local is not None:
-            for key, value in self._local.stats().items():
+        others = [b for b in (self._local, self._fallback) if b is not None]
+        for backend in others:
+            for key, value in backend.stats().items():
                 merged[key] = merged.get(key, 0) + value
         for key, value in self._mp_counters.items():
             merged[key] = merged.get(key, 0) + value
@@ -523,8 +583,9 @@ class MultiprocessBackend:
         dependency edges only order *results*), so workers can run rule N+5
         while the parent is still merging rule N.
         """
-        if self.jobs == 1:
+        if self.jobs == 1 or self._degraded:
             return
+        self._closed = False
         for compiled in self.plan.compiled:
             rule = compiled.rule
             if self.window is None and rule.kind in ROW_SHARDED_KINDS:
@@ -532,28 +593,53 @@ class MultiprocessBackend:
             if not self._probe(rule):
                 self._inline_rules.add(rule.name)
                 continue
-            pool = self._ensure_pool()
             self._mp_counters["mp_rule_tasks"] += 1
-            self._prefetched[rule.name] = pool.apply_async(
-                _run_task, (_RuleTask(rule),)
-            )
+            try:
+                self._prefetched[rule.name] = self._submit(_RuleTask(rule), rule)
+            except Exception as error:
+                self._mp_counters["mp_rule_tasks"] -= 1
+                self._degrade(f"cannot prefetch to the worker pool: {error!r}")
+                return
 
     def close(self) -> None:
-        """Tear the pool down (also the error path: abandons pending work)."""
-        pool, self._pool = self._pool, None
+        """Release pool + shared memory and flush counters (idempotent)."""
+        self._close(persist=True)
+
+    def _close(self, persist: bool) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._prefetched.clear()
+        # Unlink live shared-memory arenas *before* terminating the pool:
+        # a pool torn down mid-rule still references them, and terminate()
+        # alone would leave the /dev/shm segments behind for good.
+        for arena in list(self._arenas):
+            arena.dispose()
+        self._arenas.clear()
+        self._teardown_pool()
+        if persist:
+            store = self.plan.caches.store
+            if store is not None:
+                store.persist_counters()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        # On the interpreter-teardown path skip counter persistence: the
+        # explicit close() already flushed (or the run never had a store),
+        # and half-torn-down modules make file I/O unreliable here.
+        try:
+            finalizing = bool(sys.is_finalizing())
+        except Exception:
+            finalizing = True
+        try:
+            self._close(persist=not finalizing)
+        except Exception:
+            pass
+
+    def _teardown_pool(self) -> None:
+        pool, self._pool = self._pool, None
         if pool is not None:
             pool.terminate()
             pool.join()
-        store = self.plan.caches.store
-        if store is not None:
-            store.persist_counters()
-
-    def __del__(self) -> None:  # pragma: no cover - safety net
-        try:
-            self.close()
-        except Exception:
-            pass
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -600,30 +686,171 @@ class MultiprocessBackend:
         for key, value in delta.items():
             self._totals[key] = self._totals.get(key, 0) + value
 
-    def _collect(self, async_result, profile: PhaseProfile) -> List[Violation]:
-        violations, stats_delta, profile_dict = async_result.get()
+    # -- fault tolerance ----------------------------------------------------
+
+    @property
+    def _degraded(self) -> bool:
+        return bool(self._mp_counters["mp_degraded"])
+
+    def _degrade(self, reason: str) -> None:
+        """Give up on process parallelism for the rest of this backend."""
+        if not self._degraded:
+            self._mp_counters["mp_degraded"] = 1
+            _logger.warning(
+                "multiprocess backend degraded to in-process execution: %s",
+                reason,
+            )
+        # Pending results belong to a dead pool; their rules re-run through
+        # the degraded path instead of waiting out a timeout each.
+        self._prefetched.clear()
+        self._teardown_pool()
+
+    def _degraded_run(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
+        """Complete a rule without the pool (canonical report regardless)."""
+        with faults.suppressed():
+            if self.window is not None:
+                return self._local_backend().run(rule, profile)
+            return self._sequential_backend().run(rule, profile)
+
+    def _sequential_backend(self):
+        if self._fallback is None:
+            from .sequential import SequentialBackend
+
+            self._fallback = SequentialBackend(self.plan)
+        return self._fallback
+
+    def _submit(self, task, rule: Rule) -> _Pending:
+        """Submit one task, restarting a dead pool up to the restart budget.
+
+        The submission also draws the parent-side injected worker fault for
+        this task (``worker_raise`` / ``worker_hang`` / ``worker_die``) —
+        deciding here keeps fault firing deterministic in plan order.
+        """
+        if self._degraded:
+            raise RuntimeError("multiprocess backend already degraded")
+        while True:
+            try:
+                pool = self._ensure_pool()
+                fault = None
+                if not faults.is_suppressed():
+                    plan = faults.active()
+                    if plan is not None:
+                        fault = plan.worker_fault(rule.name)
+                return _Pending(
+                    task=task,
+                    rule=rule,
+                    result=pool.apply_async(_run_task, (task, fault)),
+                )
+            except Exception:
+                self._teardown_pool()
+                if self._pool_restarts >= MAX_POOL_RESTARTS:
+                    raise
+                self._pool_restarts += 1
+                _logger.warning(
+                    "worker pool unusable; rebuilding (%d/%d)",
+                    self._pool_restarts, MAX_POOL_RESTARTS,
+                )
+
+    def _collect(self, pending: _Pending, profile: PhaseProfile) -> List[Violation]:
+        """Await one task, retrying with backoff; inline after the budget."""
+        while True:
+            if self._degraded:
+                # The pool died under another task; this result will never
+                # arrive — don't wait out a timeout for it.
+                return self._run_inline(pending, profile)
+            try:
+                violations, stats_delta, profile_dict = pending.result.get(
+                    self.task_timeout
+                )
+            except multiprocessing.TimeoutError:
+                # Hung worker — or a worker that died and took the task
+                # with it (the pool repopulates the process, but the result
+                # is lost; the timeout is what detects that).
+                self._mp_counters["mp_timeouts"] += 1
+                _logger.warning(
+                    "task for rule %r timed out after %.1fs (attempt %d)",
+                    pending.rule.name, self.task_timeout, pending.attempts,
+                )
+            except Exception as error:
+                _logger.warning(
+                    "task for rule %r failed in the worker (attempt %d): %r",
+                    pending.rule.name, pending.attempts, error,
+                )
+            else:
+                self._merge_stats(stats_delta)
+                profile.add_dict(profile_dict)
+                return violations
+            if pending.attempts > self.max_retries:
+                return self._run_inline(pending, profile)
+            time.sleep(
+                min(RETRY_BACKOFF * (2 ** (pending.attempts - 1)), RETRY_BACKOFF_CAP)
+            )
+            try:
+                retry = self._submit(pending.task, pending.rule)
+            except Exception as error:
+                self._degrade(f"cannot resubmit to the worker pool: {error!r}")
+                return self._run_inline(pending, profile)
+            pending.result = retry.result
+            pending.attempts += 1
+            self._mp_counters["mp_retries"] += 1
+
+    def _run_inline(self, pending: _Pending, profile: PhaseProfile) -> List[Violation]:
+        """Last resort for one task: execute it in this process.
+
+        Runs under fault suppression — recovery must never be re-faulted —
+        and marks the rule inline so its later tasks skip the pool.
+        """
+        self._mp_counters["mp_inline_fallbacks"] += 1
+        self._inline_rules.add(pending.rule.name)
+        with faults.suppressed():
+            if isinstance(pending.task, _RuleTask):
+                return self._local_backend().run(pending.rule, profile)
+            violations, stats_delta, profile_dict = pending.task.execute()
         self._merge_stats(stats_delta)
         profile.add_dict(profile_dict)
         return violations
 
+    # -- arena bookkeeping ---------------------------------------------------
+
+    def _new_arena(self) -> ShmArena:
+        arena = ShmArena()
+        self._arenas.append(arena)
+        return arena
+
+    def _release_arena(self, arena: ShmArena) -> None:
+        arena.dispose()
+        try:
+            self._arenas.remove(arena)
+        except ValueError:  # pragma: no cover - already released by close()
+            pass
+
     def _gather_shards(
-        self, arena: ShmArena, tasks: List[Any], profile: PhaseProfile
+        self, rule: Rule, arena: ShmArena, tasks: List[Any], profile: PhaseProfile
     ) -> List[Violation]:
         """Seal, fan out, and merge one rule's shard tasks (in order)."""
         if not tasks:
-            arena.dispose()
+            self._release_arena(arena)
             return []
         arena.seal()
         self._mp_counters["mp_shard_tasks"] += len(tasks)
         self._mp_counters["mp_shm_bytes"] += arena.nbytes
-        pool = self._ensure_pool()
-        pending = [pool.apply_async(_run_task, (task,)) for task in tasks]
         violations: List[Violation] = []
         try:
-            for async_result in pending:
-                violations.extend(self._collect(async_result, profile))
+            pending: List[_Pending] = []
+            for task in tasks:
+                try:
+                    pending.append(self._submit(task, rule))
+                except Exception as error:
+                    self._degrade(f"cannot submit shard: {error!r}")
+                    violations.extend(
+                        self._run_inline(
+                            _Pending(task=task, rule=rule, result=None), profile
+                        )
+                    )
+            for item in pending:
+                violations.extend(self._collect(item, profile))
         finally:
-            arena.dispose()
+            self._release_arena(arena)
         return violations
 
     # -- row sharding -------------------------------------------------------
@@ -661,7 +888,7 @@ class MultiprocessBackend:
         )
         if len(shards) < 2:
             return local.run(rule, profile)
-        arena = ShmArena()
+        arena = self._new_arena()
         tasks: List[_PairShardTask] = []
         for rows in shards:
             rowset = np.asarray(rows, dtype=_INT)
@@ -693,7 +920,7 @@ class MultiprocessBackend:
                     horizontal=payloads[1],
                 )
             )
-        return self._gather_shards(arena, tasks, profile)
+        return self._gather_shards(rule, arena, tasks, profile)
 
     def _shard_corners(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
         local = self._local_backend()
@@ -717,7 +944,7 @@ class MultiprocessBackend:
         )
         if len(shards) < 2:
             return local.run(rule, profile)
-        arena = ShmArena()
+        arena = self._new_arena()
         tasks: List[_CornerShardTask] = []
         for rows in shards:
             rowset = np.asarray(rows, dtype=_INT)
@@ -741,7 +968,7 @@ class MultiprocessBackend:
                     corners=payload,
                 )
             )
-        return self._gather_shards(arena, tasks, profile)
+        return self._gather_shards(rule, arena, tasks, profile)
 
     def _shard_enclosure(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
         local = self._local_backend()
@@ -790,7 +1017,7 @@ class MultiprocessBackend:
             len(rect_rows[i][0]) + len(rect_rows[i][1]) for i in rect_ids
         ]
         shards = greedy_balanced_shards(weights, shard_count(len(rect_ids), self.jobs))
-        arena = ShmArena()
+        arena = self._new_arena()
         tasks: List[_EnclosureShardTask] = []
         for shard in shards:
             via_parts, via_segs, metal_parts, metal_segs = [], [], [], []
@@ -821,7 +1048,7 @@ class MultiprocessBackend:
                     ),
                 )
             )
-        violations.extend(self._gather_shards(arena, tasks, profile))
+        violations.extend(self._gather_shards(rule, arena, tasks, profile))
         return violations
 
     @staticmethod

@@ -52,6 +52,11 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from ..util import faults
+from ..util.logging import get_logger
+
+_logger = get_logger("packstore")
+
 __all__ = [
     "FORMAT_VERSION",
     "PackStore",
@@ -76,6 +81,21 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 def _align(offset: int) -> int:
     return -(-offset // _ALIGN) * _ALIGN
+
+
+def _corrupt_entry(path: str) -> None:
+    """Deterministically clobber an entry's header (fault injection only).
+
+    Overwriting the ``header_len`` word makes the next read fail its bounds
+    check, so the store's *real* corruption handling — count, warn, drop,
+    rebuild cold, rewrite — runs, not a simulation of it.
+    """
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(len(MAGIC))
+            handle.write(b"\xff" * 8)
+    except OSError:  # pragma: no cover - raced with a concurrent drop
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -185,6 +205,7 @@ class PackStore:
         self.root = os.path.abspath(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         self.bytes_read = 0
         self.bytes_written = 0
         self._persisted: Dict[str, int] = {}
@@ -221,16 +242,29 @@ class PackStore:
         arrays, meta, nbytes = loaded
         try:
             value = decode(arrays, meta)
-        except Exception:
-            self._drop(key)
+        except Exception as error:
+            self._corrupted(key, f"decode failed: {error!r}")
             self.misses += 1
             return None
         self.hits += 1
         self.bytes_read += nbytes
         return value
 
+    def _corrupted(self, key: str, reason: str) -> None:
+        """Count and drop a corrupt entry (visible, not a silent miss)."""
+        self.corrupt += 1
+        _logger.warning(
+            "dropping corrupt pack-store entry %s (%s); it will be "
+            "rebuilt cold and rewritten", key[:12], reason,
+        )
+        self._drop(key)
+
     def _read(self, key: str) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any], int]]:
         path = self._entry_path(key)
+        if os.path.exists(path) and faults.should_fire(
+            faults.PACKSTORE_CORRUPT, key
+        ):
+            _corrupt_entry(path)
         try:
             raw = np.memmap(path, dtype=np.uint8, mode="r")
         except (OSError, ValueError):
@@ -258,15 +292,17 @@ class PackStore:
                 view.flags.writeable = False
                 arrays[str(spec["name"])] = view
             return arrays, dict(header.get("meta", {})), len(raw)
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
             del raw
-            self._drop(key)
+            self._corrupted(key, str(error))
             return None
 
     def _drop(self, key: str) -> None:
         try:
             os.remove(self._entry_path(key))
-        except OSError:  # pragma: no cover - already gone / read-only store
+        except FileNotFoundError:
+            pass  # a concurrent reader dropped (or a clear() removed) it first
+        except OSError:  # pragma: no cover - read-only store
             pass
 
     # -- write path ---------------------------------------------------------
@@ -363,6 +399,7 @@ class PackStore:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }

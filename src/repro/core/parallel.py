@@ -316,6 +316,7 @@ class ParallelBackend:
             pack_cache_misses=self.pack_cache.misses,
             cache_hits=cache.get("hits", 0),
             cache_misses=cache.get("misses", 0),
+            cache_corrupt=cache.get("corrupt", 0),
             cache_bytes_read=cache.get("bytes_read", 0),
             cache_bytes_written=cache.get("bytes_written", 0),
             pack_seconds=self.phase_seconds["pack_seconds"],

@@ -57,6 +57,7 @@ from ..hierarchy.tree import HierarchyTree
 from ..layout.cell import Cell
 from ..layout.library import Layout
 from ..partition.rows import margin_for_rule, partition_rects
+from ..util import faults as fault_injection
 from ..util.profile import PhaseProfile
 from .packstore import (
     PackStore,
@@ -89,6 +90,14 @@ DEFAULT_BRUTE_FORCE_THRESHOLD = 256
 #: job forces).
 MP_START_METHODS = (None, "fork", "spawn", "forkserver")
 
+#: Seconds the multiprocess backend waits on one task before treating the
+#: worker as hung/lost and retrying. Generous — a healthy task finishes in
+#: milliseconds; only a hung or killed worker ever reaches it.
+DEFAULT_TASK_TIMEOUT = 300.0
+
+#: Resubmissions per failed/timed-out task before the in-process fallback.
+DEFAULT_MAX_RETRIES = 2
+
 
 @dataclasses.dataclass
 class EngineOptions:
@@ -103,6 +112,9 @@ class EngineOptions:
     mp_start_method: Optional[str] = None  # None = platform default
     cache_dir: Optional[str] = None  # persistent pack store root (or $REPRO_CACHE_DIR)
     use_cache: bool = True  # False restores the uncached code path exactly
+    task_timeout: Optional[float] = DEFAULT_TASK_TIMEOUT  # None = wait forever
+    max_retries: int = DEFAULT_MAX_RETRIES  # per-task resubmissions
+    faults: Optional[str] = None  # fault-injection spec (or $REPRO_FAULTS)
 
     def __post_init__(self) -> None:
         if self.mode not in ENGINE_MODES:
@@ -117,12 +129,27 @@ class EngineOptions:
                 f"{self.brute_force_threshold}"
             )
         if self.jobs < 1:
-            raise ValueError(f"jobs must be at least 1, got {self.jobs}")
+            raise ValueError(
+                f"jobs must be a positive integer, got {self.jobs}; "
+                "use 1 for in-process execution"
+            )
         if self.mp_start_method not in MP_START_METHODS:
             raise ValueError(
                 f"unknown mp_start_method {self.mp_start_method!r}; "
                 f"expected one of {MP_START_METHODS[1:]}"
             )
+        if self.task_timeout is not None and not self.task_timeout > 0:
+            raise ValueError(
+                f"task_timeout must be positive seconds (or None to wait "
+                f"forever), got {self.task_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        # Parse now so a malformed spec fails loudly at options creation,
+        # not deep inside a worker process.
+        fault_injection.FaultPlan.parse(self.faults)
 
 
 # ---------------------------------------------------------------------------
@@ -448,6 +475,10 @@ def compile_plan(
     validate_rules(deck)
     if options is None:
         options = EngineOptions()
+    # Arm (or clear) the process-global fault-injection plan for this run.
+    # Idempotent by spec, so worker processes re-compiling the shipped plan
+    # do not re-arm faults their process already fired.
+    fault_injection.install(fault_injection.resolve_spec(options))
     resolved_mode = mode if mode is not None else options.mode
     if resolved_mode not in ALL_MODES and resolved_mode not in BACKEND_FACTORIES:
         raise ValueError(f"unknown mode {resolved_mode!r}")

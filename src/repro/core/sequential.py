@@ -113,6 +113,7 @@ class SequentialBackend:
             pack_cache_misses=self.caches.pack.misses,
             cache_hits=cache.get("hits", 0),
             cache_misses=cache.get("misses", 0),
+            cache_corrupt=cache.get("corrupt", 0),
             cache_bytes_read=cache.get("bytes_read", 0),
             cache_bytes_written=cache.get("bytes_written", 0),
         )

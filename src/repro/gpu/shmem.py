@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..util import faults
+
 try:  # pragma: no cover - stdlib, but keep the module importable anywhere
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover
@@ -231,6 +233,8 @@ def _tracker_fd_inherited() -> bool:
 def _attach(name: str):
     """Map a shared block by name, LRU-cached across tasks."""
     global _unregister_on_attach
+    if faults.should_fire(faults.SHM_ATTACH_FAIL, name):
+        raise OSError(f"injected shm attach failure for block {name!r}")
     if _unregister_on_attach is None:
         _unregister_on_attach = not _tracker_fd_inherited()
     shm = _attached.pop(name, None)

@@ -201,8 +201,17 @@ class TestJobsFlag:
             main(["check", uart_gds, "--top", "top"])
 
     def test_zero_jobs_rejected(self, uart_gds):
-        with pytest.raises(SystemExit, match="jobs"):
+        with pytest.raises(SystemExit, match="positive integer"):
             main(["check", uart_gds, "--top", "top", "--jobs", "0"])
+
+    def test_negative_jobs_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="positive integer"):
+            main(["check", uart_gds, "--top", "top", "--jobs", "-3"])
+
+    def test_negative_env_jobs_rejected(self, uart_gds, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(SystemExit, match="REPRO_JOBS"):
+            main(["check", uart_gds, "--top", "top"])
 
     def test_check_window_jobs(self, dirty_gds, capsys):
         code = main([
@@ -214,8 +223,51 @@ class TestJobsFlag:
         assert "violations" in capsys.readouterr().out
 
     def test_check_window_zero_jobs_rejected(self, uart_gds):
-        with pytest.raises(SystemExit, match="jobs"):
+        with pytest.raises(SystemExit, match="positive integer"):
             main([
                 "check-window", uart_gds, "0", "0", "100", "100",
                 "--top", "top", "--jobs", "0",
             ])
+
+
+class TestFaultToleranceFlags:
+    def test_knobs_accepted(self, uart_gds):
+        code = main([
+            "check", uart_gds, "--top", "top",
+            "--task-timeout", "30", "--max-retries", "1",
+        ])
+        assert code == 0
+
+    def test_zero_task_timeout_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="task_timeout"):
+            main(["check", uart_gds, "--top", "top", "--task-timeout", "0"])
+
+    def test_negative_max_retries_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="max_retries"):
+            main(["check", uart_gds, "--top", "top", "--max-retries", "-1"])
+
+    def test_check_window_rejects_bad_knobs(self, uart_gds):
+        with pytest.raises(SystemExit, match="task_timeout"):
+            main([
+                "check-window", uart_gds, "0", "0", "100", "100",
+                "--top", "top", "--task-timeout", "-5",
+            ])
+
+    def test_env_faults_do_not_change_the_report(self, dirty_gds, capsys, monkeypatch):
+        from repro.util import faults
+
+        code = main(["check", dirty_gds, "--top", "top", "--jobs", "2", "--csv"])
+        clean = capsys.readouterr().out
+        faults.clear()
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "worker_raise:times=1;worker_hang:times=1"
+        )
+        try:
+            faulted_code = main([
+                "check", dirty_gds, "--top", "top", "--jobs", "2", "--csv",
+                "--task-timeout", "5",
+            ])
+        finally:
+            faults.clear()
+        assert faulted_code == code
+        assert capsys.readouterr().out == clean
