@@ -2,16 +2,19 @@
 
 Runs the full ASAP7-like deck on generator workloads with the multiprocess
 backend at ``jobs`` ∈ {1, 2, 4} and emits a machine-readable
-``BENCH_multiproc.json`` with the speedup-vs-workers curve. Two properties
-are checked:
+``BENCH_multiproc.json`` with the speedup-vs-workers curve. Three
+measurements are recorded:
 
 * **Determinism (hard, everywhere)**: the CSV marker dump must be
-  byte-identical at every worker count — the canonical violation sort makes
-  shard scheduling invisible in the report.
+  byte-identical at every worker count, warm or cold, routed or not — the
+  canonical violation sort makes shard scheduling invisible in the report.
 * **Speedup (hardware-gated)**: ≥ 2x at 4 workers over ``jobs=1`` on the
   largest generator workload. Process parallelism cannot beat the core
   count, so this is asserted only on hosts with ≥ 4 CPUs; the JSON records
   ``cpu_count`` so a reader can judge the curve honestly.
+* **Warm-pool and routing rows**: for each design, the cold-first vs.
+  warm-second check with a persistent pool (the fix-loop regime), and the
+  cost-model-routed vs. everything-through-the-pool wall clocks.
 
 Run directly (``python -m benchmarks.bench_multiproc_scaling``) or through
 pytest.
@@ -20,10 +23,11 @@ pytest.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 
 from benchmarks.common import SCALE, design, write_bench_json
-from repro.core import Engine, EngineOptions
+from repro.core import Engine, EngineOptions, costmodel, workerpool
 from repro.workloads import asap7
 
 JOB_COUNTS = (1, 2, 4)
@@ -36,6 +40,10 @@ LARGEST = "jpeg"
 
 SPEEDUP_TARGET = 2.0
 SPEEDUP_AT_JOBS = 4
+
+#: CI no-regression floor: warm jobs=4 must not lose to jobs=1 by more than
+#: this factor (timer noise allowance; the real >2x gate is hardware-gated).
+WARM_FLOOR_TOLERANCE = 1.10
 
 
 def _run(layout, deck, jobs: int):
@@ -74,9 +82,91 @@ def run_curve(design_name: str) -> dict:
     return {"design": design_name, "scale": SCALE, "points": points}
 
 
+def _warm_pair(layout, deck, jobs: int, *, cost_model: bool = True):
+    """(cold_seconds, warm_seconds, warm_report) for two consecutive checks.
+
+    Each pair runs against a fresh cache directory and pool registry so the
+    cold number really is cold and calibration (the cost model persists in
+    the cache) only helps the warm check.
+    """
+    workerpool.shutdown_pools()
+    costmodel.reset_models()
+    with tempfile.TemporaryDirectory(prefix="bench-warm-") as cache:
+        engine = Engine(
+            options=EngineOptions(
+                mode="multiproc",
+                jobs=jobs,
+                warm_pool=True,
+                cost_model=cost_model,
+                cache_dir=cache,
+            )
+        )
+        try:
+            start = time.perf_counter()
+            first = engine.check(layout, rules=deck)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            second = engine.check(layout, rules=deck)
+            warm = time.perf_counter() - start
+        finally:
+            engine.close()
+    if second.to_csv() != first.to_csv():
+        raise AssertionError("warm re-check report differs from cold check")
+    return cold, warm, second
+
+
+def run_warm_rows(design_name: str) -> dict:
+    """Warm-vs-cold and routed-vs-all-pool wall clocks for one design."""
+    layout = design(design_name)
+    deck = asap7.full_deck()
+    warm_points = []
+    baseline_csv = None
+    for jobs in (1, SPEEDUP_AT_JOBS):
+        cold, warm, report = _warm_pair(layout, deck, jobs)
+        csv = report.to_csv()
+        if baseline_csv is None:
+            baseline_csv = csv
+        elif csv != baseline_csv:
+            raise AssertionError(
+                f"{design_name}: warm report at jobs={jobs} differs from jobs=1"
+            )
+        warm_points.append(
+            {
+                "jobs": jobs,
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+                "warm_speedup_vs_cold": cold / warm if warm else None,
+            }
+        )
+    routed_cold, routed, routed_report = _warm_pair(
+        layout, deck, SPEEDUP_AT_JOBS, cost_model=True
+    )
+    pooled_cold, pooled, pooled_report = _warm_pair(
+        layout, deck, SPEEDUP_AT_JOBS, cost_model=False
+    )
+    if routed_report.to_csv() != pooled_report.to_csv():
+        raise AssertionError(f"{design_name}: routing changed the report")
+    return {
+        "design": design_name,
+        "scale": SCALE,
+        "warm_points": warm_points,
+        "routing": {
+            "jobs": SPEEDUP_AT_JOBS,
+            "routed_seconds": routed,
+            "all_pool_seconds": pooled,
+            "rules_routed_inline": routed_report.results[-1].stats.get(
+                "mp_cost_routed_inline", 0
+            ),
+            "routed_cold_seconds": routed_cold,
+            "all_pool_cold_seconds": pooled_cold,
+        },
+    }
+
+
 def run_benchmark() -> dict:
     cpu_count = os.cpu_count() or 1
     curves = [run_curve(name) for name in DESIGNS]
+    warm = [run_warm_rows(name) for name in DESIGNS]
     largest = next(c for c in curves if c["design"] == LARGEST)
     at_target = next(
         (p for p in largest["points"] if p["jobs"] == SPEEDUP_AT_JOBS), None
@@ -86,11 +176,12 @@ def run_benchmark() -> dict:
         "cpu_count": cpu_count,
         "deck": "asap7_full",
         "curves": curves,
+        "warm_pool": warm,
         "speedup_target": SPEEDUP_TARGET,
         "speedup_at_jobs": SPEEDUP_AT_JOBS,
         "speedup_measured": at_target["speedup"] if at_target else None,
         "speedup_enforced": cpu_count >= SPEEDUP_AT_JOBS,
-        "reports_identical": True,  # run_curve raises otherwise
+        "reports_identical": True,  # run_curve/run_warm_rows raise otherwise
     }
     path = write_bench_json("multiproc", payload)
     payload["path"] = path
@@ -115,6 +206,29 @@ def test_multiproc_scaling_curve():
         )
 
 
+def test_warm_pool_no_regression_smoke():
+    """CI floor: a warm jobs=4 re-check must not lose to jobs=1.
+
+    This is the fix-loop regime the warm pool exists for; the full >2x
+    speedup gate lives in the benchmark above. Only meaningful with the
+    cores to back it, so it is cpu-count-gated like the curve.
+    """
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < SPEEDUP_AT_JOBS:
+        import pytest
+
+        pytest.skip(f"needs >= {SPEEDUP_AT_JOBS} cores, host has {cpu_count}")
+    layout = design("uart")
+    deck = asap7.full_deck()
+    _, single, single_report = _warm_pair(layout, deck, 1)
+    _, warm, warm_report = _warm_pair(layout, deck, SPEEDUP_AT_JOBS)
+    assert warm_report.to_csv() == single_report.to_csv()
+    assert warm <= single * WARM_FLOOR_TOLERANCE, (
+        f"warm jobs={SPEEDUP_AT_JOBS} re-check took {warm:.3f}s vs "
+        f"{single:.3f}s at jobs=1 (floor {WARM_FLOOR_TOLERANCE:.2f}x)"
+    )
+
+
 def main() -> None:
     payload = run_benchmark()
     print(f"multiproc scaling ({payload['deck']}, {payload['cpu_count']} cores)")
@@ -126,6 +240,21 @@ def main() -> None:
                 f"speedup {point['speedup']:.2f}x  "
                 f"({point['violations']} violations)"
             )
+    for rows in payload["warm_pool"]:
+        print(f"  [{rows['design']} warm pool]")
+        for point in rows["warm_points"]:
+            print(
+                f"    jobs={point['jobs']}: cold {point['cold_seconds'] * 1e3:8.1f} ms  "
+                f"warm {point['warm_seconds'] * 1e3:8.1f} ms  "
+                f"({point['warm_speedup_vs_cold']:.2f}x)"
+            )
+        routing = rows["routing"]
+        print(
+            f"    routing@jobs={routing['jobs']}: "
+            f"routed {routing['routed_seconds'] * 1e3:8.1f} ms  "
+            f"all-pool {routing['all_pool_seconds'] * 1e3:8.1f} ms  "
+            f"({routing['rules_routed_inline']} rules inline)"
+        )
     status = "enforced" if payload["speedup_enforced"] else (
         f"not enforced ({payload['cpu_count']} cores < {SPEEDUP_AT_JOBS})"
     )

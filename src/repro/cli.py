@@ -92,6 +92,8 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
             use_cache=not args.no_cache,
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
+            warm_pool=args.warm_pool,
+            cost_model=args.cost_model,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -137,6 +139,8 @@ def cmd_check_window(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
+            warm_pool=args.warm_pool,
+            cost_model=args.cost_model,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -212,6 +216,40 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="resubmissions per failed/timed-out task before it runs "
         f"in-process instead (default {DEFAULT_MAX_RETRIES})",
+    )
+
+
+def _add_pool_args(parser: argparse.ArgumentParser) -> None:
+    warm = parser.add_mutually_exclusive_group()
+    warm.add_argument(
+        "--warm-pool",
+        dest="warm_pool",
+        action="store_true",
+        default=None,
+        help="keep the multiprocess worker pool warm across checks in this "
+        "process (default: $REPRO_WARM_POOL, else off)",
+    )
+    warm.add_argument(
+        "--no-warm-pool",
+        dest="warm_pool",
+        action="store_false",
+        help="always spawn and tear down a private pool per check",
+    )
+    cost = parser.add_mutually_exclusive_group()
+    cost.add_argument(
+        "--cost-model",
+        dest="cost_model",
+        action="store_true",
+        default=True,
+        help="route sub-break-even rules inline and size shards from "
+        "calibrated dispatch costs (default)",
+    )
+    cost.add_argument(
+        "--no-cost-model",
+        dest="cost_model",
+        action="store_false",
+        help="disable cost-model routing: every eligible rule uses the pool "
+        "with the static shard count",
     )
 
 
@@ -293,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="edge count at or below which the brute-force executor runs",
     )
     _add_fault_args(check)
+    _add_pool_args(check)
     _add_cache_args(check)
     check.set_defaults(func=cmd_check)
 
@@ -315,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_JOBS or 1)",
     )
     _add_fault_args(window)
+    _add_pool_args(window)
     _add_cache_args(window)
     window.set_defaults(func=cmd_check_window)
 

@@ -28,7 +28,9 @@ from typing import Dict, List, Optional, Sequence
 from ..gpu.device import Device
 from ..layout.library import Layout
 from ..util.profile import PhaseProfile
+from . import workerpool
 from .plan import (
+    MODE_MULTIPROC,
     MODE_PARALLEL,
     MODE_SEQUENTIAL,
     CheckPlan,
@@ -75,6 +77,39 @@ class Engine:
         self.last_checker = None
         #: The compiled plan of the last check() call.
         self.last_plan: Optional[CheckPlan] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release resources held beyond individual checks (idempotent).
+
+        With the warm pool enabled, multiprocess checks park their worker
+        processes in the process-wide registry so the next check reuses
+        them; ``close()`` is the explicit end of that service lifetime —
+        it shuts the shared pool down (cold backends own and close their
+        private pools inside ``check()`` already, so there is nothing to
+        do for them). Also closes the last backend if it is still open.
+        """
+        checker, self.last_checker = self.last_checker, None
+        if checker is not None:
+            close = getattr(checker, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # pragma: no cover - teardown best-effort
+                    pass
+        if self.options.mode == MODE_MULTIPROC and workerpool.warm_pool_enabled(
+            self.options
+        ):
+            workerpool.release_pool(
+                self.options.jobs, self.options.mp_start_method
+            )
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- deck management ------------------------------------------------------
 

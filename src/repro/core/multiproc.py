@@ -17,10 +17,27 @@ is cut two ways across a pool of worker processes:
   eagerly by :meth:`MultiprocessBackend.prefetch` so workers run ahead of
   the engine's serial per-rule drive.
 
-Workers receive the layout + rule deck once, at pool start (the initializer
-payload), compile their own plan, and stay warm across rules. Packed edge /
-corner / rect buffers travel through ``multiprocessing.shared_memory``
-views (:mod:`repro.gpu.shmem`) rather than pickled polygon objects. Each
+Workers live in a :class:`~repro.core.workerpool.WorkerPool` — generic,
+deck-free processes that pre-import the heavy modules. The layout + rule
+deck is spooled to disk once per content digest
+(:meth:`~repro.core.workerpool.WorkerPool.ensure_plan`); tasks carry a tiny
+:class:`~repro.core.workerpool.PlanRef` and each worker compiles + caches
+the plan on first touch, staying warm across rules, checks, and pool
+rebuilds. With ``warm_pool`` enabled the pool itself outlives the check
+(process-wide registry), so a repeat check of the same deck spawns zero
+processes and ships only shard descriptors (``mp_plan_compiles == 0``).
+
+A calibrated :class:`~repro.core.costmodel.CostModel` (enabled by
+``EngineOptions.cost_model``) prices every fan-out against the measured
+pool dispatch overhead: rules whose estimated compute is below break-even
+run inline in the parent (``mp_cost_routed_inline``), and winning rules
+get their shard count sized to amortize per-task dispatch. An uncalibrated
+model routes nothing — first occurrences always take the status-quo path
+and thereby produce the observations that calibrate it.
+
+Packed edge / corner / rect buffers travel through
+``multiprocessing.shared_memory`` views (:mod:`repro.gpu.shmem`) rather
+than pickled polygon objects. Each
 task returns its violation list plus stats-counter deltas and a
 :class:`~repro.util.profile.PhaseProfile` dict; the parent merges them in
 submission order, and the canonical violation sort in
@@ -48,7 +65,6 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
-import os
 import pickle
 import sys
 import time
@@ -58,7 +74,6 @@ import numpy as np
 
 from ..checks.base import Violation, ViolationKind
 from ..gpu.device import Device
-from ..gpu.executor import StreamExecutor
 from ..gpu.kernels import (
     CornerBuffer,
     EdgeBuffer,
@@ -73,15 +88,12 @@ from ..gpu.shmem import ArrayRef, ShmArena, file_backed_ref
 from ..util import faults
 from ..util.logging import get_logger
 from ..util.profile import PHASE_EDGE_CHECKS, PHASE_OTHER, PHASE_SWEEPLINE, PhaseProfile
-from .plan import (
-    MODE_PARALLEL,
-    MODE_WINDOWED,
-    CheckPlan,
-    compile_plan,
-    make_backend,
-)
+from . import costmodel, workerpool
+from .packstore import store_key
+from .plan import MODE_PARALLEL, CheckPlan
 from .rules import Rule, RuleKind
 from .scheduler import greedy_balanced_shards, shard_count
+from .workerpool import PlanRef
 
 __all__ = ["MultiprocessBackend", "ROW_SHARDED_KINDS"]
 
@@ -106,6 +118,38 @@ def _rule_picklable(rule: Rule) -> bool:
         return True
     except Exception:
         return False
+
+
+def _predicate_identity(predicate) -> Optional[Tuple[Any, Any]]:
+    if predicate is None:
+        return None
+    return (
+        getattr(predicate, "__module__", None),
+        getattr(predicate, "__qualname__", repr(predicate)),
+    )
+
+
+def _rule_identity(rule: Rule) -> Tuple[Any, ...]:
+    """A value-based identity for memo keys that survive across checks.
+
+    Two rules with equal identity behave identically for pickling and cost
+    purposes; predicates are identified by (module, qualname), which is
+    correct for any named function and safe for lambdas — a collision in
+    either direction only changes a routing decision, never a report.
+    """
+    return (
+        rule.name,
+        rule.kind.value,
+        rule.layer,
+        rule.other_layer,
+        rule.value,
+        _predicate_identity(rule.predicate),
+    )
+
+
+#: Process-wide pickle-probe memo: repeated (warm) checks of a deck skip the
+#: probe entirely; ``mp_pickle_probes`` counts only actual probe executions.
+_PROBE_CACHE: Dict[Tuple[Any, ...], bool] = {}
 
 
 # ---------------------------------------------------------------------------
@@ -208,53 +252,12 @@ def _resolve_corners(payload: Dict[str, Any]) -> CornerBuffer:
 
 
 # ---------------------------------------------------------------------------
-# Worker-side state and tasks
+# Worker-side tasks
 # ---------------------------------------------------------------------------
-
-#: Per-worker-process state: the unpickled pool payload, the lazily built
-#: plan backend (rule tasks), and the shard device + stream executors.
-_WORKER: Dict[str, Any] = {}
-
-
-def _worker_initializer(payload: bytes) -> None:
-    layout, rules, options, window = pickle.loads(payload)
-    _WORKER.clear()
-    _WORKER.update(layout=layout, rules=rules, options=options, window=window)
-    # Arm worker-side fault sites (shm attach, pack-store reads) before the
-    # first task; shard tasks never compile a plan, so this is the one hook.
-    faults.install(faults.resolve_spec(options))
-
-
-def _worker_backend():
-    """The worker's own backend over its own compiled plan (warm per rule)."""
-    backend = _WORKER.get("backend")
-    if backend is None:
-        window = _WORKER["window"]
-        if window is not None:
-            plan = compile_plan(
-                _WORKER["layout"], _WORKER["rules"], _WORKER["options"],
-                mode=MODE_WINDOWED,
-            )
-            backend = make_backend(plan, window=window)
-        else:
-            plan = compile_plan(
-                _WORKER["layout"], _WORKER["rules"], _WORKER["options"],
-                mode=MODE_PARALLEL,
-            )
-            backend = make_backend(plan)
-        _WORKER["backend"] = backend
-    return backend
-
-
-def _worker_device() -> Tuple[Device, List[StreamExecutor]]:
-    """Shard tasks share one simulated device per worker process."""
-    state = _WORKER.get("device")
-    if state is None:
-        device = Device("mp-worker")
-        executors = [StreamExecutor(device.create_stream()) for _ in range(2)]
-        state = (device, executors)
-        _WORKER["device"] = state
-    return state
+#
+# Worker-process state (compiled plan cache, shard device) lives in
+# :mod:`repro.core.workerpool` so it survives across checks and is shared
+# by every deck a warm pool serves.
 
 
 def _counter_delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
@@ -263,12 +266,13 @@ def _counter_delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[st
 
 @dataclasses.dataclass
 class _RuleTask:
-    """One whole rule, run on the worker's warm backend."""
+    """One whole rule, run on the worker's warm backend for ``ref``."""
 
     rule: Rule
+    ref: PlanRef
 
     def execute(self):
-        backend = _worker_backend()
+        backend = workerpool.plan_backend(self.ref)
         before = backend.stats()
         profile = PhaseProfile()
         violations = backend.run(self.rule, profile)
@@ -288,7 +292,7 @@ class _PairShardTask:
     def execute(self):
         from .parallel import pair_hits_to_violations
 
-        device, executors = _worker_device()
+        device, executors = workerpool.worker_device()
         before = device.counters()
         stats = {
             "kernels_bruteforce": 0, "kernels_sweepline": 0,
@@ -363,7 +367,7 @@ class _CornerShardTask:
     def execute(self):
         from .parallel import corner_hits_to_violations
 
-        device, executors = _worker_device()
+        device, executors = workerpool.worker_device()
         before = device.counters()
         stats = {"fused_launches": 0, "fused_segments": 0}
         profile = PhaseProfile()
@@ -413,7 +417,7 @@ class _EnclosureShardTask:
     def execute(self):
         from .parallel import _candidate_pairs_kernel, enclosure_margins_to_violations
 
-        device, executors = _worker_device()
+        device, executors = workerpool.worker_device()
         before = device.counters()
         stats = {"fused_launches": 0, "fused_segments": 0}
         profile = PhaseProfile()
@@ -468,12 +472,17 @@ class _EnclosureShardTask:
         return violations, stats, profile.to_dict()
 
 
-def _run_task(task, fault: Optional[str] = None):
+def _run_task(task, fault: Optional[str] = None, spec: Optional[str] = None):
     """Pool entry point: dispatch one task in the worker process.
 
     ``fault`` is the parent-decided injected action ("raise"/"hang"/"die")
     executed before the task body; None on every healthy submission.
+    ``spec`` arms the worker-side fault sites (shm attach, pack-store
+    reads). Workers are generic and outlive checks, so the spec rides on
+    every task; installation is idempotent by spec, preserving budgets a
+    worker already consumed.
     """
+    faults.install(spec)
     if fault is not None:
         faults.act(fault)
     return task.execute()
@@ -516,12 +525,12 @@ class MultiprocessBackend:
         self.task_timeout = self.options.task_timeout
         self.max_retries = self.options.max_retries
         self.device = device if device is not None else Device()
-        self._pool = None
+        self._pool: Optional[workerpool.WorkerPool] = None
+        self._owns_pool = not workerpool.warm_pool_enabled(self.options)
         self._pool_restarts = 0
         self._closed = False
         self._prefetched: Dict[str, _Pending] = {}
         self._inline_rules: set = set()
-        self._picklable: Dict[str, bool] = {}
         self._totals: Dict[str, float] = {}
         self._arenas: List[ShmArena] = []
         self._mp_counters: Dict[str, float] = {
@@ -533,9 +542,24 @@ class MultiprocessBackend:
             "mp_timeouts": 0,
             "mp_inline_fallbacks": 0,
             "mp_degraded": 0,
+            "mp_plan_compiles": 0,
+            "mp_pickle_probes": 0,
+            "mp_cost_routed_inline": 0,
         }
         self._local = None
         self._fallback = None
+        self._model: Optional[costmodel.CostModel] = (
+            costmodel.model_for(plan.caches.store)
+            if getattr(self.options, "cost_model", True)
+            else None
+        )
+        #: Rules the cost model routed inline (distinct from `_inline_rules`,
+        #: which records pickle failures and recovery fallbacks).
+        self._cost_inline: set = set()
+        #: Rule name -> accumulated worker compute seconds (calibration).
+        self._compute_seconds: Dict[str, float] = {}
+        self._cost_keys: Dict[str, str] = {}
+        self._plan_payload_ref: Optional[PlanRef] = None
 
     # -- backend protocol ---------------------------------------------------
 
@@ -545,23 +569,31 @@ class MultiprocessBackend:
         self._closed = False
         pending = self._prefetched.pop(rule.name, None)
         if pending is not None:
-            return self._collect(pending, profile)
+            violations = self._collect(pending, profile)
+            self._observe_rule_cost(rule)
+            return violations
         if self._degraded:
             return self._degraded_run(rule, profile)
         if self.jobs == 1 or rule.name in self._inline_rules:
             return self._local_backend().run(rule, profile)
+        if rule.name in self._cost_inline:
+            return self._timed_local_run(rule, profile)
         if self.window is None and rule.kind in ROW_SHARDED_KINDS:
             return self._run_sharded(rule, profile)
         if not self._probe(rule):
             self._inline_rules.add(rule.name)
             return self._local_backend().run(rule, profile)
+        if self._route_rule_inline(rule):
+            return self._timed_local_run(rule, profile)
         self._mp_counters["mp_rule_tasks"] += 1
         try:
-            pending = self._submit(_RuleTask(rule), rule)
+            pending = self._submit(_RuleTask(rule, self._plan_ref()), rule)
         except Exception as error:
             self._degrade(f"cannot submit to the worker pool: {error!r}")
             return self._degraded_run(rule, profile)
-        return self._collect(pending, profile)
+        violations = self._collect(pending, profile)
+        self._observe_rule_cost(rule)
+        return violations
 
     def stats(self) -> Dict[str, float]:
         merged = dict(self._totals)
@@ -590,12 +622,19 @@ class MultiprocessBackend:
             rule = compiled.rule
             if self.window is None and rule.kind in ROW_SHARDED_KINDS:
                 continue
+            if rule.name in self._inline_rules or rule.name in self._cost_inline:
+                continue
             if not self._probe(rule):
                 self._inline_rules.add(rule.name)
                 continue
+            if self._route_rule_inline(rule):
+                # Below break-even: run() serves it inline in the parent.
+                continue
             self._mp_counters["mp_rule_tasks"] += 1
             try:
-                self._prefetched[rule.name] = self._submit(_RuleTask(rule), rule)
+                self._prefetched[rule.name] = self._submit(
+                    _RuleTask(rule, self._plan_ref()), rule
+                )
             except Exception as error:
                 self._mp_counters["mp_rule_tasks"] -= 1
                 self._degrade(f"cannot prefetch to the worker pool: {error!r}")
@@ -610,6 +649,22 @@ class MultiprocessBackend:
             return
         self._closed = True
         self._prefetched.clear()
+        # Calibrate the dispatch overhead against the live, already-warm
+        # workers — measuring here (not at spawn) means cold checks never
+        # block on worker boot, and the constant lands in the persisted
+        # model for the next check. A pool that timed out or degraded is
+        # suspect: skip it rather than risk stalling on a wedged worker.
+        if (
+            persist
+            and self._model is not None
+            and self._pool is not None
+            and self.jobs > 1
+            and not self._degraded
+            and not self._mp_counters["mp_timeouts"]
+        ):
+            seconds = self._pool.dispatch_seconds(measure=True)
+            if seconds:
+                self._model.observe_dispatch(seconds)
         # Unlink live shared-memory arenas *before* terminating the pool:
         # a pool torn down mid-rule still references them, and terminate()
         # alone would leave the /dev/shm segments behind for good.
@@ -621,6 +676,8 @@ class MultiprocessBackend:
             store = self.plan.caches.store
             if store is not None:
                 store.persist_counters()
+            if self._model is not None:
+                self._model.save()
 
     def __del__(self) -> None:  # pragma: no cover - safety net
         # On the interpreter-teardown path skip counter persistence: the
@@ -635,39 +692,202 @@ class MultiprocessBackend:
         except Exception:
             pass
 
-    def _teardown_pool(self) -> None:
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+    def _teardown_pool(self, *, broken: bool = False) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        if broken:
+            # Restart-ladder semantics: terminate the worker processes but
+            # keep the pool object and its spooled plans — the next
+            # submission respawns a generation that re-warms from the spool
+            # without a reship (and in-flight PlanRefs stay valid).
+            pool.rebuild()
+            return
+        self._pool = None
+        if self._owns_pool:
+            pool.close()
+        elif self._mp_counters["mp_timeouts"]:
+            # A check that saw timeouts may be leaving wedged workers behind
+            # — a private pool terminates them in close(), but a shared pool
+            # outlives this backend, so recycle its workers now. The spool
+            # survives, so the next check still ships nothing.
+            pool.rebuild()
+        # A shared warm pool just loses this backend's reference and stays
+        # alive for the next check; Engine.close() / atexit reclaims it.
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> workerpool.WorkerPool:
         if self._pool is None:
-            method = self.options.mp_start_method or os.environ.get(
-                "REPRO_MP_START"
-            ) or None
-            context = multiprocessing.get_context(method)
+            if self._owns_pool:
+                self._pool = workerpool.WorkerPool(
+                    self.jobs, start_method=self.options.mp_start_method
+                )
+            else:
+                self._pool = workerpool.get_pool(
+                    self.jobs, self.options.mp_start_method
+                )
+        self._pool.ensure()
+        return self._pool
+
+    def _plan_ref(self) -> PlanRef:
+        """The spooled-payload handle rule tasks carry (ships at most once).
+
+        ``mp_plan_compiles`` counts actual payload builds: the second check
+        of a deck against a warm pool finds its digest spooled and reports
+        zero.
+        """
+        if self._plan_payload_ref is None:
+            pool = self._ensure_pool()
             shippable = [r for r in self.plan.rules if self._probe(r)]
             worker_options = dataclasses.replace(
                 self.options, jobs=1, mode=MODE_PARALLEL
             )
-            payload = pickle.dumps(
-                (self.plan.layout, shippable, worker_options, self.window),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-            self._pool = context.Pool(
-                self.jobs, initializer=_worker_initializer, initargs=(payload,)
-            )
-        return self._pool
+            digest = self._plan_digest(shippable, worker_options)
+
+            def make_payload() -> bytes:
+                return pickle.dumps(
+                    (self.plan.layout, shippable, worker_options, self.window),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+
+            path, shipped = pool.ensure_plan(digest, make_payload)
+            if shipped:
+                self._mp_counters["mp_plan_compiles"] += 1
+            self._plan_payload_ref = PlanRef(digest=digest, path=path)
+        return self._plan_payload_ref
+
+    def _plan_digest(self, shippable: List[Rule], worker_options) -> str:
+        """Content digest of everything a worker's compiled plan depends on."""
+        caches = self.plan.caches
+        layers = set()
+        wildcard = False
+        for rule in self.plan.rules:
+            if rule.layer is None:
+                wildcard = True
+            else:
+                layers.add(rule.layer)
+            if rule.other_layer is not None:
+                layers.add(rule.other_layer)
+        if wildcard:
+            layers.update(self.plan.layout.layers())
+        geometry = tuple(
+            (layer, caches.layer_digest(layer)) for layer in sorted(layers)
+        )
+        return store_key(
+            "mp-plan",
+            self.plan.layout.name,
+            self.plan.tree.top.name,
+            geometry,
+            tuple(_rule_identity(rule) for rule in self.plan.rules),
+            tuple(rule.name for rule in shippable),
+            repr(worker_options),
+            repr(self.window),
+        )
 
     # -- helpers ------------------------------------------------------------
 
     def _probe(self, rule: Rule) -> bool:
-        cached = self._picklable.get(rule.name)
+        """Pickle-probe one rule, memoized process-wide by rule identity.
+
+        Repeat checks of a deck (warm pools, fix loops) skip the probe —
+        ``mp_pickle_probes`` counts only actual executions and stays flat
+        across re-checks.
+        """
+        key = _rule_identity(rule)
+        cached = _PROBE_CACHE.get(key)
         if cached is None:
             cached = _rule_picklable(rule)
-            self._picklable[rule.name] = cached
+            _PROBE_CACHE[key] = cached
+            self._mp_counters["mp_pickle_probes"] += 1
         return cached
+
+    # -- cost-model routing ---------------------------------------------------
+
+    def _rule_cost_key(self, rule: Rule) -> str:
+        """Geometry-qualified cost key: estimates never cross layouts."""
+        key = self._cost_keys.get(rule.name)
+        if key is None:
+            caches = self.plan.caches
+            if rule.layer is None:
+                geometry = tuple(
+                    caches.layer_digest(layer)
+                    for layer in self.plan.layout.layers()
+                )
+            elif rule.other_layer is not None:
+                geometry = (
+                    caches.layer_digest(rule.layer),
+                    caches.layer_digest(rule.other_layer),
+                )
+            else:
+                geometry = caches.layer_digest(rule.layer)
+            key = store_key("rule-cost", geometry, _rule_identity(rule))
+            self._cost_keys[rule.name] = key
+        return key
+
+    def _route_rule_inline(self, rule: Rule) -> bool:
+        """True when the model prices this rule below pool break-even."""
+        if self._model is None:
+            return False
+        estimate = self._model.estimate_rule(self._rule_cost_key(rule))
+        if estimate is None or self._model.worth_pooling(estimate, self.jobs):
+            return False
+        self._cost_inline.add(rule.name)
+        self._mp_counters["mp_cost_routed_inline"] += 1
+        return True
+
+    def _timed_local_run(
+        self, rule: Rule, profile: PhaseProfile
+    ) -> List[Violation]:
+        """Run a routed-inline rule in the parent, feeding the calibration."""
+        start = time.perf_counter()
+        violations = self._local_backend().run(rule, profile)
+        if self._model is not None:
+            self._model.observe_rule(
+                self._rule_cost_key(rule), time.perf_counter() - start
+            )
+        return violations
+
+    def _observe_rule_cost(self, rule: Rule) -> None:
+        """Fold one pooled rule's worker compute into the model."""
+        seconds = self._compute_seconds.pop(rule.name, None)
+        if seconds and self._model is not None:
+            self._model.observe_rule(self._rule_cost_key(rule), seconds)
+
+    def _observe_shard_cost(self, rule: Rule, weight: float) -> None:
+        """Fold one sharded rule's worker compute into the per-kind rate."""
+        seconds = self._compute_seconds.pop(rule.name, None)
+        if seconds and self._model is not None:
+            self._model.observe_kind(rule.kind.value, weight, seconds)
+
+    def _shard_plan(
+        self, rule: Rule, weight: float, num_items: int
+    ) -> Optional[int]:
+        """Shard count for one row-sharded rule, or None to run it inline.
+
+        Uncalibrated (no per-kind rate yet) keeps the status-quo
+        oversubscribed count — the resulting pooled run is what produces
+        the first observation.
+        """
+        if self._model is None:
+            return shard_count(num_items, self.jobs)
+        estimate = self._model.estimate_kind(rule.kind.value, weight)
+        if estimate is None:
+            return shard_count(num_items, self.jobs)
+        if not self._model.worth_pooling(estimate, self.jobs):
+            return None
+        return self._model.plan_shards(estimate, num_items, self.jobs)
+
+    def _timed_sharded_inline(
+        self, rule: Rule, weight: float, profile: PhaseProfile
+    ) -> List[Violation]:
+        """Run a routed-inline sharded rule locally, feeding the rate EWMA."""
+        self._mp_counters["mp_cost_routed_inline"] += 1
+        start = time.perf_counter()
+        violations = self._local_backend().run(rule, profile)
+        if self._model is not None and weight > 0:
+            self._model.observe_kind(
+                rule.kind.value, weight, time.perf_counter() - start
+            )
+        return violations
 
     def _local_backend(self):
         """In-process fallback/packer: fused GPU backend (or windowed)."""
@@ -703,7 +923,7 @@ class MultiprocessBackend:
         # Pending results belong to a dead pool; their rules re-run through
         # the degraded path instead of waiting out a timeout each.
         self._prefetched.clear()
-        self._teardown_pool()
+        self._teardown_pool(broken=True)
 
     def _degraded_run(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
         """Complete a rule without the pool (canonical report regardless)."""
@@ -728,6 +948,7 @@ class MultiprocessBackend:
         """
         if self._degraded:
             raise RuntimeError("multiprocess backend already degraded")
+        spec = faults.resolve_spec(self.options)
         while True:
             try:
                 pool = self._ensure_pool()
@@ -739,10 +960,10 @@ class MultiprocessBackend:
                 return _Pending(
                     task=task,
                     rule=rule,
-                    result=pool.apply_async(_run_task, (task, fault)),
+                    result=pool.apply_async(_run_task, (task, fault, spec)),
                 )
             except Exception:
-                self._teardown_pool()
+                self._teardown_pool(broken=True)
                 if self._pool_restarts >= MAX_POOL_RESTARTS:
                     raise
                 self._pool_restarts += 1
@@ -779,6 +1000,10 @@ class MultiprocessBackend:
             else:
                 self._merge_stats(stats_delta)
                 profile.add_dict(profile_dict)
+                # Worker compute seconds feed the cost-model calibration.
+                self._compute_seconds[pending.rule.name] = self._compute_seconds.get(
+                    pending.rule.name, 0.0
+                ) + sum(profile_dict.values())
                 return violations
             if pending.attempts > self.max_retries:
                 return self._run_inline(pending, profile)
@@ -810,6 +1035,22 @@ class MultiprocessBackend:
         profile.add_dict(profile_dict)
         return violations
 
+    def _execute_shard_locally(self, task, profile: PhaseProfile) -> List[Violation]:
+        """Run one shard task in the parent (no pool round trip).
+
+        Shard tasks are pure functions of their (sealed) buffers, so a
+        failed first attempt — e.g. an injected attach fault firing in
+        this process — can safely re-execute under suppression.
+        """
+        try:
+            violations, stats_delta, profile_dict = task.execute()
+        except Exception:
+            with faults.suppressed():
+                violations, stats_delta, profile_dict = task.execute()
+        self._merge_stats(stats_delta)
+        profile.add_dict(profile_dict)
+        return violations
+
     # -- arena bookkeeping ---------------------------------------------------
 
     def _new_arena(self) -> ShmArena:
@@ -832,6 +1073,15 @@ class MultiprocessBackend:
             self._release_arena(arena)
             return []
         arena.seal()
+        if len(tasks) == 1:
+            # A degenerate single-shard plan (row filtering, tiny layouts)
+            # would pay a full pool round trip for zero parallelism — run
+            # the task right here instead. ``mp_shard_tasks`` counts pool
+            # traffic only, so it stays honest.
+            try:
+                return self._execute_shard_locally(tasks[0], profile)
+            finally:
+                self._release_arena(arena)
         self._mp_counters["mp_shard_tasks"] += len(tasks)
         self._mp_counters["mp_shm_bytes"] += arena.nbytes
         violations: List[Violation] = []
@@ -878,14 +1128,16 @@ class MultiprocessBackend:
         if fused.num_edges < 2:
             return []
         num_rows = len(member_rows)
+        weight = float(fused.num_edges)
+        num_shards = self._shard_plan(rule, weight, num_rows)
+        if num_shards is None:
+            return self._timed_sharded_inline(rule, weight, profile)
         weights = np.zeros(num_rows, dtype=_INT)
         for buf in (fused.vertical, fused.horizontal):
             if len(buf):
                 seg = self._segments(buf)
                 weights += np.bincount(seg, minlength=num_rows)
-        shards = greedy_balanced_shards(
-            weights.tolist(), shard_count(num_rows, self.jobs)
-        )
+        shards = greedy_balanced_shards(weights.tolist(), num_shards)
         if len(shards) < 2:
             return local.run(rule, profile)
         arena = self._new_arena()
@@ -920,7 +1172,9 @@ class MultiprocessBackend:
                     horizontal=payloads[1],
                 )
             )
-        return self._gather_shards(rule, arena, tasks, profile)
+        violations = self._gather_shards(rule, arena, tasks, profile)
+        self._observe_shard_cost(rule, weight)
+        return violations
 
     def _shard_corners(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
         local = self._local_backend()
@@ -937,11 +1191,13 @@ class MultiprocessBackend:
         self.device.record_host("pack-corners-fused", time.perf_counter() - host_start)
         if len(fused) < 2:
             return []
+        weight = float(len(fused))
+        num_shards = self._shard_plan(rule, weight, len(member_rows))
+        if num_shards is None:
+            return self._timed_sharded_inline(rule, weight, profile)
         seg = self._segments(fused)
         weights = np.bincount(seg, minlength=len(member_rows))
-        shards = greedy_balanced_shards(
-            weights.tolist(), shard_count(len(member_rows), self.jobs)
-        )
+        shards = greedy_balanced_shards(weights.tolist(), num_shards)
         if len(shards) < 2:
             return local.run(rule, profile)
         arena = self._new_arena()
@@ -968,7 +1224,9 @@ class MultiprocessBackend:
                     corners=payload,
                 )
             )
-        return self._gather_shards(rule, arena, tasks, profile)
+        violations = self._gather_shards(rule, arena, tasks, profile)
+        self._observe_shard_cost(rule, weight)
+        return violations
 
     def _shard_enclosure(self, rule: Rule, profile: PhaseProfile) -> List[Violation]:
         local = self._local_backend()
@@ -994,6 +1252,15 @@ class MultiprocessBackend:
         ]
         if len(rect_ids) < 2:
             return local.run(rule, profile)
+        weights = [
+            len(rect_rows[i][0]) + len(rect_rows[i][1]) for i in rect_ids
+        ]
+        weight = float(sum(weights))
+        # Route before anything executes: an inline decision must cover the
+        # whole rule (non-rectangle rows included) in one local run.
+        num_shards = self._shard_plan(rule, weight, len(rect_ids))
+        if num_shards is None:
+            return self._timed_sharded_inline(rule, weight, profile)
         # Rectilinear (non-rectangle) rows keep the exact host fallback, in
         # the parent — identical to the fused in-process path.
         violations: List[Violation] = []
@@ -1013,10 +1280,7 @@ class MultiprocessBackend:
                     local._stream(index), profile,
                 )
             )
-        weights = [
-            len(rect_rows[i][0]) + len(rect_rows[i][1]) for i in rect_ids
-        ]
-        shards = greedy_balanced_shards(weights, shard_count(len(rect_ids), self.jobs))
+        shards = greedy_balanced_shards(weights, num_shards)
         arena = self._new_arena()
         tasks: List[_EnclosureShardTask] = []
         for shard in shards:
@@ -1049,6 +1313,7 @@ class MultiprocessBackend:
                 )
             )
         violations.extend(self._gather_shards(rule, arena, tasks, profile))
+        self._observe_shard_cost(rule, weight)
         return violations
 
     @staticmethod

@@ -296,6 +296,10 @@ def greedy_balanced_shards(
     )
     if not items:
         return []
+    if num_shards == 1 or len(items) == 1:
+        # Degenerate plans skip the heap: one shard holding every weighted
+        # item (callers treat a single-shard plan as "run it in-process").
+        return [sorted(items)]
     num_shards = min(num_shards, len(items))
     loads: List = [(0, shard, []) for shard in range(num_shards)]
     heapq.heapify(loads)

@@ -1,0 +1,353 @@
+"""Persistent warm worker pools for the multiprocess backend.
+
+PR 3's backend built a fresh ``multiprocessing.Pool`` inside every
+``Engine.check()`` and shipped the pickled (layout, rules, options) payload
+through every worker's initializer. For the fix-loop regime the roadmap
+targets — many small re-checks of the same deck — that meant paying pool
+spawn, interpreter boot (under ``spawn``), module imports, payload pickling
+and plan recompilation on *every* check. This module hoists all of that
+out of the check:
+
+* :class:`WorkerPool` owns a pool of generic workers that pre-import the
+  heavy modules (:func:`_pool_warmup`) and carry **no** deck state in
+  their initializer. Deck payloads are instead **spooled to disk once**
+  per content digest (:meth:`WorkerPool.ensure_plan`); tasks carry a tiny
+  :class:`PlanRef` and each worker lazily loads + compiles the plan on
+  first touch, then keeps it cached (:data:`_PLAN_STATES`) across tasks,
+  checks, and even pool rebuilds — a respawned worker re-reads the spool
+  file instead of needing a reship.
+* :func:`get_pool` is the process-wide registry keyed by (jobs, start
+  method): every check with ``warm_pool`` enabled reuses the same live
+  workers, so the second check of a deck ships only shard descriptors.
+  :func:`shutdown_pools` runs at interpreter exit.
+* :meth:`WorkerPool.dispatch_seconds` measures the real no-op round-trip
+  cost of this pool — the constant the
+  :class:`~repro.core.costmodel.CostModel` prices every routing decision
+  with.
+
+Fault-tolerance contract: :meth:`WorkerPool.rebuild` terminates the worker
+processes but keeps the spool directory, so the multiprocess backend's
+restart ladder (PR 5) recycles workers without invalidating in-flight
+:class:`PlanRef` descriptors; a backend that degrades never needs the pool
+again and ``close()`` reclaims everything.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..util.logging import get_logger
+
+__all__ = [
+    "PLAN_CACHE_SIZE",
+    "PlanRef",
+    "WARM_POOL_ENV",
+    "WorkerPool",
+    "get_pool",
+    "plan_backend",
+    "release_pool",
+    "shutdown_pools",
+    "warm_pool_enabled",
+    "worker_device",
+]
+
+_logger = get_logger("workerpool")
+
+#: Environment variable enabling warm pools when ``EngineOptions.warm_pool``
+#: is left unset (``1``/``true``/``on`` enable).
+WARM_POOL_ENV = "REPRO_WARM_POOL"
+
+#: Compiled plans each worker process keeps warm (LRU by digest).
+PLAN_CACHE_SIZE = 4
+
+#: No-op round trips sampled by :meth:`WorkerPool.dispatch_seconds`. The
+#: first sample is discarded — under ``spawn`` it absorbs interpreter boot.
+_DISPATCH_SAMPLES = 3
+
+#: Upper bound on one measurement round trip; a pool whose workers are all
+#: wedged must not stall ``close()``.
+_DISPATCH_TIMEOUT = 5.0
+
+
+def warm_pool_enabled(options) -> bool:
+    """Whether ``options`` selects the shared warm pool.
+
+    ``EngineOptions.warm_pool`` wins when set; otherwise the
+    :data:`WARM_POOL_ENV` environment variable decides; otherwise warm
+    pools are off and each backend owns (and closes) a private pool — the
+    historical lifecycle.
+    """
+    flag = getattr(options, "warm_pool", None)
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(WARM_POOL_ENV)
+    if raw is None:
+        return False
+    return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def _resolve_start_method(start_method: Optional[str]) -> Optional[str]:
+    return start_method or os.environ.get("REPRO_MP_START") or None
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state (lives in the worker processes)
+# ---------------------------------------------------------------------------
+
+
+def _pool_warmup() -> None:
+    """Pool initializer: pay the import bill at spawn, not on task one."""
+    import numpy  # noqa: F401
+
+    from ..gpu import kernels  # noqa: F401
+    from . import parallel  # noqa: F401
+    from . import plan  # noqa: F401
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanRef:
+    """A content-addressed handle to one spooled deck payload."""
+
+    digest: str
+    path: str
+
+
+#: digest -> {layout, rules, options, window, backend} in this worker.
+_PLAN_STATES: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+
+def _plan_state(ref: PlanRef) -> Dict[str, Any]:
+    state = _PLAN_STATES.get(ref.digest)
+    if state is None:
+        import pickle
+
+        with open(ref.path, "rb") as handle:
+            layout, rules, options, window = pickle.loads(handle.read())
+        state = {
+            "layout": layout,
+            "rules": rules,
+            "options": options,
+            "window": window,
+            "backend": None,
+        }
+        _PLAN_STATES[ref.digest] = state
+        while len(_PLAN_STATES) > PLAN_CACHE_SIZE:
+            # The current digest sits at the end; evict the coldest entry.
+            _PLAN_STATES.popitem(last=False)
+    else:
+        _PLAN_STATES.move_to_end(ref.digest)
+    return state
+
+
+def plan_backend(ref: PlanRef):
+    """This worker's compiled backend for the referenced deck (warm)."""
+    from .plan import MODE_PARALLEL, MODE_WINDOWED, compile_plan, make_backend
+
+    state = _plan_state(ref)
+    backend = state["backend"]
+    if backend is None:
+        window = state["window"]
+        if window is not None:
+            plan = compile_plan(
+                state["layout"], state["rules"], state["options"],
+                mode=MODE_WINDOWED,
+            )
+            backend = make_backend(plan, window=window)
+        else:
+            plan = compile_plan(
+                state["layout"], state["rules"], state["options"],
+                mode=MODE_PARALLEL,
+            )
+            backend = make_backend(plan)
+        state["backend"] = backend
+    return backend
+
+
+_DEVICE_STATE: Dict[str, Any] = {}
+
+
+def worker_device():
+    """One simulated device + stream pair per worker process (shard tasks)."""
+    state = _DEVICE_STATE.get("device")
+    if state is None:
+        from ..gpu.device import Device
+        from ..gpu.executor import StreamExecutor
+
+        device = Device("mp-worker")
+        executors = [StreamExecutor(device.create_stream()) for _ in range(2)]
+        state = (device, executors)
+        _DEVICE_STATE["device"] = state
+    return state
+
+
+def _noop() -> None:
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A rebuildable process pool plus its spooled deck payloads."""
+
+    def __init__(self, jobs: int, start_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be a positive integer, got {jobs}")
+        self.jobs = jobs
+        self.start_method = _resolve_start_method(start_method)
+        self._context = multiprocessing.get_context(self.start_method)
+        self._pool = None
+        self._spool_dir: Optional[str] = None
+        self._spooled: Dict[str, str] = {}
+        self._dispatch_seconds: Optional[float] = None
+        self._closed = False
+        #: Times the workers were (re)spawned — observable by tests.
+        self.generation = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def ensure(self):
+        """The live ``multiprocessing.Pool``, spawning workers if needed."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._pool is None:
+            self._pool = self._context.Pool(self.jobs, initializer=_pool_warmup)
+            self.generation += 1
+        return self._pool
+
+    def apply_async(self, func, args: Tuple[Any, ...] = ()):
+        return self.ensure().apply_async(func, args)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (empty before first use)."""
+        if self._pool is None:
+            return []
+        return sorted(proc.pid for proc in self._pool._pool)
+
+    # -- plan spooling -------------------------------------------------------
+
+    def ensure_plan(
+        self, digest: str, make_payload: Callable[[], bytes]
+    ) -> Tuple[str, bool]:
+        """Spool the payload for ``digest`` once; returns ``(path, shipped)``.
+
+        ``shipped`` is True only when the payload was actually built and
+        written — a repeat check of the same deck finds its digest spooled
+        and ships nothing. The file outlives pool rebuilds (respawned
+        workers just re-read it) and is deleted by :meth:`close`.
+        """
+        path = self._spooled.get(digest)
+        if path is not None and os.path.exists(path):
+            return path, False
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-warmpool-")
+        path = os.path.join(self._spool_dir, f"{digest[:32]}.plan")
+        payload = make_payload()
+        fd, tmp = tempfile.mkstemp(prefix=".plan.", dir=self._spool_dir)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._spooled[digest] = path
+        return path, True
+
+    # -- calibration ---------------------------------------------------------
+
+    def dispatch_seconds(self, *, measure: bool = False) -> Optional[float]:
+        """Measured no-op round-trip cost of this pool (None = unmeasured).
+
+        Measurement is explicit (``measure=True``) and only runs against
+        already-spawned workers, so cold single-shot checks never pay for
+        it; the first sample is discarded because under ``spawn`` it
+        absorbs the worker's interpreter boot.
+        """
+        if self._dispatch_seconds is None and measure and self._pool is not None:
+            try:
+                samples = []
+                for _ in range(_DISPATCH_SAMPLES):
+                    start = time.perf_counter()
+                    self._pool.apply_async(_noop).get(_DISPATCH_TIMEOUT)
+                    samples.append(time.perf_counter() - start)
+                self._dispatch_seconds = min(samples[1:] or samples)
+            except Exception:
+                pass
+        return self._dispatch_seconds
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Terminate the workers, keep the spool: the restart-ladder hook.
+
+        The next :meth:`ensure` respawns a fresh generation; in-flight
+        :class:`PlanRef` descriptors stay valid because the spool files
+        survive, so a recycled pool re-warms itself without a reship.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def close(self) -> None:
+        """Terminate workers and delete the spool (idempotent, terminal)."""
+        self._closed = True
+        self.rebuild()
+        self._spooled.clear()
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
+
+
+# ---------------------------------------------------------------------------
+# Process-wide registry (the warm path)
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[Tuple[int, Optional[str]], WorkerPool] = {}
+
+
+def get_pool(jobs: int, start_method: Optional[str] = None) -> WorkerPool:
+    """The shared warm pool for (jobs, start method), created on first use."""
+    key = (jobs, _resolve_start_method(start_method))
+    pool = _POOLS.get(key)
+    if pool is None or pool.closed:
+        pool = WorkerPool(jobs, start_method=key[1])
+        _POOLS[key] = pool
+    return pool
+
+
+def release_pool(jobs: int, start_method: Optional[str] = None) -> None:
+    """Close and forget one shared pool (``Engine.close`` calls this)."""
+    key = (jobs, _resolve_start_method(start_method))
+    pool = _POOLS.pop(key, None)
+    if pool is not None:
+        pool.close()
+
+
+def shutdown_pools() -> None:
+    """Close every shared pool (atexit hook; tests call it for isolation)."""
+    for key in list(_POOLS):
+        pool = _POOLS.pop(key)
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+
+atexit.register(shutdown_pools)

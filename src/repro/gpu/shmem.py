@@ -50,6 +50,13 @@ INLINE_THRESHOLD = 512
 #: Workers keep at most this many blocks mapped (LRU) between tasks.
 ATTACH_CACHE_SIZE = 8
 
+#: Whole pack-store files kept mapped (LRU) for path-backed refs. Every
+#: shard of a rule references windows of the same file; re-``mmap``-ing it
+#: per resolve() made the warm pool pay a syscall + page-table churn per
+#: task. Entries are immutable (content-addressed store), so staleness is
+#: impossible and the cache never needs invalidation.
+MMAP_CACHE_SIZE = 8
+
 _ALIGN = 64
 
 
@@ -85,12 +92,10 @@ class ArrayRef:
                 array = np.zeros(self.shape, dtype=np.dtype(self.dtype))
                 array.flags.writeable = False
                 return array
-            array = np.memmap(
-                self.path,
-                dtype=np.dtype(self.dtype),
-                mode="r",
-                offset=self.offset,
-                shape=(count,),
+            dtype = np.dtype(self.dtype)
+            mapped = _mapped_file(self.path, self.offset + count * dtype.itemsize)
+            array = np.frombuffer(
+                mapped, dtype=dtype, count=count, offset=self.offset
             )
         elif self.block is None:
             assert self.data is not None
@@ -103,6 +108,24 @@ class ArrayRef:
         array = array.reshape(self.shape)
         array.flags.writeable = False
         return array
+
+
+#: path -> whole-file read-only uint8 map (insertion order = LRU order).
+_mapped: Dict[str, np.memmap] = {}
+
+
+def _mapped_file(path: str, min_bytes: int) -> np.memmap:
+    """The whole-file read-only map for ``path``, LRU-cached per process."""
+    mapped = _mapped.pop(path, None)
+    if mapped is not None and mapped.size < min_bytes:
+        # A rewritten (non-store) file grew past the cached map — remap.
+        mapped = None
+    if mapped is None:
+        mapped = np.memmap(path, dtype=np.uint8, mode="r")
+    _mapped[path] = mapped  # re-insert: most recently used
+    while len(_mapped) > MMAP_CACHE_SIZE:
+        _mapped.pop(next(iter(_mapped)))
+    return mapped
 
 
 def file_backed_ref(array: np.ndarray) -> Optional[ArrayRef]:
@@ -264,10 +287,11 @@ def attached_block_count() -> int:
 
 
 def release_attachments() -> None:
-    """Unmap every cached block (worker shutdown hook)."""
+    """Unmap every cached block and file (worker shutdown hook)."""
     for shm in _attached.values():
         try:
             shm.close()
         except Exception:  # pragma: no cover
             pass
     _attached.clear()
+    _mapped.clear()

@@ -198,6 +198,23 @@ class TestShards:
         with pytest.raises(SchedulerError):
             greedy_balanced_shards([1, 2], 0)
 
+    def test_empty_weights_yield_no_shards(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        assert greedy_balanced_shards([], 4) == []
+
+    def test_single_weighted_item_single_shard(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        # One weighted row must never fan out into empty sibling shards.
+        assert greedy_balanced_shards([7], 4) == [[0]]
+        assert greedy_balanced_shards([0, 7, 0], 4) == [[1]]
+
+    def test_single_shard_takes_every_item(self):
+        from repro.core.scheduler import greedy_balanced_shards
+
+        assert greedy_balanced_shards([3, 1, 2], 1) == [[0, 1, 2]]
+
     def test_shard_count_oversubscribes(self):
         from repro.core.scheduler import SHARD_OVERSUBSCRIPTION, shard_count
 

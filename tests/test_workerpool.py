@@ -1,0 +1,286 @@
+"""Warm worker pools: reuse across checks, plan spooling, fault recycling.
+
+The tentpole property: with ``warm_pool`` enabled, the second
+``Engine.check()`` of the same deck must reuse the live worker processes
+(zero new PIDs), ship no plan payload (``mp_plan_compiles == 0``), skip the
+pickle probes (``mp_pickle_probes == 0``), and still produce a byte-identical
+report — and the PR 5 recovery ladder must keep working on a recycled pool.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.core import Engine, EngineOptions
+from repro.core import costmodel, multiproc, workerpool
+from repro.core.rules import layer
+from repro.core.workerpool import WorkerPool
+from repro.geometry import Polygon, Transform
+from repro.layout import CellReference, Layout
+from repro.util import faults
+
+
+def via_layout(seed: int, *, kinds: int = 3, instances: int = 40) -> Layout:
+    rng = random.Random(seed)
+    layout = Layout(f"wp-vias-{seed}")
+    for kind in range(kinds):
+        leaf = layout.new_cell(f"leaf_{kind}")
+        for _ in range(rng.randint(1, 4)):
+            x, y = rng.randint(0, 120), rng.randint(0, 120)
+            w, h = rng.randint(14, 36), rng.randint(14, 36)
+            leaf.add_polygon(1, Polygon.from_rect_coords(x, y, x + w, y + h))
+            margin = rng.randint(0, 5)
+            leaf.add_polygon(
+                2,
+                Polygon.from_rect_coords(
+                    x + margin, y + margin, x + margin + 4, y + margin + 4
+                ),
+            )
+    top = layout.new_cell("top")
+    for _ in range(instances):
+        top.add_reference(
+            CellReference(
+                f"leaf_{rng.randrange(kinds)}",
+                Transform(
+                    dx=rng.randint(0, 4000),
+                    dy=rng.randint(0, 4000),
+                    rotation=rng.choice((0, 90, 180, 270)),
+                ),
+            )
+        )
+    layout.set_top("top")
+    return layout
+
+
+def _narrow(polygon):
+    """Module-level predicate: picklable, so the probe has work to do."""
+    return polygon.mbr.width <= 400
+
+
+def deck():
+    return [
+        layer(1).polygons().ensures(_narrow).named("ENS"),
+        layer(1).spacing().greater_than(7).named("S"),
+        layer(1).width().greater_than(8).named("W"),
+        layer(2).enclosure(layer(1)).greater_than(3).named("ENC"),
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _isolate(monkeypatch):
+    """Fresh pool registry, probe cache, and cost models around every test."""
+    monkeypatch.delenv(workerpool.WARM_POOL_ENV, raising=False)
+    workerpool.shutdown_pools()
+    costmodel.reset_models()
+    multiproc._PROBE_CACHE.clear()
+    faults.clear()
+    yield
+    workerpool.shutdown_pools()
+    costmodel.reset_models()
+    multiproc._PROBE_CACHE.clear()
+    faults.clear()
+
+
+def warm_options(**kw):
+    kw.setdefault("mode", "multiproc")
+    kw.setdefault("jobs", 2)
+    kw.setdefault("warm_pool", True)
+    return EngineOptions(**kw)
+
+
+class TestWarmReuse:
+    def test_second_check_reuses_workers_and_ships_nothing(self):
+        layout = via_layout(501)
+        rules = deck()
+        engine = Engine(options=warm_options())
+        try:
+            first = engine.check(layout, rules=rules)
+            pool = workerpool.get_pool(2)
+            pids = pool.worker_pids()
+            generation = pool.generation
+            assert pids, "warm check must leave live workers behind"
+            assert first.results[-1].stats["mp_plan_compiles"] == 1
+            assert first.results[-1].stats["mp_pickle_probes"] >= 1
+
+            second = engine.check(layout, rules=rules)
+            assert second.to_csv() == first.to_csv()
+            assert pool.worker_pids() == pids, "no new worker processes"
+            assert pool.generation == generation
+            stats = second.results[-1].stats
+            assert stats["mp_plan_compiles"] == 0, "plan must not reship"
+            assert stats["mp_pickle_probes"] == 0, "probe results memoized"
+        finally:
+            engine.close()
+        assert workerpool.get_pool(2).worker_pids() == []
+
+    def test_matches_sequential_reference(self):
+        layout = via_layout(502)
+        rules = deck()
+        reference = Engine(mode="sequential").check(layout, rules=rules)
+        with Engine(options=warm_options()) as engine:
+            warm = engine.check(layout, rules=rules)
+        for ref, got in zip(reference.results, warm.results):
+            assert got.violations == ref.violations, ref.rule.name
+
+    def test_close_releases_the_shared_pool(self):
+        layout = via_layout(503, instances=10)
+        engine = Engine(options=warm_options())
+        engine.check(layout, rules=[layer(1).spacing().greater_than(7)])
+        assert workerpool.get_pool(2).worker_pids()
+        engine.close()
+        for child in multiprocessing.active_children():
+            child.join(timeout=10)
+        assert multiprocessing.active_children() == []
+
+    def test_env_var_enables_warm_pool(self, monkeypatch):
+        monkeypatch.setenv(workerpool.WARM_POOL_ENV, "1")
+        assert workerpool.warm_pool_enabled(EngineOptions(jobs=2))
+        # An explicit option beats the environment, both ways.
+        assert not workerpool.warm_pool_enabled(
+            EngineOptions(jobs=2, warm_pool=False)
+        )
+        monkeypatch.setenv(workerpool.WARM_POOL_ENV, "0")
+        assert workerpool.warm_pool_enabled(
+            EngineOptions(jobs=2, warm_pool=True)
+        )
+        assert not workerpool.warm_pool_enabled(EngineOptions(jobs=2))
+
+    def test_cold_default_leaves_no_children(self):
+        layout = via_layout(504, instances=10)
+        engine = Engine(options=EngineOptions(mode="multiproc", jobs=2))
+        engine.check(layout, rules=[layer(1).spacing().greater_than(7)])
+        for child in multiprocessing.active_children():
+            child.join(timeout=10)
+        assert multiprocessing.active_children() == []
+
+
+class TestRecycledPoolFaults:
+    def test_recovery_ladder_on_a_warm_pool(self):
+        # Check 1 warms the pool; check 2 injects hangs into the recycled
+        # workers and must still climb the full PR 5 ladder: timeout →
+        # retry → inline fallback, with a byte-identical report.
+        layout = via_layout(505)
+        rules = [layer(1).width().greater_than(8).named("W")]
+        baseline = Engine(mode="sequential").check(layout, rules=rules)
+        warm_engine = Engine(options=warm_options())
+        faulted = Engine(
+            options=warm_options(
+                faults="worker_hang:times=10",
+                task_timeout=0.4,
+                max_retries=1,
+            )
+        )
+        try:
+            first = warm_engine.check(layout, rules=rules)
+            assert first.to_csv() == baseline.to_csv()
+            pool = workerpool.get_pool(2)
+            assert pool.worker_pids(), "check 1 must leave the pool warm"
+            report = faulted.check(layout, rules=rules)
+            assert report.to_csv() == baseline.to_csv()
+            stats = report.results[-1].stats
+            assert stats["mp_timeouts"] == 2  # first attempt + one retry
+            assert stats["mp_retries"] == 1
+            assert stats["mp_inline_fallbacks"] == 1
+            # The timed-out check recycled the shared pool's (wedged)
+            # workers instead of handing them to the next check...
+            assert workerpool.get_pool(2) is pool
+            assert pool.worker_pids() == []
+
+            faults.clear()
+            clean = Engine(options=warm_options())
+            again = clean.check(layout, rules=rules)
+            assert again.to_csv() == baseline.to_csv()
+            # ...and the respawned generation re-warmed from the spool.
+            assert again.results[-1].stats["mp_plan_compiles"] == 0
+        finally:
+            faulted.close()
+            warm_engine.close()
+
+    def test_worker_crash_on_recycled_pool_recovers(self):
+        layout = via_layout(506)
+        rules = [layer(1).spacing().greater_than(7).named("S")]
+        baseline = Engine(mode="sequential").check(layout, rules=rules)
+        with Engine(options=warm_options(cost_model=False)) as warm_engine:
+            warm_engine.check(layout, rules=rules)
+            faults.clear()
+            faulted = Engine(
+                options=warm_options(
+                    cost_model=False, faults="worker_raise:times=1"
+                )
+            )
+            report = faulted.check(layout, rules=rules)
+            assert report.to_csv() == baseline.to_csv()
+            assert report.results[-1].stats["mp_retries"] >= 1
+
+
+class TestWorkerPoolUnit:
+    def test_ensure_plan_ships_once(self):
+        pool = WorkerPool(1)
+        try:
+            calls = []
+
+            def payload():
+                calls.append(1)
+                return b"deck-bytes"
+
+            path, shipped = pool.ensure_plan("digest-a", payload)
+            assert shipped and calls == [1]
+            again, reshipped = pool.ensure_plan("digest-a", payload)
+            assert again == path and not reshipped and calls == [1]
+            with open(path, "rb") as handle:
+                assert handle.read() == b"deck-bytes"
+        finally:
+            pool.close()
+
+    def test_rebuild_keeps_spool_and_bumps_generation(self):
+        pool = WorkerPool(1)
+        try:
+            pool.ensure()
+            first_gen = pool.generation
+            path, _ = pool.ensure_plan("digest-b", lambda: b"payload")
+            pool.rebuild()
+            import os
+
+            assert os.path.exists(path), "rebuild must keep the spool"
+            pool.ensure()
+            assert pool.generation == first_gen + 1
+            _, reshipped = pool.ensure_plan("digest-b", lambda: b"payload")
+            assert not reshipped
+        finally:
+            pool.close()
+
+    def test_close_is_terminal(self):
+        pool = WorkerPool(1)
+        path, _ = pool.ensure_plan("digest-c", lambda: b"payload")
+        pool.close()
+        import os
+
+        assert not os.path.exists(path)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.ensure()
+        pool.close()  # idempotent
+
+    def test_registry_replaces_closed_pools(self):
+        first = workerpool.get_pool(1)
+        assert workerpool.get_pool(1) is first
+        first.close()
+        replacement = workerpool.get_pool(1)
+        assert replacement is not first and not replacement.closed
+        workerpool.release_pool(1)
+        assert workerpool.get_pool(1) is not replacement
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WorkerPool(0)
+
+    def test_dispatch_seconds_measures_on_request(self):
+        pool = WorkerPool(1)
+        try:
+            assert pool.dispatch_seconds() is None  # never implicit
+            pool.ensure()
+            measured = pool.dispatch_seconds(measure=True)
+            assert measured is not None and measured > 0
+            assert pool.dispatch_seconds() == measured  # cached
+        finally:
+            pool.close()
