@@ -9,8 +9,9 @@ and answers two questions per rule:
 
 * **route** — is the estimated compute worth fanning out at all, or should
   the parent run it inline? The break-even test compares the parallel
-  saving ``est * (1 - 1/jobs)`` against the dispatch bill for a pool-sized
-  task batch, with a safety factor so borderline rules stay inline.
+  saving ``est * (1 - 1/jobs)`` against the dispatch bill for the tasks
+  the fan-out would issue (one for a rule-granular task, ~``jobs`` for a
+  sharded batch), with a safety factor so borderline rules stay inline.
 * **granularity** — when pooling does win, how many shards amortize the
   per-task dispatch cost without giving up LPT balance? Shards are sized
   so each carries at least :data:`TARGET_DISPATCH_MULTIPLE` times the
@@ -154,18 +155,21 @@ class CostModel:
 
     # -- routing ------------------------------------------------------------
 
-    def worth_pooling(self, est_seconds: float, jobs: int) -> bool:
+    def worth_pooling(
+        self, est_seconds: float, jobs: int, tasks: int = 1
+    ) -> bool:
         """Does fanning ``est_seconds`` of compute out to ``jobs`` pay?
 
         The most the pool can save is ``est * (1 - 1/jobs)``; the bill is
-        one dispatch per task and the model sizes batches near ``jobs``
-        tasks. Require the saving to beat the bill by
-        :data:`BREAK_EVEN_SAFETY`.
+        one dispatch per task issued. ``tasks`` is how many dispatches the
+        fan-out would actually make: 1 for a rule-granular task (the
+        default), ~``jobs`` for a sharded batch. Require the saving to
+        beat the bill by :data:`BREAK_EVEN_SAFETY`.
         """
         if jobs <= 1:
             return False
         saving = est_seconds * (1.0 - 1.0 / jobs)
-        return saving > BREAK_EVEN_SAFETY * self.overhead() * jobs
+        return saving > BREAK_EVEN_SAFETY * self.overhead() * max(1, tasks)
 
     def plan_shards(self, est_seconds: float, num_items: int, jobs: int) -> int:
         """Shard count that amortizes dispatch without losing LPT balance."""

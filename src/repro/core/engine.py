@@ -77,6 +77,10 @@ class Engine:
         self.last_checker = None
         #: The compiled plan of the last check() call.
         self.last_plan: Optional[CheckPlan] = None
+        #: Shared warm-pool registry keys this engine's checks actually
+        #: used; close() must release all of them, not just the key the
+        #: current options select (options may change between checks).
+        self._warm_pool_keys: set = set()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -98,12 +102,14 @@ class Engine:
                     close()
                 except Exception:  # pragma: no cover - teardown best-effort
                     pass
+        keys = set(self._warm_pool_keys)
+        self._warm_pool_keys.clear()
         if self.options.mode == MODE_MULTIPROC and workerpool.warm_pool_enabled(
             self.options
         ):
-            workerpool.release_pool(
-                self.options.jobs, self.options.mp_start_method
-            )
+            keys.add((self.options.jobs, self.options.mp_start_method))
+        for jobs, start_method in keys:
+            workerpool.release_pool(jobs, start_method)
 
     def __enter__(self) -> "Engine":
         return self
@@ -201,6 +207,9 @@ class Engine:
             close = getattr(backend, "close", None)
             if close is not None:
                 close()
+            key = getattr(backend, "warm_pool_key", None)
+            if key is not None:
+                self._warm_pool_keys.add(key)
         report = CheckReport(
             layout.name,
             plan.mode,

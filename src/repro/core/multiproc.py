@@ -64,6 +64,8 @@ fail the fallback itself.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import itertools
 import multiprocessing
 import pickle
 import sys
@@ -130,12 +132,14 @@ def _predicate_identity(predicate) -> Optional[Tuple[Any, Any]]:
 
 
 def _rule_identity(rule: Rule) -> Tuple[Any, ...]:
-    """A value-based identity for memo keys that survive across checks.
+    """A value-based identity for the probe memo and cost-model keys.
 
-    Two rules with equal identity behave identically for pickling and cost
-    purposes; predicates are identified by (module, qualname), which is
-    correct for any named function and safe for lambdas — a collision in
-    either direction only changes a routing decision, never a report.
+    Predicates are identified by (module, qualname), which is correct for
+    any named function and safe for lambdas — but it cannot see instance
+    state, so two callable instances of one class collide. That is
+    acceptable *only* here, where a collision changes a routing decision
+    (probe result, cost estimate), never a report. Anything that feeds the
+    shipped plan digest must use :func:`_rule_ship_identity` instead.
     """
     return (
         rule.name,
@@ -144,6 +148,36 @@ def _rule_identity(rule: Rule) -> Tuple[Any, ...]:
         rule.other_layer,
         rule.value,
         _predicate_identity(rule.predicate),
+    )
+
+
+def _rule_ship_identity(rule: Rule) -> Tuple[Any, ...]:
+    """Identity of a rule *as it ships to workers* (plan-digest use).
+
+    The plan digest keys the spooled payload: a collision there makes a
+    warm pool silently run a previous check's pickled rules, so predicate
+    identity must come from the bytes that actually ship. For rules that
+    passed the pickle probe that is a content hash of the pickled
+    predicate — ``Thresh(5)`` and ``Thresh(10)`` share a qualname but not
+    a pickle. Unpicklable predicates never ship, so their qualname
+    identity is inert in the digest.
+    """
+    predicate = rule.predicate
+    identity: Any = None
+    if predicate is not None:
+        try:
+            identity = hashlib.sha256(
+                pickle.dumps(predicate, protocol=pickle.HIGHEST_PROTOCOL)
+            ).hexdigest()
+        except Exception:
+            identity = _predicate_identity(predicate)
+    return (
+        rule.name,
+        rule.kind.value,
+        rule.layer,
+        rule.other_layer,
+        rule.value,
+        identity,
     )
 
 
@@ -472,17 +506,30 @@ class _EnclosureShardTask:
         return violations, stats, profile.to_dict()
 
 
-def _run_task(task, fault: Optional[str] = None, spec: Optional[str] = None):
+#: Per-backend fault-injection epochs: a warm pool's workers outlive the
+#: check, so installing by spec alone would carry budgets a previous check
+#: consumed into the next one — unlike the cold path, whose fresh workers
+#: re-arm every check. Salting the install with the backend's epoch makes
+#: each check re-arm exactly once per worker, cold or warm.
+_FAULT_EPOCH = itertools.count(1)
+
+
+def _run_task(
+    task,
+    fault: Optional[str] = None,
+    spec: Optional[str] = None,
+    epoch: Optional[int] = None,
+):
     """Pool entry point: dispatch one task in the worker process.
 
     ``fault`` is the parent-decided injected action ("raise"/"hang"/"die")
     executed before the task body; None on every healthy submission.
     ``spec`` arms the worker-side fault sites (shm attach, pack-store
     reads). Workers are generic and outlive checks, so the spec rides on
-    every task; installation is idempotent by spec, preserving budgets a
-    worker already consumed.
+    every task; installation is idempotent by (spec, epoch), preserving
+    budgets within a check while re-arming between checks.
     """
-    faults.install(spec)
+    faults.install(spec, token=epoch)
     if fault is not None:
         faults.act(fault)
     return task.execute()
@@ -560,6 +607,13 @@ class MultiprocessBackend:
         self._compute_seconds: Dict[str, float] = {}
         self._cost_keys: Dict[str, str] = {}
         self._plan_payload_ref: Optional[PlanRef] = None
+        #: Distinguishes this check's fault-injection installs from those of
+        #: earlier checks served by the same warm workers (see _FAULT_EPOCH).
+        self._fault_epoch = next(_FAULT_EPOCH)
+        #: The (jobs, start_method) registry key of the shared warm pool this
+        #: backend actually used, or None; Engine.close() releases every key
+        #: its checks touched, not just the one its current options select.
+        self.warm_pool_key: Optional[Tuple[int, Optional[str]]] = None
 
     # -- backend protocol ---------------------------------------------------
 
@@ -725,6 +779,7 @@ class MultiprocessBackend:
                 self._pool = workerpool.get_pool(
                     self.jobs, self.options.mp_start_method
                 )
+                self.warm_pool_key = (self.jobs, self.options.mp_start_method)
         self._pool.ensure()
         return self._pool
 
@@ -756,7 +811,13 @@ class MultiprocessBackend:
         return self._plan_payload_ref
 
     def _plan_digest(self, shippable: List[Rule], worker_options) -> str:
-        """Content digest of everything a worker's compiled plan depends on."""
+        """Content digest of everything a worker's compiled plan depends on.
+
+        Shippable rules are identified by :func:`_rule_ship_identity`
+        (pickle content hash) because they are literally part of the
+        spooled payload; the rest only gate which names ship, so their
+        qualname identity is enough.
+        """
         caches = self.plan.caches
         layers = set()
         wildcard = False
@@ -772,12 +833,18 @@ class MultiprocessBackend:
         geometry = tuple(
             (layer, caches.layer_digest(layer)) for layer in sorted(layers)
         )
+        shippable_names = {rule.name for rule in shippable}
         return store_key(
             "mp-plan",
             self.plan.layout.name,
             self.plan.tree.top.name,
             geometry,
-            tuple(_rule_identity(rule) for rule in self.plan.rules),
+            tuple(
+                _rule_ship_identity(rule)
+                if rule.name in shippable_names
+                else _rule_identity(rule)
+                for rule in self.plan.rules
+            ),
             tuple(rule.name for rule in shippable),
             repr(worker_options),
             repr(self.window),
@@ -872,7 +939,8 @@ class MultiprocessBackend:
         estimate = self._model.estimate_kind(rule.kind.value, weight)
         if estimate is None:
             return shard_count(num_items, self.jobs)
-        if not self._model.worth_pooling(estimate, self.jobs):
+        # A sharded fan-out issues ~jobs dispatches; bill them all.
+        if not self._model.worth_pooling(estimate, self.jobs, tasks=self.jobs):
             return None
         return self._model.plan_shards(estimate, num_items, self.jobs)
 
@@ -960,7 +1028,9 @@ class MultiprocessBackend:
                 return _Pending(
                     task=task,
                     rule=rule,
-                    result=pool.apply_async(_run_task, (task, fault, spec)),
+                    result=pool.apply_async(
+                        _run_task, (task, fault, spec, self._fault_epoch)
+                    ),
                 )
             except Exception:
                 self._teardown_pool(broken=True)

@@ -110,19 +110,28 @@ class ArrayRef:
         return array
 
 
-#: path -> whole-file read-only uint8 map (insertion order = LRU order).
-_mapped: Dict[str, np.memmap] = {}
+#: path -> (whole-file read-only uint8 map, (st_ino, st_mtime_ns, st_size)
+#: stat signature at map time); insertion order = LRU order.
+_mapped: Dict[str, Tuple[np.memmap, Tuple[int, int, int]]] = {}
 
 
 def _mapped_file(path: str, min_bytes: int) -> np.memmap:
-    """The whole-file read-only map for ``path``, LRU-cached per process."""
-    mapped = _mapped.pop(path, None)
-    if mapped is not None and mapped.size < min_bytes:
-        # A rewritten (non-store) file grew past the cached map — remap.
-        mapped = None
-    if mapped is None:
+    """The whole-file read-only map for ``path``, LRU-cached per process.
+
+    Pack-store entries are immutable, but any memmap-backed array can land
+    here via :func:`file_backed_ref`, so a cached map is revalidated
+    against the file's current stat signature — a file rewritten in place
+    (even at equal or smaller size) or replaced gets remapped instead of
+    serving stale cached pages.
+    """
+    stat = os.stat(path)
+    signature = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+    entry = _mapped.pop(path, None)
+    if entry is not None and entry[1] == signature and entry[0].size >= min_bytes:
+        mapped = entry[0]
+    else:
         mapped = np.memmap(path, dtype=np.uint8, mode="r")
-    _mapped[path] = mapped  # re-insert: most recently used
+    _mapped[path] = (mapped, signature)  # re-insert: most recently used
     while len(_mapped) > MMAP_CACHE_SIZE:
         _mapped.pop(next(iter(_mapped)))
     return mapped

@@ -42,8 +42,12 @@ Parameters
 
 Installation is idempotent by spec: installing the same string keeps the
 live plan (and its consumed budgets), so a worker re-resolving its options
-does not re-arm faults it already fired. Recovery code runs under
-:func:`suppressed` so a fallback can never be re-faulted into failing.
+does not re-arm faults it already fired. An optional install *token*
+bounds that idempotence to one check — warm-pool workers outlive checks,
+and salting their installs with a per-check epoch re-arms budgets between
+checks just like the cold path's fresh worker processes. Recovery code
+runs under :func:`suppressed` so a fallback can never be re-faulted into
+failing.
 """
 
 from __future__ import annotations
@@ -231,6 +235,7 @@ class FaultPlan:
 # ---------------------------------------------------------------------------
 
 _active: Optional[FaultPlan] = None
+_active_token: Optional[object] = None
 _suppress_depth = 0
 
 
@@ -242,24 +247,40 @@ def resolve_spec(options) -> Optional[str]:
     return os.environ.get(FAULTS_ENV) or None
 
 
-def install(spec: Optional[str]) -> Optional[FaultPlan]:
+def install(
+    spec: Optional[str], token: Optional[object] = None
+) -> Optional[FaultPlan]:
     """Install the plan for ``spec`` process-globally (None clears it).
 
     Idempotent by spec: re-installing the currently active spec keeps the
-    live plan and its consumed budgets, so a fault that already fired stays
-    fired for the rest of the process.
+    live plan and its consumed budgets, so code re-resolving its options
+    mid-check does not re-arm faults that already fired.
+
+    ``token`` scopes that idempotence: passing a token different from the
+    one the live plan was installed with re-parses the spec with fresh
+    budgets even when the spec string is unchanged. Warm-pool workers
+    outlive checks, so the multiprocess backend salts worker installs with
+    a per-check epoch — each check re-arms once per worker, exactly like
+    the cold path's fresh processes. ``token=None`` means "don't care"
+    and never invalidates a live plan.
     """
-    global _active
-    if _active is not None and _active.spec == spec:
+    global _active, _active_token
+    if (
+        _active is not None
+        and _active.spec == spec
+        and (token is None or token == _active_token)
+    ):
         return _active
     _active = FaultPlan.parse(spec)
+    _active_token = token
     return _active
 
 
 def clear() -> None:
     """Drop any installed plan (tests call this between cases)."""
-    global _active
+    global _active, _active_token
     _active = None
+    _active_token = None
 
 
 def active() -> Optional[FaultPlan]:

@@ -79,14 +79,26 @@ class TestRouting:
         model = CostModel()
         assert not model.worth_pooling(100.0, jobs=1)
 
-    def test_break_even_threshold(self):
+    def test_break_even_threshold_rule_task(self):
         model = CostModel()
         model.observe_dispatch(1e-3)
         jobs = 4
-        # saving = est * (1 - 1/jobs) must beat SAFETY * overhead * jobs.
-        threshold = BREAK_EVEN_SAFETY * 1e-3 * jobs / (1.0 - 1.0 / jobs)
+        # A rule-granular task is a single dispatch: the saving
+        # est * (1 - 1/jobs) must beat SAFETY * overhead * 1.
+        threshold = BREAK_EVEN_SAFETY * 1e-3 / (1.0 - 1.0 / jobs)
         assert not model.worth_pooling(threshold * 0.9, jobs)
         assert model.worth_pooling(threshold * 1.1, jobs)
+
+    def test_break_even_threshold_sharded_batch(self):
+        model = CostModel()
+        model.observe_dispatch(1e-3)
+        jobs = 4
+        # A sharded fan-out issues ~jobs dispatches and is billed for all
+        # of them — strictly harder to win than a rule-granular task.
+        threshold = BREAK_EVEN_SAFETY * 1e-3 * jobs / (1.0 - 1.0 / jobs)
+        assert not model.worth_pooling(threshold * 0.9, jobs, tasks=jobs)
+        assert model.worth_pooling(threshold * 1.1, jobs, tasks=jobs)
+        assert model.worth_pooling(threshold * 0.9, jobs)  # one dispatch
 
     def test_plan_shards_amortizes_dispatch(self):
         model = CostModel()

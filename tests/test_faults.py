@@ -138,6 +138,23 @@ class TestInstallation:
         assert plan is faults.active()
         assert not faults.should_fire(faults.WORKER_RAISE)
 
+    def test_install_token_scopes_idempotence_to_one_check(self):
+        faults.install("worker_raise:times=1", token=1)
+        assert faults.should_fire(faults.WORKER_RAISE)
+        assert not faults.should_fire(faults.WORKER_RAISE)
+        # Same spec + same token (a retry within the check): budget stays
+        # consumed.
+        faults.install("worker_raise:times=1", token=1)
+        assert not faults.should_fire(faults.WORKER_RAISE)
+        # A tokenless re-install (e.g. compile_plan re-resolving options)
+        # never invalidates the live plan either.
+        faults.install("worker_raise:times=1")
+        assert not faults.should_fire(faults.WORKER_RAISE)
+        # A new token — the next check's epoch on a warm pool — re-arms
+        # the budget from scratch, matching cold-path fresh workers.
+        faults.install("worker_raise:times=1", token=2)
+        assert faults.should_fire(faults.WORKER_RAISE)
+
     def test_installing_a_new_spec_replaces_the_plan(self):
         faults.install("worker_raise:times=1")
         faults.install("worker_hang:times=1")

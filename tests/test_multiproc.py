@@ -331,3 +331,53 @@ class TestShmArena:
             from repro.gpu.shmem import release_attachments
 
             release_attachments()
+
+
+class TestMappedFileCache:
+    def test_in_place_rewrite_is_remapped(self, tmp_path):
+        # Pack-store entries are immutable, but file_backed_ref accepts any
+        # memmap-backed array — a path rewritten in place at the *same*
+        # size must not serve stale cached pages.
+        import os
+
+        from repro.gpu.shmem import ArrayRef, release_attachments
+
+        path = str(tmp_path / "data.bin")
+        first = np.arange(64, dtype=np.int64)
+        with open(path, "wb") as handle:
+            handle.write(first.tobytes())
+        ref = ArrayRef("int64", (64,), path=path)
+        try:
+            np.testing.assert_array_equal(ref.resolve(), first)
+            second = first[::-1].copy()
+            with open(path, "wb") as handle:
+                handle.write(second.tobytes())
+            # Equal-size rewrites can land within the filesystem's mtime
+            # granularity; pin a distinct timestamp so the test exercises
+            # the signature check, not the clock.
+            stat = os.stat(path)
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+            np.testing.assert_array_equal(ref.resolve(), second)
+        finally:
+            release_attachments()
+
+    def test_replaced_file_is_remapped(self, tmp_path):
+        import os
+
+        from repro.gpu.shmem import ArrayRef, release_attachments
+
+        path = str(tmp_path / "data.bin")
+        first = np.arange(32, dtype=np.int64)
+        with open(path, "wb") as handle:
+            handle.write(first.tobytes())
+        ref = ArrayRef("int64", (32,), path=path)
+        try:
+            np.testing.assert_array_equal(ref.resolve(), first)
+            second = first + 1000
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(second.tobytes())
+            os.replace(tmp, path)  # new inode: signature must miss
+            np.testing.assert_array_equal(ref.resolve(), second)
+        finally:
+            release_attachments()

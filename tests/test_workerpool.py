@@ -20,6 +20,8 @@ from repro.geometry import Polygon, Transform
 from repro.layout import CellReference, Layout
 from repro.util import faults
 
+from .test_multiproc import random_via_layout
+
 
 def via_layout(seed: int, *, kinds: int = 3, instances: int = 40) -> Layout:
     rng = random.Random(seed)
@@ -56,6 +58,22 @@ def via_layout(seed: int, *, kinds: int = 3, instances: int = 40) -> Layout:
 def _narrow(polygon):
     """Module-level predicate: picklable, so the probe has work to do."""
     return polygon.mbr.width <= 400
+
+
+class _WidthUnder:
+    """Callable-instance predicate: one qualname, per-instance state.
+
+    The standard picklable form for ``ensures`` rules — and exactly the
+    shape that must not collide in the plan digest: ``_WidthUnder(0)``
+    and ``_WidthUnder(10_000)`` share a qualname but ship different
+    pickles.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def __call__(self, polygon) -> bool:
+        return polygon.mbr.width <= self.limit
 
 
 def deck():
@@ -122,6 +140,42 @@ class TestWarmReuse:
             warm = engine.check(layout, rules=rules)
         for ref, got in zip(reference.results, warm.results):
             assert got.violations == ref.violations, ref.rule.name
+
+    def test_stateful_predicates_do_not_collide_on_a_warm_pool(self):
+        # Two consecutive checks whose decks differ only in a callable
+        # instance's *state* must not share a plan digest — a collision
+        # makes the warm pool silently run the previous check's pickled
+        # predicate. cost_model=False keeps both checks on the pool (a
+        # calibrated model would route the tiny rule inline and mask the
+        # digest path).
+        layout = via_layout(507)
+        loose = [layer(1).polygons().ensures(_WidthUnder(10_000)).named("ENS")]
+        strict = [layer(1).polygons().ensures(_WidthUnder(0)).named("ENS")]
+        ref_loose = Engine(mode="sequential").check(layout, rules=loose)
+        ref_strict = Engine(mode="sequential").check(layout, rules=strict)
+        assert ref_loose.to_csv() != ref_strict.to_csv()
+        with Engine(options=warm_options(cost_model=False)) as engine:
+            first = engine.check(layout, rules=loose)
+            second = engine.check(layout, rules=strict)
+        assert first.to_csv() == ref_loose.to_csv()
+        assert second.to_csv() == ref_strict.to_csv()
+
+    def test_close_releases_every_pool_the_engine_used(self):
+        # Checks under different option sets park workers under different
+        # registry keys; close() must release all of them, not just the
+        # key the engine's current options select.
+        layout = via_layout(508, instances=10)
+        rules = [layer(1).spacing().greater_than(7)]
+        engine = Engine(options=warm_options(jobs=2))
+        engine.check(layout, rules=rules)
+        engine.options = warm_options(jobs=3)
+        engine.check(layout, rules=rules)
+        assert workerpool.get_pool(2).worker_pids()
+        assert workerpool.get_pool(3).worker_pids()
+        engine.close()
+        for child in multiprocessing.active_children():
+            child.join(timeout=10)
+        assert multiprocessing.active_children() == []
 
     def test_close_releases_the_shared_pool(self):
         layout = via_layout(503, instances=10)
@@ -196,6 +250,30 @@ class TestRecycledPoolFaults:
         finally:
             faulted.close()
             warm_engine.close()
+
+    def test_worker_site_budgets_rearm_each_check(self):
+        # shm_attach_fail budgets are consumed *inside* the workers. Warm
+        # workers outlive the check, so without a per-check install epoch
+        # the second check would inherit the first one's spent budget and
+        # inject nothing — unlike the cold path's fresh processes. Both
+        # checks must show the recovery. (random_via_layout, not this
+        # module's via_layout: the shards must be big enough to ride the
+        # shared-memory transport, or no attach ever happens.)
+        layout = random_via_layout(509, instances=60)
+        rules = [layer(1).spacing().greater_than(7).named("S")]
+        baseline = Engine(mode="sequential").check(layout, rules=rules)
+        options = warm_options(
+            cost_model=False, faults="shm_attach_fail:times=1"
+        )
+        with Engine(options=options) as engine:
+            first = engine.check(layout, rules=rules)
+            second = engine.check(layout, rules=rules)
+        assert first.to_csv() == baseline.to_csv()
+        assert second.to_csv() == baseline.to_csv()
+        assert first.results[-1].stats["mp_retries"] >= 1
+        assert second.results[-1].stats["mp_retries"] >= 1, (
+            "warm workers must re-arm worker-side fault budgets per check"
+        )
 
     def test_worker_crash_on_recycled_pool_recovers(self):
         layout = via_layout(506)
