@@ -10,7 +10,16 @@ Commands
     ``--brute-force-threshold`` expose the parallel backend's knobs.
 ``check-window <file.gds> <x1> <y1> <x2> <y2>``
     Incremental check: run the deck only on the given window (dbu
-    coordinates) through the windowed backend.
+    coordinates) through the windowed backend. Repeatable
+    ``--window X1 Y1 X2 Y2`` options add further windows; overlapping
+    windows coalesce and each violation reports once.
+``recheck <old.gds> <new.gds>``
+    True incremental re-check: diff the two versions by per-layer
+    geometry digests, re-check each rule only in its dirty regions, and
+    splice into the previous report (cached beside the pack store —
+    ``--cache-dir`` / ``$REPRO_CACHE_DIR`` — or recomputed cold).
+    ``--verify`` additionally runs the cold full check and asserts the
+    spliced report matches byte-for-byte.
 ``stats <file.gds>``
     Print layout statistics (cells, instances, flat polygons, hierarchy).
 ``synth <design> <out.gds>``
@@ -99,6 +108,24 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
         raise SystemExit(str(error)) from None
 
 
+def _report_format(args: argparse.Namespace) -> str:
+    """The output format: --format wins; legacy --csv still works."""
+    fmt = getattr(args, "format", None)
+    if fmt:
+        return fmt
+    return "csv" if getattr(args, "csv", False) else "summary"
+
+
+def _print_report(report, args: argparse.Namespace) -> None:
+    fmt = _report_format(args)
+    if fmt == "csv":
+        print(report.to_csv())
+    elif fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.summary())
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     layout = _read(args.file, args.top)
     engine = Engine(options=_engine_options(args))
@@ -112,14 +139,11 @@ def cmd_check(args: argparse.Namespace) -> int:
 
         save_markers(report, args.output)
         print(f"wrote marker database: {args.output}")
-    if args.csv:
-        print(report.to_csv())
-    else:
-        print(report.summary())
-        if args.breakdown:
-            for name, profile in engine.last_profiles.items():
-                print(f"\n[{name}]")
-                print(profile.breakdown_table())
+    _print_report(report, args)
+    if _report_format(args) == "summary" and args.breakdown:
+        for name, profile in engine.last_profiles.items():
+            print(f"\n[{name}]")
+            print(profile.breakdown_table())
     return 0 if report.passed else 1
 
 
@@ -128,9 +152,14 @@ def cmd_check_window(args: argparse.Namespace) -> int:
     from .geometry import Rect
 
     layout = _read(args.file, args.top)
-    window = Rect(args.x1, args.y1, args.x2, args.y2)
-    if window.is_empty:
-        raise SystemExit("window must be non-empty (x1 <= x2 and y1 <= y2)")
+    windows = [Rect(args.x1, args.y1, args.x2, args.y2)]
+    for coords in args.window or []:
+        windows.append(Rect(*coords))
+    for window in windows:
+        if window.is_empty:
+            raise SystemExit(
+                f"window {window} must be non-empty (x1 <= x2 and y1 <= y2)"
+            )
     jobs = _resolve_jobs(args)
     try:
         options = EngineOptions(
@@ -145,13 +174,66 @@ def cmd_check_window(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(str(error)) from None
     report = check_window(
-        layout, window, rules=_load_deck(args.deck), options=options
+        layout, windows, rules=_load_deck(args.deck), options=options
     )
-    if args.csv:
-        print(report.to_csv())
-    else:
-        print(report.summary())
+    _print_report(report, args)
     return 0 if report.passed else 1
+
+
+def cmd_recheck(args: argparse.Namespace) -> int:
+    from .core import recheck
+
+    old = _read(args.old, args.top)
+    new = _read(args.new, args.top)
+    jobs = _resolve_jobs(args)
+    try:
+        options = EngineOptions(
+            mode="multiproc" if jobs > 1 else "sequential",
+            jobs=jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            warm_pool=args.warm_pool,
+            cost_model=args.cost_model,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        outcome = recheck(
+            old, new, rules=_load_deck(args.deck), options=options,
+            verify=args.verify,
+        )
+    except AssertionError as error:
+        raise SystemExit(f"recheck verification failed: {error}") from None
+    diff = outcome.diff
+    if _report_format(args) == "summary":
+        if diff.is_clean:
+            print("diff: clean (all per-layer geometry digests match)")
+        elif diff.full:
+            print("diff: not localisable (full re-check)")
+        else:
+            for layer in diff.dirty_layers():
+                regions = diff.dirty[layer]
+                print(
+                    f"diff: layer {layer} dirty in {len(regions)} region(s), "
+                    f"bounds {regions.bounds}"
+                )
+        counts = {}
+        for kind in outcome.disposition.values():
+            counts[kind] = counts.get(kind, 0) + 1
+        source = "report cache" if outcome.cache_hit else (
+            "cold full check" if "cold" in counts else "in-memory baseline"
+        )
+        print(
+            "recheck: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+            + f" (baseline: {source})"
+        )
+        if args.verify:
+            print("verify: spliced report matches the cold full check")
+    _print_report(outcome.report, args)
+    return 0 if outcome.report.passed else 1
 
 
 def _resolve_cache_root(args: argparse.Namespace) -> str:
@@ -253,6 +335,20 @@ def _add_pool_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_format_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=["summary", "csv", "json"],
+        default=None,
+        help="report output format (default: summary)",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="print CSV markers (shorthand for --format csv)",
+    )
+
+
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -293,7 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_JOBS or 1)",
     )
     check.add_argument("--top", help="top cell name (default: inferred)")
-    check.add_argument("--csv", action="store_true", help="print CSV markers")
+    _add_format_args(check)
     check.add_argument("--output", help="write a JSON marker database")
     check.add_argument("--waivers", help="apply a JSON waiver file before reporting")
     check.add_argument(
@@ -341,9 +437,17 @@ def build_parser() -> argparse.ArgumentParser:
     window.add_argument("file")
     for coord in ("x1", "y1", "x2", "y2"):
         window.add_argument(coord, type=int, help=f"window {coord} (dbu)")
+    window.add_argument(
+        "--window",
+        action="append",
+        nargs=4,
+        type=int,
+        metavar=("X1", "Y1", "X2", "Y2"),
+        help="additional window (repeatable; overlapping windows coalesce)",
+    )
     window.add_argument("--deck", help="Python file defining RULES = [...]")
     window.add_argument("--top", help="top cell name (default: inferred)")
-    window.add_argument("--csv", action="store_true", help="print CSV markers")
+    _add_format_args(window)
     window.add_argument(
         "--jobs",
         "-j",
@@ -357,6 +461,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_args(window)
     _add_cache_args(window)
     window.set_defaults(func=cmd_check_window)
+
+    re_check = sub.add_parser(
+        "recheck", help="incrementally re-check an edited GDSII file"
+    )
+    re_check.add_argument("old", help="previous version (the checked baseline)")
+    re_check.add_argument("new", help="edited version to re-check")
+    re_check.add_argument("--deck", help="Python file defining RULES = [...]")
+    re_check.add_argument("--top", help="top cell name (default: inferred)")
+    _add_format_args(re_check)
+    re_check.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the cold full check and assert the spliced report "
+        "matches byte-for-byte",
+    )
+    re_check.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for full/cold portions "
+        "(default: $REPRO_JOBS or 1)",
+    )
+    _add_fault_args(re_check)
+    _add_pool_args(re_check)
+    _add_cache_args(re_check)
+    re_check.set_defaults(func=cmd_recheck)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent pack store"

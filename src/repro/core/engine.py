@@ -77,6 +77,8 @@ class Engine:
         self.last_checker = None
         #: The compiled plan of the last check() call.
         self.last_plan: Optional[CheckPlan] = None
+        #: The RecheckOutcome of the last recheck() call (diff, dispositions).
+        self.last_recheck = None
         #: Shared warm-pool registry keys this engine's checks actually
         #: used; close() must release all of them, not just the key the
         #: current options select (options may change between checks).
@@ -149,6 +151,39 @@ class Engine:
         report, _ = self._execute(layout, rules=rules)
         return report
 
+    def recheck(
+        self,
+        old: Layout,
+        new: Layout,
+        *,
+        rules: Optional[Sequence[Rule]] = None,
+        cached: Optional[CheckReport] = None,
+        verify: bool = False,
+    ) -> CheckReport:
+        """Incrementally re-check ``new`` given a previous check of ``old``.
+
+        Diffs the two versions by per-layer geometry digests, re-checks each
+        rule only inside its dirty regions (inflated by the rule's
+        interaction distance), and splices the fresh violations into the
+        baseline report — which comes from ``cached`` or from the persistent
+        report cache (``options.cache_dir`` / ``REPRO_CACHE_DIR``; a prior
+        :meth:`check` with the cache configured populates it). Without a
+        baseline, ``new`` is checked cold and stored for next time.
+
+        The spliced violations are byte-identical to a cold full check of
+        ``new`` (``verify=True`` asserts it). Details of the last recheck
+        (diff, per-rule disposition, cache hit) are kept on
+        :attr:`last_recheck`.
+        """
+        from .incremental import recheck as run_recheck
+
+        deck = list(rules) if rules is not None else self.rules
+        outcome = run_recheck(
+            old, new, rules=deck, options=self.options, cached=cached, verify=verify
+        )
+        self.last_recheck = outcome
+        return outcome.report
+
     def check_with_task_graph(
         self,
         layout: Layout,
@@ -215,4 +250,30 @@ class Engine:
             plan.mode,
             [results_by_name[compiled.name] for compiled in plan.compiled],
         )
+        self._save_report(plan, report)
         return report, analysis
+
+    def _save_report(self, plan: CheckPlan, report: CheckReport) -> None:
+        """Persist the report beside the pack store so ``recheck`` can splice.
+
+        Engages only with a cache directory configured (like the pack store)
+        and a fingerprintable deck; keyed by deck digest + the layout's
+        per-layer geometry digests. Best-effort — a failed save never fails
+        the check.
+        """
+        store = plan.caches.store
+        if store is None:
+            return
+        from .reportcache import ReportCache, deck_digest, report_key
+
+        deck = deck_digest(plan.rules)
+        if deck is None:
+            return
+        try:
+            digests = {
+                layer: plan.caches.layer_digest(layer)
+                for layer in plan.layout.layers()
+            }
+            ReportCache(store).save(report_key(deck, digests), report)
+        except Exception:  # pragma: no cover - persistence best-effort
+            pass

@@ -1,30 +1,49 @@
-"""Incremental (windowed) checking — the windowed backend.
+"""Incremental checking: windowed backend, multi-window plans, and recheck.
 
-Production DRC flows re-check only the region an edit touched. Given a
-window, the backend gathers just the geometry that can participate in a
-violation whose marker overlaps the window — polygons overlapping the
-window inflated by the rule distance, via the MBR-pruned layer range query
-(paper §IV-A) — checks that sub-population flat, and keeps the violations
-whose region overlaps the window.
+Production DRC flows re-check only the region an edit touched. The
+machinery here comes in three layers:
 
-The result equals running the full check and filtering its violations to
-the window (asserted by the tests), at a cost proportional to the window's
-content rather than the chip's.
+* :class:`WindowedBackend` executes a plan against a *region set* — one or
+  many windows, coalesced into the exact disjoint cover of their union. It
+  gathers just the geometry that can participate in a violation whose
+  marker overlaps any window (polygons overlapping the windows inflated by
+  the rule distance, via the MBR-pruned subtree query, one traversal for
+  the whole set), checks that sub-population flat, and keeps violations
+  overlapping the set. The result equals the full check filtered to the
+  region set (asserted by the tests), at a cost proportional to the
+  windows' content rather than the chip's.
+
+* :func:`check_window` runs a whole deck against a region set, through the
+  in-process windowed backend or the multiprocess pool (``options.jobs >
+  1``) — the region set rides inside the spooled plan payload, so workers
+  rebuild the identical windowed backend.
+
+* :func:`recheck` is the true incremental path: diff two layout versions
+  (:mod:`~repro.core.diff`), re-check each rule only inside its dirty
+  halo, and splice the fresh violations into the previous report
+  (:func:`~repro.core.results.splice_violations`). Rules whose layers are
+  untouched reuse their cached result outright; globally coupled rules
+  (coloring) re-run fully. The spliced violations are byte-identical to a
+  cold full check of the new version.
 
 The per-kind flat procedures come from the same
 :func:`~repro.core.plan.kind_spec` registry the other backends use
-(``spec.flat``), so a rule kind added there is automatically windowable.
+(``spec.flat``), so a rule kind added there is automatically windowable —
+provided it also declares its interaction distance.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..checks.base import Violation
 from ..geometry import IDENTITY, Rect
 from ..layout.library import Layout
+from ..spatial.regions import RegionSet, WindowsLike
 from ..util.profile import PhaseProfile
+from .diff import FULL_RECHECK, LayoutDiff, diff_layouts
 from .plan import (
     MODE_MULTIPROC,
     MODE_WINDOWED,
@@ -34,39 +53,61 @@ from .plan import (
     kind_spec,
     make_backend,
 )
-from .results import CheckReport, CheckResult
+from .packstore import resolve_store
+from .reportcache import ReportCache, deck_digest, report_key
+from .results import CheckReport, CheckResult, splice_violations
 from .rules import Rule
+
+#: Stats keys that report a configuration gauge, not an accumulating
+#: counter — per-rule deltas keep their absolute value.
+GAUGE_STATS = frozenset({"mp_jobs"})
+
+
+def stats_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """What one rule added to a backend's cumulative counters."""
+    delta: Dict[str, float] = {}
+    for key, value in after.items():
+        if key in GAUGE_STATS:
+            delta[key] = value
+        else:
+            delta[key] = value - before.get(key, 0)
+    return delta
 
 
 class WindowedBackend:
-    """Executes a plan's rules against one window of the layout."""
+    """Executes a plan's rules against a region set (one or many windows)."""
 
-    def __init__(self, plan: CheckPlan, window: Rect) -> None:
-        if window.is_empty:
+    def __init__(self, plan: CheckPlan, window: WindowsLike) -> None:
+        regions = RegionSet.of(window)
+        if regions.is_empty:
             raise ValueError("window must be non-empty")
         self.plan = plan
-        self.window = window
+        self.regions = regions
+        #: MBR of the whole set — the anchor for checks that need a single
+        #: reach rect (coloring closure, min-overlap base gathering).
+        self.window = regions.bounds
         self.layout = plan.layout
         subtree = plan.caches.subtree
         top = plan.tree.top.name
 
         def gather(layer: int, margin: int):
-            return subtree.polygons_in_window(
-                top, IDENTITY, layer, window.inflated(margin)
-            )
+            windows = [r.inflated(margin) for r in regions.rects]
+            return subtree.polygons_in_regions(top, IDENTITY, layer, windows)
 
         def gather_rect(layer: int, rect: Rect):
             return subtree.polygons_in_window(top, IDENTITY, layer, rect)
 
         gather.rect = gather_rect
-        gather.window = window
+        gather.window = regions.bounds
         self._gather = gather
 
     def run(self, rule: Rule, profile: Optional[PhaseProfile] = None) -> List[Violation]:
-        """One rule on the window; violations clip to the window."""
+        """One rule on the region set; violations clip to the set."""
         spec = kind_spec(rule.kind)
         violations = spec.flat(rule, self.layout, self._gather)
-        return [v for v in violations if v.region.overlaps(self.window)]
+        return [v for v in violations if self.regions.overlaps(v.region)]
 
     def stats(self) -> Dict[str, float]:
         store = self.plan.caches.store
@@ -89,42 +130,230 @@ class WindowedBackend:
 
 def check_window(
     layout: Layout,
-    window: Rect,
+    window: WindowsLike,
     *,
     rules: Sequence[Rule],
     options: Optional[EngineOptions] = None,
 ) -> CheckReport:
-    """Check only the given window of ``layout``; violations clip to it.
+    """Check only the given window(s) of ``layout``; violations clip to them.
+
+    ``window`` is one rect, a sequence of rects (overlapping windows are
+    coalesced; each violation reports once however many windows it
+    straddles), or a prebuilt :class:`~repro.spatial.regions.RegionSet`.
 
     With ``options.jobs > 1`` the rules fan out across a worker-process
     pool (rule-level tasks; windowed gathering has no row partition), each
     worker running the same windowed procedure — the report is identical.
     """
-    if window.is_empty:
+    regions = RegionSet.of(window)
+    if regions.is_empty:
         raise ValueError("window must be non-empty")
     jobs = options.jobs if options is not None else 1
     mode = MODE_MULTIPROC if jobs > 1 else MODE_WINDOWED
     plan = compile_plan(layout, rules, options, mode=mode)
-    backend = make_backend(plan, window=window)
+    backend = make_backend(plan, window=regions)
 
     results: List[CheckResult] = []
     try:
         prefetch = getattr(backend, "prefetch", None)
         if prefetch is not None:
             prefetch()
+        before = backend.stats()
         for rule in plan.rules:
             start = time.perf_counter()
             violations = backend.run(rule)
+            after = backend.stats()
             results.append(
                 CheckResult(
                     rule=rule,
                     violations=violations,
                     seconds=time.perf_counter() - start,
-                    stats=backend.stats(),
+                    stats=stats_delta(before, after),
                 )
             )
+            before = after
     finally:
         close = getattr(backend, "close", None)
         if close is not None:
             close()
     return CheckReport(layout.name, MODE_WINDOWED, results)
+
+
+# ---------------------------------------------------------------------------
+# True incremental re-check
+
+
+#: Mode label of spliced reports.
+MODE_RECHECK = "recheck"
+
+
+@dataclasses.dataclass
+class RecheckOutcome:
+    """A spliced report plus how it was produced (per-rule disposition)."""
+
+    report: CheckReport
+    diff: LayoutDiff
+    #: rule name -> "cached" | "windowed" | "full" | "cold"
+    disposition: Dict[str, str]
+    #: True when the baseline came from the persistent report cache.
+    cache_hit: bool
+    #: Set when ``verify=True``: the cold reference report.
+    reference: Optional[CheckReport] = None
+
+    @property
+    def rules_recheck(self) -> List[str]:
+        return [n for n, d in self.disposition.items() if d != "cached"]
+
+
+def recheck(
+    old: Layout,
+    new: Layout,
+    *,
+    rules: Sequence[Rule],
+    options: Optional[EngineOptions] = None,
+    cached: Optional[CheckReport] = None,
+    verify: bool = False,
+) -> RecheckOutcome:
+    """Re-check ``new`` given a previous report of ``old``, splicing results.
+
+    The baseline report comes from ``cached`` (an in-memory report of the
+    *old* version) or from the persistent report cache beside the pack
+    store (``options.cache_dir`` / ``REPRO_CACHE_DIR``), keyed by the rule
+    deck digest and the old version's per-layer geometry digests. Without a
+    baseline the new version is checked cold — and the result stored, so
+    the *next* edit rechecks incrementally.
+
+    Each rule is dispatched on its diff: untouched layers reuse the cached
+    result verbatim; localisable edits re-check only the dirty rects
+    inflated by the rule's interaction distance and splice; globally
+    coupled rules re-run fully. ``verify=True`` additionally runs the cold
+    full check and asserts the spliced violations match it byte-for-byte.
+    """
+    deck = list(rules)
+    if not deck:
+        raise ValueError("no rules to recheck")
+    opts = options if options is not None else EngineOptions()
+
+    diff = diff_layouts(old, new)
+    store = resolve_store(opts)
+    cache = ReportCache(store) if store is not None else None
+    deck_dig = deck_digest(deck)
+
+    # Cache keys use each version's own layer list, matching what a plain
+    # Engine.check of that version stores (diff digests span the union).
+    old_key_digests = {L: diff.old_digests[L] for L in old.layers()}
+    new_key_digests = {L: diff.new_digests[L] for L in new.layers()}
+
+    baseline = cached
+    cache_hit = False
+    if baseline is None and cache is not None and deck_dig is not None:
+        baseline = cache.load(report_key(deck_dig, old_key_digests), deck)
+        cache_hit = baseline is not None
+    if baseline is not None:
+        try:
+            baseline_results = {r.rule.name: r for r in baseline.results}
+            if set(baseline_results) != {rule.name for rule in deck}:
+                baseline = None
+        except AttributeError:
+            baseline = None
+
+    if baseline is None:
+        # Cold start: full check of the new version, stored for next time.
+        report = _full_check(new, deck, opts, cache, deck_dig, new_key_digests)
+        disposition = {rule.name: "cold" for rule in deck}
+        outcome = RecheckOutcome(report, diff, disposition, cache_hit=False)
+        if verify:
+            outcome.reference = report
+        return outcome
+
+    plan = compile_plan(new, deck, opts, mode=MODE_WINDOWED)
+    results: List[CheckResult] = []
+    disposition: Dict[str, str] = {}
+    full_backend = None
+    try:
+        for rule in deck:
+            regions = diff.regions_for(rule)
+            old_result = baseline_results[rule.name]
+            if regions is None:
+                # No involved layer changed: the cached result is exact.
+                disposition[rule.name] = "cached"
+                results.append(
+                    CheckResult(
+                        rule=rule,
+                        violations=list(old_result.violations),
+                        seconds=0.0,
+                        stats={"recheck_cached": 1},
+                    )
+                )
+            elif regions is FULL_RECHECK:
+                if full_backend is None:
+                    from .sequential import SequentialBackend
+
+                    full_backend = SequentialBackend(plan)
+                disposition[rule.name] = "full"
+                start = time.perf_counter()
+                violations = full_backend.run(rule)
+                results.append(
+                    CheckResult(
+                        rule=rule,
+                        violations=violations,
+                        seconds=time.perf_counter() - start,
+                        stats={"recheck_full": 1},
+                    )
+                )
+            else:
+                disposition[rule.name] = "windowed"
+                start = time.perf_counter()
+                backend = WindowedBackend(plan, regions)
+                fresh = backend.run(rule)
+                violations = splice_violations(
+                    old_result.violations, fresh, regions
+                )
+                results.append(
+                    CheckResult(
+                        rule=rule,
+                        violations=violations,
+                        seconds=time.perf_counter() - start,
+                        stats={
+                            "recheck_windowed": 1,
+                            "recheck_window_rects": len(regions),
+                            "recheck_fresh_violations": len(fresh),
+                        },
+                    )
+                )
+    finally:
+        store2 = plan.caches.store
+        if store2 is not None:
+            store2.persist_counters()
+
+    report = CheckReport(new.name, MODE_RECHECK, results)
+    if cache is not None and deck_dig is not None:
+        cache.save(report_key(deck_dig, new_key_digests), report)
+
+    outcome = RecheckOutcome(report, diff, disposition, cache_hit=cache_hit)
+    if verify:
+        reference = _full_check(new, deck, opts, None, None, None)
+        outcome.reference = reference
+        if report.to_csv() != reference.to_csv():
+            raise AssertionError(
+                "spliced recheck report diverges from the cold full check"
+            )
+    return outcome
+
+
+def _full_check(
+    layout: Layout,
+    deck: List[Rule],
+    opts: EngineOptions,
+    cache: Optional[ReportCache],
+    deck_dig: Optional[str],
+    digests: Optional[Dict[int, str]],
+) -> CheckReport:
+    """Cold full check through the regular engine path (mode respected)."""
+    from .engine import Engine
+
+    with Engine(options=opts) as engine:
+        report = engine.check(layout, rules=deck)
+    if cache is not None and deck_dig is not None and digests is not None:
+        cache.save(report_key(deck_dig, digests), report)
+    return report

@@ -179,6 +179,12 @@ class KindSpec:
     * ``sequential`` — the hierarchical CPU strategy name the sequential
       backend binds (``intra`` / ``pairwise`` / ``cross_layer`` /
       ``coloring``);
+    * ``interaction`` — ``rule -> halo`` in dbu: geometry changes farther
+      than the halo from a rect cannot create, destroy, or alter any
+      violation whose marker overlaps that rect. The incremental engine
+      inflates dirty rects by it to build each rule's re-check region.
+      ``None`` means the kind is global (e.g. coloring's odd cycles span
+      whole conflict components) and a dirty layer forces a full re-run;
     * ``parallel`` — the data-parallel strategy name the GPU backend binds
       (``None`` means the kind has no arithmetic worth vectorising and the
       parallel backend delegates to the sequential strategy);
@@ -192,6 +198,7 @@ class KindSpec:
     kind: RuleKind
     flat: Callable
     sequential: str
+    interaction: Callable[[Rule], Optional[int]]
     parallel: Optional[str] = None
     intra: Optional[Callable] = None
     procedures: Optional[Callable] = None
@@ -242,46 +249,73 @@ def _ensures_intra(rule: Rule):
     return check, always_invariant
 
 
-def _spec(kind: RuleKind, sequential: str, **kwargs: Any) -> KindSpec:
+def _spec(kind: RuleKind, sequential: str, *, interaction, **kwargs: Any) -> KindSpec:
     return KindSpec(
         kind=kind,
         flat=FLAT_CHECKS.get(kind).run,
         sequential=sequential,
+        interaction=interaction,
         **kwargs,
     )
+
+
+def _halo_rule_value(rule: Rule) -> Optional[int]:
+    """Distance rules interact out to their threshold: a violation strip
+    reaches at most ``rule.value`` away from either participating shape."""
+    return rule.value
+
+
+def _halo_zero(rule: Rule) -> Optional[int]:
+    """Kinds whose markers touch the participating geometry itself: width,
+    area, shape, and predicate markers lie inside the polygon's MBR, and a
+    min-overlap marker is the top polygon's MBR, which overlaps any base
+    polygon that can affect its measured area."""
+    return 0
+
+
+def _halo_global(rule: Rule) -> Optional[int]:
+    """No finite halo: the verdict can flip arbitrarily far from an edit."""
+    return None
 
 
 #: The single registry of rule-kind execution strategies. Every backend —
 #: sequential, parallel, windowed — resolves its per-rule behaviour here.
 KIND_SPECS: Dict[RuleKind, KindSpec] = {
     RuleKind.WIDTH: _spec(
-        RuleKind.WIDTH, "intra", parallel="width", intra=_width_intra
+        RuleKind.WIDTH, "intra", interaction=_halo_zero,
+        parallel="width", intra=_width_intra,
     ),
     RuleKind.AREA: _spec(
-        RuleKind.AREA, "intra", parallel="area", intra=_area_intra
+        RuleKind.AREA, "intra", interaction=_halo_zero,
+        parallel="area", intra=_area_intra,
     ),
     RuleKind.RECTILINEAR: _spec(
-        RuleKind.RECTILINEAR, "intra", intra=_rectilinear_intra
+        RuleKind.RECTILINEAR, "intra", interaction=_halo_zero,
+        intra=_rectilinear_intra,
     ),
     RuleKind.ENSURES: _spec(
-        RuleKind.ENSURES, "intra", intra=_ensures_intra
+        RuleKind.ENSURES, "intra", interaction=_halo_zero,
+        intra=_ensures_intra,
     ),
     RuleKind.SPACING: _spec(
-        RuleKind.SPACING, "pairwise", parallel="spacing",
-        procedures=SpacingProcedures,
+        RuleKind.SPACING, "pairwise", interaction=_halo_rule_value,
+        parallel="spacing", procedures=SpacingProcedures,
     ),
     RuleKind.CORNER_SPACING: _spec(
-        RuleKind.CORNER_SPACING, "pairwise", parallel="corner",
-        procedures=CornerProcedures,
+        RuleKind.CORNER_SPACING, "pairwise", interaction=_halo_rule_value,
+        parallel="corner", procedures=CornerProcedures,
     ),
     RuleKind.ENCLOSURE: _spec(
-        RuleKind.ENCLOSURE, "cross_layer", parallel="enclosure",
-        procedures=EnclosureProcedures,
+        RuleKind.ENCLOSURE, "cross_layer", interaction=_halo_rule_value,
+        parallel="enclosure", procedures=EnclosureProcedures,
     ),
     RuleKind.MIN_OVERLAP: _spec(
-        RuleKind.MIN_OVERLAP, "cross_layer", procedures=OverlapProcedures
+        RuleKind.MIN_OVERLAP, "cross_layer", interaction=_halo_zero,
+        procedures=OverlapProcedures,
     ),
-    RuleKind.COLORING: _spec(RuleKind.COLORING, "coloring"),
+    RuleKind.COLORING: _spec(
+        RuleKind.COLORING, "coloring", interaction=_halo_global
+    ),
 }
 
 
@@ -291,6 +325,11 @@ def kind_spec(kind: RuleKind) -> KindSpec:
         return KIND_SPECS[kind]
     except KeyError:
         raise NotImplementedError(f"rule kind {kind!r}") from None
+
+
+def interaction_distance(rule: Rule) -> Optional[int]:
+    """The rule's dirty-region halo in dbu (None = globally coupled)."""
+    return kind_spec(rule.kind).interaction(rule)
 
 
 # ---------------------------------------------------------------------------

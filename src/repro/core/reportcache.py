@@ -1,0 +1,127 @@
+"""Persistent DRC report cache beside the pack store.
+
+A finished :class:`~repro.core.results.CheckReport` is a pure function of
+(rule deck, layout geometry), so the same content-addressing that backs the
+pack store can cache whole reports: the key combines a digest of the rule
+deck with the per-layer geometry digests of the layout. The incremental
+engine (:meth:`Engine.recheck`) uses the cached report of the *old* version
+as the splice baseline and stores the spliced report under the *new*
+digests, so chained edits keep hitting.
+
+Reports are JSON files under ``<store-root>/reports/`` — the same schema
+:meth:`CheckReport.to_json` emits, written atomically. A report only
+deserialises against the live deck (violations carry no predicates; the
+rule objects come from the caller and are matched by name), so a cache hit
+requires the deck digest to match, which guarantees the names align.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from .packstore import PackStore, store_key
+from .results import CheckReport, CheckResult, violation_from_json
+from .rules import Rule
+
+__all__ = ["ReportCache", "deck_digest", "report_key"]
+
+
+def deck_digest(rules: Sequence[Rule]) -> Optional[str]:
+    """Content digest of a rule deck, or None if it cannot be fingerprinted.
+
+    Structural fields hash by value; ``ensures`` predicates hash by their
+    pickled bytes. A predicate that cannot be pickled (a lambda, a closure)
+    has no stable identity, so the whole deck becomes uncacheable — honest
+    misses instead of stale hits.
+    """
+    hasher = hashlib.sha256()
+    for rule in rules:
+        hasher.update(
+            repr(
+                (rule.name, rule.kind.value, rule.layer, rule.other_layer, rule.value)
+            ).encode("utf-8")
+        )
+        if rule.predicate is not None:
+            try:
+                blob = pickle.dumps(rule.predicate)
+            except Exception:
+                return None
+            hasher.update(hashlib.sha256(blob).digest())
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+def report_key(deck: str, layer_digests: Dict[int, str]) -> str:
+    """Cache key of one (deck, layout-version) pair."""
+    return store_key("report", deck, tuple(sorted(layer_digests.items())))
+
+
+class ReportCache:
+    """JSON report files in a ``reports/`` directory beside the pack store."""
+
+    def __init__(self, store: PackStore) -> None:
+        self.root = os.path.join(store.root, "reports")
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str, rules: Sequence[Rule]) -> Optional[CheckReport]:
+        """The cached report rebuilt against the live deck, or None.
+
+        ``rules`` must be the deck the key was computed from (the deck
+        digest inside the key enforces it); results come back in deck
+        order with the caller's Rule objects attached.
+        """
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        by_name = {rule.name: rule for rule in rules}
+        results: List[CheckResult] = []
+        try:
+            entries = {entry["rule"]: entry for entry in payload["results"]}
+            if set(entries) != set(by_name):
+                self.misses += 1
+                return None
+            for rule in rules:
+                entry = entries[rule.name]
+                results.append(
+                    CheckResult(
+                        rule=rule,
+                        violations=[
+                            violation_from_json(v) for v in entry["violations"]
+                        ],
+                        seconds=entry["seconds"],
+                        stats=dict(entry["stats"]),
+                    )
+                )
+            report = CheckReport(payload["layout"], payload["mode"], results)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def save(self, key: str, report: CheckReport) -> None:
+        """Atomically persist one report (concurrent writers race benignly)."""
+        os.makedirs(self.root, exist_ok=True)
+        data = report.to_json(indent=None)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(data)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

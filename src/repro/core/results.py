@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+import json
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..checks.base import Violation, sort_violations
+from ..checks.base import Violation, ViolationKind, sort_violations
+from ..geometry import Rect
 from ..util.profile import PhaseProfile
 from .rules import Rule
 
@@ -87,6 +89,80 @@ class CheckReport:
                     f"{v.measured},{v.required}"
                 )
         return "\n".join(lines)
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """Machine-readable report with a stable schema and key order.
+
+        Byte-identical across execution backends and job counts for equal
+        reports (violations are already canonically ordered; keys sort).
+        """
+        payload = {
+            "layout": self.layout_name,
+            "mode": self.mode,
+            "total_violations": self.total_violations,
+            "passed": self.passed,
+            "results": [
+                {
+                    "rule": result.rule.name,
+                    "kind": result.rule.kind.value,
+                    "layer": result.rule.layer,
+                    "other_layer": result.rule.other_layer,
+                    "value": result.rule.value,
+                    "seconds": result.seconds,
+                    "stats": {k: result.stats[k] for k in sorted(result.stats)},
+                    "violations": [violation_to_json(v) for v in result.violations],
+                }
+                for result in self.results
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def violation_to_json(violation: Violation) -> Dict[str, Any]:
+    """One violation as a plain-JSON dict (see :func:`violation_from_json`)."""
+    r = violation.region
+    return {
+        "kind": violation.kind.value,
+        "layer": violation.layer,
+        "other_layer": violation.other_layer,
+        "region": [r.xlo, r.ylo, r.xhi, r.yhi],
+        "measured": violation.measured,
+        "required": violation.required,
+    }
+
+
+def violation_from_json(data: Dict[str, Any]) -> Violation:
+    """Inverse of :func:`violation_to_json` (report cache deserialisation)."""
+    return Violation(
+        kind=ViolationKind(data["kind"]),
+        layer=data["layer"],
+        region=Rect(*data["region"]),
+        measured=data["measured"],
+        required=data["required"],
+        other_layer=data.get("other_layer"),
+    )
+
+
+def splice_violations(
+    cached: Sequence[Violation], fresh: Sequence[Violation], regions
+) -> List[Violation]:
+    """Splice a windowed re-check into a cached violation list.
+
+    Keeps every cached violation whose marker does *not* overlap the dirty
+    region set, adds every fresh (windowed) violation, and re-canonicalises.
+    Exactness depends on two invariants the engine maintains:
+
+    - the windowed check equals the full check filtered to "marker overlaps
+      the region set" (tested across backends), and
+    - the region set covers each involved layer's dirty rects inflated by
+      the rule's interaction distance, so any violation whose marker misses
+      it is byte-identical between the two layout versions.
+
+    The drop filter and the windowed keep filter use the *same* region set,
+    so the two slices partition the new layout's violations exactly.
+    """
+    kept = [v for v in cached if not regions.overlaps(v.region)]
+    return sort_violations(set(kept) | set(fresh))
 
 
 def merge_stats(parts: Sequence[Dict[str, float]]) -> Dict[str, float]:

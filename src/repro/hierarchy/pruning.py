@@ -140,8 +140,26 @@ class SubtreeWindow:
         ``window`` and the results are in the coordinates ``placement`` maps
         into (the parent cell frame).
         """
+        return self.polygons_in_regions(cell_name, placement, layer, [window])
+
+    def polygons_in_regions(
+        self,
+        cell_name: str,
+        placement: Transform,
+        layer: int,
+        windows: List[Rect],
+    ) -> List[Polygon]:
+        """Subtree polygons whose placed MBR overlaps *any* of ``windows``.
+
+        One traversal serves the whole window set, so each placed polygon
+        appears at most once however many windows it straddles — the
+        multi-window incremental backend depends on that (a duplicated
+        polygon would spuriously violate spacing against itself).
+        """
         out: List[Polygon] = []
-        self._visit(cell_name, placement, layer, window, out)
+        live = [w for w in windows if not w.is_empty]
+        if live:
+            self._visit(cell_name, placement, layer, live, out)
         return out
 
     def _visit(
@@ -149,16 +167,18 @@ class SubtreeWindow:
         cell_name: str,
         placement: Transform,
         layer: int,
-        window: Rect,
+        windows: List[Rect],
         out: List[Polygon],
     ) -> None:
         subtree_mbr = placement.apply_rect(self.tree.layer_mbr(cell_name, layer))
-        if subtree_mbr.is_empty or not subtree_mbr.overlaps(window):
+        if subtree_mbr.is_empty or not any(
+            subtree_mbr.overlaps(w) for w in windows
+        ):
             return
         cell = self.tree.layout.cell(cell_name)
-        local_window = pull_back_window(placement, window)
+        local_windows = [pull_back_window(placement, w) for w in windows]
         for polygon in cell.polygons(layer):
-            if polygon.mbr.overlaps(local_window):
+            if any(polygon.mbr.overlaps(w) for w in local_windows):
                 out.append(polygon.transformed(placement))
         for ref in cell.references:
             child_mbr = self.tree.layer_mbr(ref.cell_name, layer)
@@ -166,7 +186,7 @@ class SubtreeWindow:
                 continue
             for child_placement in ref.placements():
                 composed = placement.compose(child_placement)
-                self._visit(ref.cell_name, composed, layer, window, out)
+                self._visit(ref.cell_name, composed, layer, windows, out)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -5,8 +5,13 @@ search (§IV-D, Fig. 3); interval merging implements Algorithm 1 behind the
 adaptive row partition (§IV-B).
 """
 
-from .interval_merge import merge_intervals_pigeonhole, merge_intervals_sorted
+from .interval_merge import (
+    coalesce_rects,
+    merge_intervals_pigeonhole,
+    merge_intervals_sorted,
+)
 from .interval_tree import IntervalTree
+from .regions import RegionSet
 from .rtree import RTree
 from .sweepline import (
     brute_force_pairs,
@@ -19,7 +24,9 @@ from .sweepline import (
 __all__ = [
     "IntervalTree",
     "RTree",
+    "RegionSet",
     "brute_force_pairs",
+    "coalesce_rects",
     "iter_bipartite_overlaps",
     "iter_overlapping_pairs",
     "merge_intervals_pigeonhole",

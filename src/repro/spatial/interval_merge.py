@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..geometry import Interval, coalesce
+from ..geometry import Interval, Rect, coalesce
 
 
 def merge_intervals_pigeonhole(intervals: Sequence[Interval]) -> List[Interval]:
@@ -72,3 +72,50 @@ def _compress_endpoints(
 ) -> Tuple[List[int], Dict[int, int]]:
     values = sorted({v for iv in intervals for v in (iv.lo, iv.hi)})
     return values, {v: i for i, v in enumerate(values)}
+
+
+def coalesce_rects(rects: Sequence[Rect]) -> List[Rect]:
+    """Exact disjoint-cover of a union of closed rects (multi-window plans).
+
+    The incremental engine merges overlapping/touching dirty windows into a
+    canonical region set before gathering. The cover is *exact*: a point
+    lies in some output rect iff it lies in some input rect, so overlap
+    tests against the cover equal overlap tests against the input union.
+
+    Built on the same interval merging as the row partition: the y-extents
+    slice the plane into slabs, the x-intervals of the rects spanning each
+    slab merge via :func:`merge_intervals_pigeonhole`, and columns with one
+    x-span coalesce vertically the same way.
+    """
+    live = [r for r in rects if not r.is_empty]
+    if not live:
+        return []
+    flat = [r for r in live if r.ylo < r.yhi]
+    # Degenerate (zero-height) rects span no slab; merge them per scanline.
+    lines: Dict[int, List[Interval]] = {}
+    for r in live:
+        if r.ylo == r.yhi:
+            lines.setdefault(r.ylo, []).append(Interval(r.xlo, r.xhi))
+
+    cover: List[Rect] = []
+    ys = sorted({y for r in flat for y in (r.ylo, r.yhi)})
+    for ylo, yhi in zip(ys, ys[1:]):
+        spans = [
+            Interval(r.xlo, r.xhi) for r in flat if r.ylo <= ylo and r.yhi >= yhi
+        ]
+        for iv in merge_intervals_pigeonhole(spans):
+            cover.append(Rect(iv.lo, ylo, iv.hi, yhi))
+    for y, spans in lines.items():
+        for iv in merge_intervals_pigeonhole(spans):
+            cover.append(Rect(iv.lo, y, iv.hi, y))
+
+    # Vertically coalesce stacked slab rects sharing one x-span (adjacent
+    # slabs touch at their shared y, so the closed-interval merge glues them).
+    columns: Dict[Tuple[int, int], List[Interval]] = {}
+    for r in cover:
+        columns.setdefault((r.xlo, r.xhi), []).append(Interval(r.ylo, r.yhi))
+    merged: List[Rect] = []
+    for (xlo, xhi), spans in columns.items():
+        for iv in merge_intervals_pigeonhole(spans):
+            merged.append(Rect(xlo, iv.lo, xhi, iv.hi))
+    return sorted(merged)

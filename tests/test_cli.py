@@ -271,3 +271,111 @@ class TestFaultToleranceFlags:
             faults.clear()
         assert faulted_code == code
         assert capsys.readouterr().out == clean
+
+
+@pytest.fixture()
+def edited_gds_pair(tmp_path):
+    """(old, new) GDS paths: new has one extra skinny M1 wire in the top."""
+    from repro.geometry import Polygon, Rect
+
+    old = build_design("uart")
+    old_path = tmp_path / "old.gds"
+    write(gdsii_from_layout(old), old_path)
+    new = build_design("uart")
+    new.top_cell().add_polygon(19, Polygon.from_rect(Rect(40, 40, 52, 90)))
+    new_path = tmp_path / "new.gds"
+    write(gdsii_from_layout(new), new_path)
+    return str(old_path), str(new_path)
+
+
+class TestJsonFormat:
+    def test_check_format_json(self, dirty_gds, capsys):
+        import json
+
+        main(["check", dirty_gds, "--top", "top", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_violations"] > 0
+        assert {"rule", "kind", "layer", "violations"} <= set(
+            payload["results"][0]
+        )
+
+    def test_check_window_format_json(self, dirty_gds, capsys):
+        import json
+
+        main([
+            "check-window", dirty_gds,
+            "-100000", "-100000", "100000", "100000",
+            "--top", "top", "--format", "json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "windowed"
+
+
+class TestMultiWindowCli:
+    def test_extra_windows_coalesce(self, dirty_gds, capsys):
+        code = main([
+            "check-window", dirty_gds, "0", "0", "400", "400",
+            "--window", "0", "300", "400", "700",
+            "--top", "top",
+        ])
+        assert code == 0  # both windows inside the clean core
+        assert "windowed" in capsys.readouterr().out
+
+    def test_extra_window_reaches_violations(self, dirty_gds):
+        code = main([
+            "check-window", dirty_gds, "0", "0", "400", "400",
+            "--window", "-100000", "-100000", "100000", "100000",
+            "--top", "top",
+        ])
+        assert code == 1
+
+    def test_empty_extra_window_rejected(self, uart_gds):
+        with pytest.raises(SystemExit, match="non-empty"):
+            main([
+                "check-window", uart_gds, "0", "0", "400", "400",
+                "--window", "100", "100", "50", "900",
+                "--top", "top",
+            ])
+
+
+class TestRecheckCommand:
+    def test_recheck_with_cache(self, edited_gds_pair, tmp_path, capsys):
+        old, new = edited_gds_pair
+        cache = str(tmp_path / "cache")
+        assert main(["check", old, "--top", "top", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        code = main([
+            "recheck", old, new, "--top", "top", "--cache-dir", cache,
+            "--verify",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # the skinny wire violates width/area
+        assert "baseline: report cache" in out
+        assert "windowed" in out
+        assert "verify: spliced report matches the cold full check" in out
+
+    def test_recheck_cold_without_cache(self, edited_gds_pair, capsys):
+        old, new = edited_gds_pair
+        code = main(["recheck", old, new, "--top", "top"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "cold" in out
+
+    def test_recheck_clean_pair(self, uart_gds, capsys):
+        code = main(["recheck", uart_gds, uart_gds, "--top", "top"])
+        out = capsys.readouterr().out
+        # identical files: with no cache the baseline is computed cold
+        assert "diff: clean" in out
+        assert code == 0
+
+    def test_recheck_csv_format(self, edited_gds_pair, tmp_path, capsys):
+        old, new = edited_gds_pair
+        cache = str(tmp_path / "cache")
+        main(["check", old, "--top", "top", "--cache-dir", cache])
+        capsys.readouterr()
+        main([
+            "recheck", old, new, "--top", "top", "--cache-dir", cache,
+            "--format", "csv",
+        ])
+        out = capsys.readouterr().out
+        assert out.startswith("rule,kind")

@@ -79,3 +79,110 @@ class TestWindowedChecking:
         layout, _ = dirty_design
         report = check_window(layout, Rect(0, 0, 10, 10), rules=RULES)
         assert report.mode == "windowed"
+
+
+WINDOW_SETS = {
+    "disjoint": [Rect(0, 1500, 2000, 2200), Rect(0, 2800, 2000, 3500)],
+    "overlapping": [Rect(0, 1500, 2000, 2600), Rect(0, 2400, 2000, 3500)],
+    "nested": [Rect(0, 1500, 2000, 3500), Rect(500, 2000, 1500, 2500)],
+    "abutting": [Rect(0, 1500, 2000, 2500), Rect(0, 2500, 2000, 3500)],
+}
+
+
+class TestMultiWindowChecking:
+    @pytest.mark.parametrize("name", sorted(WINDOW_SETS), ids=sorted(WINDOW_SETS))
+    def test_matches_full_check_filtered_to_region_set(self, dirty_design, name):
+        from repro.spatial.regions import RegionSet
+
+        layout, _ = dirty_design
+        windows = WINDOW_SETS[name]
+        regions = RegionSet.of(windows)
+        full = Engine(mode="sequential").check(layout, rules=RULES)
+        windowed = check_window(layout, windows, rules=RULES)
+        for full_result, win_result in zip(full.results, windowed.results):
+            expected = frozenset(
+                v for v in full_result.violations if regions.overlaps(v.region)
+            )
+            assert win_result.violation_set() == expected, full_result.rule.name
+
+    def test_multi_window_equals_union_of_windows(self, dirty_design):
+        """Coalescing is exact: the set behaves as the union of its inputs."""
+        layout, _ = dirty_design
+        windows = WINDOW_SETS["overlapping"]
+        merged = check_window(layout, windows, rules=RULES)
+        singles = [check_window(layout, [w], rules=RULES) for w in windows]
+        for index, result in enumerate(merged.results):
+            union = frozenset().union(
+                *(report.results[index].violation_set() for report in singles)
+            )
+            assert result.violation_set() == union, result.rule.name
+
+    def test_no_duplicates_across_straddled_windows(self):
+        """A polygon under several windows gathers once (no self-spacing)."""
+        from repro.layout import Layout
+        from repro.geometry import Polygon
+        from repro.core.rules import layer as L
+
+        layout = Layout("straddle2")
+        top = layout.new_cell("top")
+        top.add_polygon(1, Polygon.from_rect_coords(0, 0, 300, 10))
+        layout.set_top("top")
+        windows = [Rect(0, 0, 100, 10), Rect(200, 0, 300, 10)]
+        report = check_window(
+            layout, windows, rules=[L(1).spacing().greater_than(8)]
+        )
+        assert report.passed
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_byte_identical_across_backends_and_jobs(self, dirty_design, jobs):
+        from repro.core import EngineOptions
+
+        layout, _ = dirty_design
+        windows = WINDOW_SETS["overlapping"]
+        baseline = check_window(layout, windows, rules=RULES)
+        options = EngineOptions(
+            mode="multiproc" if jobs > 1 else "sequential", jobs=jobs
+        )
+        report = check_window(layout, windows, rules=RULES, options=options)
+        assert report.to_csv() == baseline.to_csv()
+        assert report.to_json() != ""  # schema renders for windowed runs too
+
+    def test_all_empty_windows_rejected(self, dirty_design):
+        layout, _ = dirty_design
+        with pytest.raises(ValueError):
+            check_window(layout, [EMPTY_RECT, EMPTY_RECT], rules=RULES)
+
+
+class TestPerRuleStatsDeltas:
+    def test_multiproc_stats_are_deltas_not_snapshots(self, dirty_design):
+        """Regression: every per-rule result used to carry the cumulative
+        backend counters (so rule N's stats included rules 1..N-1's work and
+        the shared prefetch/compile counters). Deltas attribute work to the
+        rule that did it; gauges (mp_jobs) keep their absolute value."""
+        from repro.core import EngineOptions
+
+        layout, _ = dirty_design
+        report = check_window(
+            layout,
+            Rect(0, 1500, 2000, 3500),
+            rules=RULES,
+            options=EngineOptions(mode="multiproc", jobs=2),
+        )
+        for result in report.results:
+            assert result.stats.get("mp_jobs") == 2
+            # Plan compilation and eager rule submission happen once, before
+            # any rule is timed — a cumulative snapshot would repeat them in
+            # every rule's stats.
+            assert result.stats.get("mp_plan_compiles", 0) == 0
+            assert result.stats.get("mp_rule_tasks", 0) == 0
+
+    def test_stats_delta_helper(self):
+        from repro.core.incremental import stats_delta
+
+        before = {"counter": 5, "mp_jobs": 4}
+        after = {"counter": 9, "mp_jobs": 4, "fresh": 2}
+        assert stats_delta(before, after) == {
+            "counter": 4,
+            "mp_jobs": 4,
+            "fresh": 2,
+        }

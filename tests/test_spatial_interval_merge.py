@@ -75,3 +75,85 @@ class TestMergeProperties:
         points = {v for iv in ivs for v in iv}
         for m in merged:
             assert m.lo in points and m.hi in points
+
+
+class TestCoalesceRects:
+    def _points(self, rects, span=80):
+        from repro.geometry import Rect
+
+        covered = set()
+        for r in rects:
+            if isinstance(r, Rect) and r.is_empty:
+                continue
+            for x in range(r.xlo, r.xhi + 1):
+                for y in range(r.ylo, r.yhi + 1):
+                    covered.add((x, y))
+        return covered
+
+    def test_empty_and_single(self):
+        from repro.geometry import EMPTY_RECT, Rect
+        from repro.spatial import coalesce_rects
+
+        assert coalesce_rects([]) == []
+        assert coalesce_rects([EMPTY_RECT]) == []
+        assert coalesce_rects([Rect(0, 0, 5, 5)]) == [Rect(0, 0, 5, 5)]
+
+    def test_disjoint_rects_survive(self):
+        from repro.geometry import Rect
+        from repro.spatial import coalesce_rects
+
+        rects = [Rect(0, 0, 5, 5), Rect(10, 10, 15, 15)]
+        assert sorted(coalesce_rects(rects)) == sorted(rects)
+
+    def test_identical_rects_dedupe(self):
+        from repro.geometry import Rect
+        from repro.spatial import coalesce_rects
+
+        assert coalesce_rects([Rect(0, 0, 5, 5)] * 7) == [Rect(0, 0, 5, 5)]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cover_is_exact_union(self, seed):
+        """The disjoint cover contains exactly the input union's points."""
+        from repro.geometry import Rect
+        from repro.spatial import coalesce_rects
+
+        rng = random.Random(seed)
+        rects = []
+        for _ in range(rng.randint(1, 12)):
+            xlo, ylo = rng.randint(0, 30), rng.randint(0, 30)
+            rects.append(
+                Rect(xlo, ylo, xlo + rng.randint(0, 12), ylo + rng.randint(0, 12))
+            )
+        cover = coalesce_rects(rects)
+        assert self._points(cover) == self._points(rects)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cover_rects_are_disjoint_in_overlap_queries(self, seed):
+        """Overlap against the cover equals overlap against the input union.
+
+        (Cover members may touch at shared boundaries — closed rects — but
+        every query rect answers identically against cover and union.)"""
+        from repro.geometry import Rect
+        from repro.spatial import coalesce_rects
+
+        rng = random.Random(100 + seed)
+        rects = []
+        for _ in range(8):
+            xlo, ylo = rng.randint(0, 25), rng.randint(0, 25)
+            rects.append(
+                Rect(xlo, ylo, xlo + rng.randint(0, 10), ylo + rng.randint(0, 10))
+            )
+        cover = coalesce_rects(rects)
+        for _ in range(300):
+            qx, qy = rng.randint(-2, 38), rng.randint(-2, 38)
+            query = Rect(qx, qy, qx + rng.randint(0, 6), qy + rng.randint(0, 6))
+            against_inputs = any(r.overlaps(query) for r in rects)
+            against_cover = any(r.overlaps(query) for r in cover)
+            assert against_cover == against_inputs
+
+    def test_degenerate_zero_height_rects(self):
+        from repro.geometry import Rect
+        from repro.spatial import coalesce_rects
+
+        rects = [Rect(0, 5, 10, 5), Rect(8, 5, 20, 5)]
+        assert coalesce_rects(rects) == [Rect(0, 5, 20, 5)]
