@@ -25,18 +25,28 @@ Commands
 ``synth <design> <out.gds>``
     Synthesize one of the six benchmark designs to a GDSII file.
 ``cache stats|clear``
-    Inspect or empty the persistent pack store (``--cache-dir`` or
-    ``$REPRO_CACHE_DIR``). ``check``/``check-window`` warm-start from the
+    Inspect or empty the persistent caches (``--cache-dir`` or
+    ``$REPRO_CACHE_DIR``): the pack store plus the report cache under its
+    ``reports/`` directory. ``check``/``check-window`` warm-start from the
     same store via ``--cache-dir`` / ``REPRO_CACHE_DIR``; ``--no-cache``
     disables it.
+``serve``
+    Run the resident DRC daemon: one warm engine (pack store, worker
+    pools, cost model, report cache all stay hot) serving JSON over HTTP.
+    ``check <file.gds> --server URL`` routes a check through a running
+    daemon instead of paying a cold start.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import os
 import runpy
+import signal
 import sys
+import threading
 from typing import List, Optional
 
 from .core import DEFAULT_BRUTE_FORCE_THRESHOLD, Engine, EngineOptions
@@ -126,10 +136,76 @@ def _print_report(report, args: argparse.Namespace) -> None:
         print(report.summary())
 
 
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Turn SIGTERM into a normal stack unwind for the scope's duration.
+
+    Long CLI runs (and the serve daemon) own warm worker pools and a cost
+    model that persists on ``Engine.close()``; the default SIGTERM action
+    would kill the process before any ``with Engine(...)`` block releases
+    them. Only effective on the main thread (signal API restriction).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise SystemExit(128 + signum)
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _served_check(args: argparse.Namespace) -> int:
+    """Route ``repro check`` through a running ``repro serve`` daemon."""
+    from .client import (
+        ClientError,
+        ServeClient,
+        report_json_summary,
+        report_json_to_csv,
+    )
+
+    if args.output or args.waivers:
+        raise SystemExit(
+            "--output/--waivers are not supported with --server; fetch the "
+            "JSON report and post-process it locally"
+        )
+    client = ServeClient(args.server)
+    try:
+        with open(args.file, "rb") as fh:
+            data = fh.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.file}: {error}") from None
+    try:
+        info = client.create_session(data=data, top=args.top, deck=args.deck)
+        response = client.check(info["session"])
+    except ClientError as error:
+        raise SystemExit(str(error)) from None
+    payload = response["report"]
+    fmt = _report_format(args)
+    if fmt == "csv":
+        print(report_json_to_csv(payload))
+    elif fmt == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report_json_summary(payload))
+        meta = response["meta"]
+        print(
+            f"served by {args.server}: {meta['source']}, "
+            f"{meta['seconds'] * 1e3:.2f} ms round trip"
+        )
+    return 0 if payload["passed"] else 1
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    if args.server:
+        return _served_check(args)
     layout = _read(args.file, args.top)
-    engine = Engine(options=_engine_options(args))
-    report = engine.check(layout, rules=_load_deck(args.deck))
+    with _graceful_sigterm(), Engine(options=_engine_options(args)) as engine:
+        report = engine.check(layout, rules=_load_deck(args.deck))
     if args.waivers:
         from .core.markers import apply_waivers, load_waivers
 
@@ -249,14 +325,22 @@ def _resolve_cache_root(args: argparse.Namespace) -> str:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     from .core.packstore import PackStore
+    from .core.reportcache import ReportCache
 
     store = PackStore(_resolve_cache_root(args))
+    reports = ReportCache(store)
     if args.action == "clear":
         removed = store.clear()
-        print(f"removed {removed} entries from {store.root}")
+        removed_reports = reports.clear()
+        print(
+            f"removed {removed} entries from {store.root} "
+            f"(pack artifacts + counters) and {removed_reports} cached "
+            f"report(s) from {reports.root}"
+        )
         return 0
     entries = store.entries()
     totals = store.persisted_counters()
+    report_entries = reports.entries()
     print(f"cache: {store.root}")
     print(f"entries: {len(entries)}")
     print(f"bytes: {sum(nbytes for _, nbytes in entries)}")
@@ -265,7 +349,21 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"corrupt: {totals.get('corrupt', 0)}")
     print(f"bytes_read: {totals.get('bytes_read', 0)}")
     print(f"bytes_written: {totals.get('bytes_written', 0)}")
+    print(f"report entries: {len(report_entries)}")
+    print(f"report bytes: {sum(nbytes for _, nbytes in report_entries)}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import ServerState
+    from .server.http import serve as run_serve
+
+    state = ServerState(
+        options=_engine_options(args),
+        deck_path=args.deck,
+        report_lru=args.report_lru,
+    )
+    return run_serve(state, args.host, args.port)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -389,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_JOBS or 1)",
     )
     check.add_argument("--top", help="top cell name (default: inferred)")
+    check.add_argument(
+        "--server",
+        metavar="URL",
+        help="route the check through a running `repro serve` daemon "
+        "(uploads the GDS bytes; --deck then names a server-side file)",
+    )
     _add_format_args(check)
     check.add_argument("--output", help="write a JSON marker database")
     check.add_argument("--waivers", help="apply a JSON waiver file before reporting")
@@ -499,6 +603,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="pack-store directory (default: $REPRO_CACHE_DIR)",
     )
     cache.set_defaults(func=cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the resident DRC daemon (JSON over HTTP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--deck",
+        help="default deck for new sessions: a server-side Python file "
+        "defining RULES = [...] (default: the ASAP7 benchmark deck)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["sequential", "parallel", "multiproc"],
+        default=None,
+        help="execution backend (default: sequential, or multiproc when "
+        "--jobs > 1)",
+    )
+    serve.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the multiprocess backend "
+        "(default: $REPRO_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--report-lru",
+        type=int,
+        default=64,
+        metavar="N",
+        help="recent reports kept in memory for instant repeats (default 64)",
+    )
+    _add_fault_args(serve)
+    _add_pool_args(serve)
+    _add_cache_args(serve)
+    serve.set_defaults(
+        func=cmd_serve,
+        no_rows=False,
+        num_streams=2,
+        brute_force_threshold=DEFAULT_BRUTE_FORCE_THRESHOLD,
+        fuse_rows=True,
+    )
 
     stats = sub.add_parser("stats", help="print layout statistics")
     stats.add_argument("file")

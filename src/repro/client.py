@@ -1,0 +1,231 @@
+"""Thin HTTP client for a ``repro serve`` daemon (stdlib ``urllib`` only).
+
+The CLI's ``repro check --server URL`` path, the benchmarks, and the tests
+all talk to the daemon through :class:`ServeClient`. Responses are plain
+JSON dicts; the ``report`` member of a check response is the exact payload
+of :meth:`~repro.core.results.CheckReport.to_json`, so
+:func:`report_json_to_csv` / re-dumping with ``json.dumps(obj, indent=2,
+sort_keys=True)`` reproduce the local CLI's output byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from .errors import ReproError
+
+__all__ = [
+    "ClientError",
+    "ServeClient",
+    "report_json_summary",
+    "report_json_to_csv",
+]
+
+
+class ClientError(ReproError):
+    """A failed request to the serve daemon (carries the HTTP status)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """JSON-over-HTTP client of one daemon."""
+
+    def __init__(self, url: str, *, timeout: float = 300.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body: Optional[Dict[str, Any]] = None,
+        data: Optional[bytes] = None,
+        query: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        url = self.url + path
+        if query:
+            pairs = []
+            for key, value in query.items():
+                if value is None:
+                    continue
+                if isinstance(value, (list, tuple)):
+                    pairs.extend((key, str(v)) for v in value)
+                else:
+                    pairs.append((key, str(value)))
+            if pairs:
+                url += "?" + urllib.parse.urlencode(pairs)
+        headers = {"Accept": "application/json"}
+        body = None
+        if data is not None:
+            body = data
+            headers["Content-Type"] = "application/octet-stream"
+        elif json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=body, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = ""
+            raise ClientError(
+                detail or f"{method} {path} failed: HTTP {error.code}",
+                status=error.code,
+            ) from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ClientError(f"cannot reach {self.url}: {error}") from None
+        return payload
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def create_session(
+        self,
+        *,
+        path: Optional[str] = None,
+        data: Optional[bytes] = None,
+        top: Optional[str] = None,
+        deck: Optional[str] = None,
+        severities: Optional[Dict[str, str]] = None,
+        default_severity: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Load a layout into the daemon; returns the session info dict.
+
+        ``data`` uploads raw GDSII stream bytes; ``path`` names a file the
+        *server* can read (handy when client and daemon share a machine).
+        """
+        if data is not None:
+            return self._request(
+                "POST",
+                "/sessions",
+                data=data,
+                query={"top": top, "deck": deck, "default_severity": default_severity},
+            )
+        body: Dict[str, Any] = {"path": path}
+        if top is not None:
+            body["top"] = top
+        if deck is not None:
+            body["deck"] = deck
+        if severities is not None:
+            body["severities"] = severities
+        if default_severity is not None:
+            body["default_severity"] = default_severity
+        return self._request("POST", "/sessions", json_body=body)
+
+    def session(self, sid: str) -> Dict[str, Any]:
+        return self._request("GET", f"/sessions/{sid}")
+
+    def delete_session(self, sid: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/sessions/{sid}")
+
+    def check(self, sid: str) -> Dict[str, Any]:
+        """Run the session's deck; ``{"report": ..., "meta": ...}``."""
+        return self._request("POST", f"/sessions/{sid}/check")
+
+    def check_window(
+        self, sid: str, windows: Sequence[Sequence[int]]
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST",
+            f"/sessions/{sid}/check-window",
+            json_body={"windows": [list(w) for w in windows]},
+        )
+
+    def recheck(
+        self,
+        sid: str,
+        *,
+        path: Optional[str] = None,
+        data: Optional[bytes] = None,
+        top: Optional[str] = None,
+        verify: bool = False,
+    ) -> Dict[str, Any]:
+        query = {"top": top, "verify": "1" if verify else None}
+        if data is not None:
+            return self._request(
+                "POST", f"/sessions/{sid}/recheck", data=data, query=query
+            )
+        body: Dict[str, Any] = {"path": path, "verify": verify}
+        if top is not None:
+            body["top"] = top
+        return self._request("POST", f"/sessions/{sid}/recheck", json_body=body)
+
+    def violations(
+        self,
+        sid: str,
+        *,
+        severity: Optional[str] = None,
+        rules: Optional[Sequence[str]] = None,
+        bbox: Optional[Sequence[int]] = None,
+    ) -> Dict[str, Any]:
+        query: Dict[str, Any] = {"severity": severity}
+        if rules:
+            query["rule"] = list(rules)
+        if bbox is not None:
+            query["bbox"] = ",".join(str(c) for c in bbox)
+        return self._request("GET", f"/sessions/{sid}/violations", query=query)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown")
+
+
+# ---------------------------------------------------------------------------
+# Rendering served reports without Rule objects
+# ---------------------------------------------------------------------------
+
+
+def report_json_to_csv(payload: Dict[str, Any]) -> str:
+    """CSV markers from a ``to_json`` report payload.
+
+    Byte-identical to :meth:`CheckReport.to_csv` of the same report — the
+    serialized results and violations preserve deck order and the canonical
+    violation sort, so no Rule objects are needed to reproduce the dump.
+    """
+    lines = ["rule,kind,layer,other_layer,xlo,ylo,xhi,yhi,measured,required"]
+    for result in payload["results"]:
+        for v in result["violations"]:
+            other = "" if v["other_layer"] is None else v["other_layer"]
+            xlo, ylo, xhi, yhi = v["region"]
+            lines.append(
+                f"{result['rule']},{v['kind']},{v['layer']},{other},"
+                f"{xlo},{ylo},{xhi},{yhi},"
+                f"{v['measured']},{v['required']}"
+            )
+    return "\n".join(lines)
+
+
+def report_json_summary(payload: Dict[str, Any]) -> str:
+    """Human summary of a ``to_json`` report payload (CLI default format)."""
+    total_seconds = sum(result["seconds"] for result in payload["results"])
+    lines = [
+        f"DRC report for {payload['layout']!r} ({payload['mode']} mode): "
+        f"{payload['total_violations']} violations, {total_seconds * 1e3:.2f} ms"
+    ]
+    for result in payload["results"]:
+        count = len(result["violations"])
+        status = "PASS" if count == 0 else f"{count} violations"
+        lines.append(
+            f"  {result['rule']}: {status} ({result['seconds'] * 1e3:.2f} ms)"
+        )
+    return "\n".join(lines)

@@ -138,17 +138,26 @@ class Engine:
     # -- execution ---------------------------------------------------------------
 
     def compile(
-        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None
+        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None, tree=None
     ) -> CheckPlan:
-        """Compile the deck (or an explicit rule list) against ``layout``."""
+        """Compile the deck (or an explicit rule list) against ``layout``.
+
+        ``tree`` short-circuits hierarchy analysis with an already-built
+        :class:`HierarchyTree` for ``layout`` (long-lived callers such as
+        the serve daemon keep one per session).
+        """
         deck = list(rules) if rules is not None else self.rules
-        return compile_plan(layout, deck, self.options)
+        return compile_plan(layout, deck, self.options, tree=tree)
 
     def check(
-        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None
+        self,
+        layout: Layout,
+        *,
+        rules: Optional[Sequence[Rule]] = None,
+        tree=None,
     ) -> CheckReport:
         """Run the deck (or an explicit rule list) on ``layout``."""
-        report, _ = self._execute(layout, rules=rules)
+        report, _ = self._execute(layout, rules=rules, tree=tree)
         return report
 
     def recheck(
@@ -202,10 +211,10 @@ class Engine:
         return self._execute(layout, rules=rules)
 
     def _execute(
-        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None
+        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None, tree=None
     ):
         """Compile the deck, then drive the backend through the scheduler."""
-        plan = self.compile(layout, rules=rules)
+        plan = self.compile(layout, rules=rules, tree=tree)
         backend = make_backend(plan, device=self.device)
         self.last_plan = plan
         self.last_checker = backend

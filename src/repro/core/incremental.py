@@ -134,6 +134,7 @@ def check_window(
     *,
     rules: Sequence[Rule],
     options: Optional[EngineOptions] = None,
+    tree=None,
 ) -> CheckReport:
     """Check only the given window(s) of ``layout``; violations clip to them.
 
@@ -150,7 +151,7 @@ def check_window(
         raise ValueError("window must be non-empty")
     jobs = options.jobs if options is not None else 1
     mode = MODE_MULTIPROC if jobs > 1 else MODE_WINDOWED
-    plan = compile_plan(layout, rules, options, mode=mode)
+    plan = compile_plan(layout, rules, options, mode=mode, tree=tree)
     backend = make_backend(plan, window=regions)
 
     results: List[CheckResult] = []

@@ -111,6 +111,37 @@ class ReportCache:
         self.hits += 1
         return report
 
+    def entries(self) -> List[tuple]:
+        """``(key, nbytes)`` of every cached report (empty if no directory)."""
+        found = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return found
+        for name in sorted(names):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                found.append((name[: -len(".json")], os.path.getsize(path)))
+            except OSError:
+                continue
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(nbytes for _, nbytes in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached report; returns how many were removed."""
+        removed = 0
+        for key, _ in self.entries():
+            try:
+                os.unlink(self._path(key))
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     def save(self, key: str, report: CheckReport) -> None:
         """Atomically persist one report (concurrent writers race benignly)."""
         os.makedirs(self.root, exist_ok=True)

@@ -1,0 +1,377 @@
+"""The HTTP shell around :class:`~repro.server.state.ServerState`.
+
+Plain stdlib: a :class:`http.server.ThreadingHTTPServer` whose handler
+routes JSON-over-HTTP requests into the service core. No framework, no new
+dependencies — the serving shape of the KiCad-MCP DRC tools with the
+transport stripped to what the standard library provides.
+
+Endpoints
+---------
+
+====== ================================== ======================================
+GET    ``/health``                        liveness probe
+GET    ``/stats``                         engine + queue + coalescing counters
+GET    ``/sessions``                      list loaded sessions
+POST   ``/sessions``                      load a layout (GDS bytes or JSON path)
+GET    ``/sessions/<id>``                 session info
+DELETE ``/sessions/<id>``                 unload a session
+POST   ``/sessions/<id>/check``           run the deck (coalesced)
+POST   ``/sessions/<id>/check-window``    run the deck on windows
+POST   ``/sessions/<id>/recheck``         diff + splice a new layout version
+GET    ``/sessions/<id>/violations``      filter by severity / rule / bbox
+POST   ``/shutdown``                      drain in-flight requests and exit
+====== ================================== ======================================
+
+``POST /sessions`` accepts either a raw GDSII stream body
+(``Content-Type: application/octet-stream``, options in the query string:
+``?top=...&deck=...``) or a JSON body ``{"path": ..., "top": ...,
+"deck": ..., "severities": {...}, "default_severity": ...}`` naming a file
+the server can read. ``POST .../recheck`` accepts the same two shapes for
+the new layout version.
+
+Graceful shutdown: ``serve()`` converts SIGTERM/SIGINT into an orderly
+drain — the accept loop stops, in-flight handler threads are joined
+(``server_close`` blocks on them), and ``Engine.close()`` releases warm
+pools and persists the cost model. ``POST /shutdown`` triggers the same
+path remotely.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..util.logging import get_logger
+from .state import BadRequestError, ServeError, ServerState, report_payload
+
+__all__ = ["DrcHTTPServer", "ServeHandle", "serve", "start_server"]
+
+_logger = get_logger("server")
+
+#: Largest request body accepted (a GDS upload), to bound memory.
+MAX_BODY_BYTES = 512 * 1024 * 1024
+
+
+class DrcHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning one :class:`ServerState`."""
+
+    allow_reuse_address = True
+    #: Non-daemon handler threads + block_on_close make ``server_close()``
+    #: wait for in-flight requests — the drain in graceful shutdown.
+    daemon_threads = False
+
+    def __init__(self, address: Tuple[str, int], state: ServerState) -> None:
+        super().__init__(address, DrcRequestHandler)
+        self.state = state
+        self._shutdown_started = threading.Event()
+
+    def trigger_shutdown(self) -> None:
+        """Stop the accept loop from any thread (idempotent)."""
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+        threading.Thread(target=self.shutdown, name="repro-serve-shutdown").start()
+
+
+class DrcRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def state(self) -> ServerState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequestError(f"request body of {length} bytes rejected")
+        return self.rfile.read(length) if length else b""
+
+    def _json_body(self) -> Dict[str, Any]:
+        raw = self._body()
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise BadRequestError(f"malformed JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise BadRequestError("JSON body must be an object")
+        return payload
+
+    def _route(self, method: str) -> None:
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        query = {k: v for k, v in parse_qs(split.query).items()}
+        try:
+            handled = self._dispatch(method, parts, query)
+        except ServeError as error:
+            self._send_json({"error": str(error)}, status=error.status)
+            return
+        except BrokenPipeError:  # pragma: no cover - client went away
+            return
+        except Exception as error:  # pragma: no cover - defensive 500
+            _logger.exception("unhandled error serving %s %s", method, self.path)
+            self._send_json({"error": f"internal error: {error!r}"}, status=500)
+            return
+        if not handled:
+            self._send_json({"error": f"no route for {method} {split.path}"}, 404)
+
+    # -- routing -------------------------------------------------------------
+
+    def _dispatch(self, method: str, parts, query) -> bool:
+        state = self.state
+        if method == "GET" and parts == ["health"]:
+            self._send_json({"status": "ok", "uptime_seconds": state.stats()["uptime_seconds"]})
+            return True
+        if method == "GET" and parts == ["stats"]:
+            self._send_json(state.stats())
+            return True
+        if method == "GET" and parts == ["sessions"]:
+            self._send_json({"sessions": state.sessions()})
+            return True
+        if method == "POST" and parts == ["sessions"]:
+            self._create_session(query)
+            return True
+        if method == "POST" and parts == ["shutdown"]:
+            self._send_json({"status": "shutting down"})
+            self.server.trigger_shutdown()  # type: ignore[attr-defined]
+            return True
+        if len(parts) >= 2 and parts[0] == "sessions":
+            sid = parts[1]
+            rest = parts[2:]
+            if method == "GET" and not rest:
+                self._send_json(state.session(sid).info())
+                return True
+            if method == "DELETE" and not rest:
+                state.delete_session(sid)
+                self._send_json({"status": "deleted", "session": sid})
+                return True
+            if method == "POST" and rest == ["check"]:
+                report, meta = state.check(sid)
+                self._send_json(report_payload(report, meta))
+                return True
+            if method == "POST" and rest == ["check-window"]:
+                body = self._json_body()
+                windows = body.get("windows")
+                if not isinstance(windows, list):
+                    raise BadRequestError(
+                        'check-window body must be {"windows": [[x1,y1,x2,y2], ...]}'
+                    )
+                report, meta = state.check_window(sid, windows)
+                self._send_json(report_payload(report, meta))
+                return True
+            if method == "POST" and rest == ["recheck"]:
+                self._recheck(sid, query)
+                return True
+            if method == "GET" and rest == ["violations"]:
+                self._violations(sid, query)
+                return True
+        return False
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    @staticmethod
+    def _first(query: Dict[str, Any], name: str) -> Optional[str]:
+        values = query.get(name)
+        return values[0] if values else None
+
+    def _layout_source(self, query) -> Dict[str, Any]:
+        """The (path | data, top) triple from a raw-GDS or JSON request."""
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        raw = self._body()
+        if content_type in ("application/json", ""):
+            if raw:
+                try:
+                    body = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError) as error:
+                    raise BadRequestError(
+                        f"malformed JSON body: {error}"
+                    ) from error
+                if isinstance(body, dict) and body:
+                    return {
+                        "path": body.get("path"),
+                        "data": None,
+                        "top": body.get("top"),
+                        "body": body,
+                    }
+        elif raw:
+            return {
+                "path": None,
+                "data": raw,
+                "top": self._first(query, "top"),
+                "body": {},
+            }
+        raise BadRequestError(
+            "provide a GDSII stream body (application/octet-stream) or a "
+            'JSON body {"path": ...}'
+        )
+
+    def _create_session(self, query) -> None:
+        source = self._layout_source(query)
+        body = source["body"]
+        session, created = self.state.create_session(
+            path=source["path"],
+            data=source["data"],
+            top=source["top"],
+            deck=body.get("deck") or self._first(query, "deck"),
+            severities=body.get("severities"),
+            default_severity=body.get("default_severity")
+            or self._first(query, "default_severity"),
+        )
+        info = session.info()
+        info["created"] = created
+        self._send_json(info, status=201 if created else 200)
+
+    def _recheck(self, sid: str, query) -> None:
+        source = self._layout_source(query)
+        body = source["body"]
+        verify = bool(body.get("verify")) or self._first(query, "verify") in (
+            "1",
+            "true",
+        )
+        report, meta = self.state.recheck(
+            sid,
+            path=source["path"],
+            data=source["data"],
+            top=source["top"],
+            verify=verify,
+        )
+        self._send_json(report_payload(report, meta))
+
+    def _violations(self, sid: str, query) -> None:
+        bbox = None
+        raw_bbox = self._first(query, "bbox")
+        if raw_bbox:
+            try:
+                bbox = [int(c) for c in raw_bbox.split(",")]
+            except ValueError:
+                raise BadRequestError(
+                    f"bbox must be x1,y1,x2,y2 integers, got {raw_bbox!r}"
+                ) from None
+        rules = None
+        if "rule" in query:
+            rules = [name for value in query["rule"] for name in value.split(",")]
+        self._send_json(
+            self.state.violations(
+                sid,
+                severity=self._first(query, "severity"),
+                rules=rules,
+                bbox=bbox,
+            )
+        )
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+
+# ---------------------------------------------------------------------------
+# Running servers
+# ---------------------------------------------------------------------------
+
+
+class ServeHandle:
+    """A running in-process server (tests, benchmarks): ``close()`` drains."""
+
+    def __init__(self, server: DrcHTTPServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+        self.state = server.state
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.thread.join(timeout=30)
+        self.server.server_close()
+        self.state.close()
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def start_server(
+    state: ServerState, host: str = "127.0.0.1", port: int = 0
+) -> ServeHandle:
+    """Start a server on a background thread; ``port=0`` picks a free port."""
+    server = DrcHTTPServer((host, port), state)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-serve",
+        daemon=True,
+    )
+    thread.start()
+    return ServeHandle(server, thread)
+
+
+def serve(
+    state: ServerState,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    announce=print,
+) -> int:
+    """Run the daemon in the foreground until SIGTERM/SIGINT or /shutdown.
+
+    Shutdown is graceful in all three cases: the accept loop stops first,
+    in-flight requests drain (handler threads are joined), and only then is
+    the engine closed so warm pools are released and the calibrated cost
+    model persists — never the atexit backstop.
+    """
+    server = DrcHTTPServer((host, port), state)
+    bound_host, bound_port = server.server_address[:2]
+    announce(f"repro serve: listening on http://{bound_host}:{bound_port}", flush=True)
+
+    installed = {}
+    if threading.current_thread() is threading.main_thread():
+
+        def _terminate(signum, frame):
+            raise SystemExit(0)
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            installed[signum] = signal.getsignal(signum)
+            signal.signal(signum, _terminate)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        for signum, old in installed.items():
+            signal.signal(signum, old)
+        announce("repro serve: draining in-flight requests", flush=True)
+        server.server_close()  # joins handler threads (daemon_threads=False)
+        state.close()  # release warm pools, persist the cost model
+        announce("repro serve: engine closed, bye", flush=True)
+    return 0

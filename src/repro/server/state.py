@@ -1,0 +1,731 @@
+"""DRC-as-a-service: the HTTP-free service core.
+
+PRs 4-7 made the engine expensive to warm and cheap to reuse — the
+content-addressed pack store, persistent warm worker pools, the calibrated
+cost model, and the report cache all pay off only on the *second* check of
+a process. A one-shot ``repro check`` throws that state away every time.
+:class:`ServerState` is the resident counterpart: one warm
+:class:`~repro.core.engine.Engine` serving many requests, so every piece of
+warm state survives for the life of the daemon.
+
+Three mechanisms turn the warm engine into served throughput:
+
+* **Sessions** — clients load a layout (and optionally a deck) once via
+  :meth:`create_session`; the session keeps the parsed layout, its
+  hierarchy tree, the rule deck, and the per-layer geometry digests, so a
+  check request never re-parses or re-walks anything. Sessions are
+  content-addressed by the deck digest plus the layer digests — loading the
+  same layout twice (from any client) lands on the same session.
+
+* **Single-flight coalescing** — concurrent identical requests (same deck
+  digest, layer digests, engine options, and window set) collapse into one
+  engine run whose report fans out to every waiter
+  (:class:`SingleFlight`); an LRU of recent reports answers repeats without
+  touching the engine at all. The engine itself runs one request at a time
+  behind a lock — that lock *is* the request queue, and its depth is
+  exported in :meth:`stats`.
+
+* **Structured responses** — reports serialize through the same
+  :meth:`~repro.core.results.CheckReport.to_json` schema the CLI prints,
+  so served violation output is byte-identical to a local ``repro check``.
+
+The HTTP layer (:mod:`repro.server.http`) is a thin shell over this class;
+tests drive :class:`ServerState` directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import runpy
+import statistics
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..gdsii import read_layout
+from ..gdsii.reader import read_bytes
+from ..geometry import Rect
+from ..hierarchy.tree import HierarchyTree
+from ..layout.builder import layout_from_gdsii
+from ..layout.library import Layout
+from ..core.engine import Engine, EngineOptions
+from ..core.packstore import layer_geometry_digest, store_key
+from ..core.reportcache import deck_digest
+from ..core.results import CheckReport, merge_stats, violation_to_json
+from ..core.rules import Rule
+
+__all__ = [
+    "BadRequestError",
+    "ServeError",
+    "ServerState",
+    "Session",
+    "SingleFlight",
+    "UnknownSessionError",
+    "load_deck_file",
+]
+
+#: Severity labels a rule may carry in a session (KiCad-MCP's DRC vocabulary).
+SEVERITIES = ("error", "warning")
+
+#: Reports the server remembers for instant repeats (per-state default).
+DEFAULT_REPORT_LRU = 64
+
+#: Request latencies kept per endpoint for the /stats percentiles.
+_LATENCY_WINDOW = 512
+
+
+class ServeError(ReproError):
+    """A request the service must reject; carries an HTTP status."""
+
+    status = 400
+
+
+class BadRequestError(ServeError):
+    """Malformed request payload or parameters."""
+
+    status = 400
+
+
+class UnknownSessionError(ServeError):
+    """The named session does not exist (or was unloaded)."""
+
+    status = 404
+
+
+def load_deck_file(path: str) -> List[Rule]:
+    """Load ``RULES = [...]`` from a Python deck file (server-side path)."""
+    namespace = runpy.run_path(path)
+    rules = namespace.get("RULES")
+    if not isinstance(rules, list) or not all(isinstance(r, Rule) for r in rules):
+        raise BadRequestError(f"{path} must define RULES = [<Rule>, ...]")
+    return rules
+
+
+def _default_deck() -> List[Rule]:
+    from ..workloads import asap7
+
+    return asap7.full_deck()
+
+
+# ---------------------------------------------------------------------------
+# Single-flight request coalescing
+# ---------------------------------------------------------------------------
+
+
+class _Call:
+    """One in-flight computation: the leader fills it, followers wait."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Collapse concurrent calls with the same key into one execution.
+
+    The first caller of a key becomes the *leader* and runs ``fn``; callers
+    arriving while the leader is still running become *followers* and block
+    until the leader's result (or exception) fans out to them. The key is
+    retired before the event fires, so a request arriving after completion
+    starts a fresh flight — coalescing never serves a stale computation,
+    only the one that was genuinely concurrent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Call] = {}
+
+    def do(self, key: str, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent key; returns ``(value, leader)``."""
+        with self._lock:
+            call = self._inflight.get(key)
+            leader = call is None
+            if leader:
+                call = _Call()
+                self._inflight[key] = call
+        if leader:
+            try:
+                call.result = fn()
+            except BaseException as error:
+                call.error = error
+            finally:
+                # Retire the key *before* waking followers so no new caller
+                # can attach to a completed flight.
+                with self._lock:
+                    self._inflight.pop(key, None)
+                call.event.set()
+        else:
+            call.event.wait()
+        if call.error is not None:
+            raise call.error
+        return call.result, leader
+
+    def waiting(self, key: str) -> bool:
+        """True while a flight for ``key`` is in progress (tests/metrics)."""
+        with self._lock:
+            return key in self._inflight
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """One loaded layout + deck, with everything a check needs pre-warmed."""
+
+    def __init__(
+        self,
+        sid: str,
+        layout: Layout,
+        tree: HierarchyTree,
+        rules: List[Rule],
+        digests: Dict[int, str],
+        deck_dig: Optional[str],
+        *,
+        top: Optional[str] = None,
+        deck_path: Optional[str] = None,
+        severities: Optional[Dict[str, str]] = None,
+        default_severity: str = "error",
+    ) -> None:
+        self.sid = sid
+        self.layout = layout
+        self.tree = tree
+        self.rules = rules
+        self.digests = digests
+        self.deck_dig = deck_dig
+        self.top = top
+        self.deck_path = deck_path
+        self.severities = dict(severities or {})
+        self.default_severity = default_severity
+        self.version = 1
+        self.checks = 0
+        self.created = time.time()
+        self.last_report: Optional[CheckReport] = None
+        self.last_recheck: Optional[Dict[str, Any]] = None
+
+    def severity_of(self, rule_name: str) -> str:
+        return self.severities.get(rule_name, self.default_severity)
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "session": self.sid,
+            "layout": self.layout.name,
+            "top": self.tree.top.name,
+            "layers": sorted(self.digests),
+            "rules": [rule.name for rule in self.rules],
+            "coalescable": self.deck_dig is not None,
+            "version": self.version,
+            "checks": self.checks,
+            "default_severity": self.default_severity,
+            "last_total_violations": (
+                None
+                if self.last_report is None
+                else self.last_report.total_violations
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class ServerState:
+    """A resident engine plus sessions, coalescing, and counters.
+
+    Thread-safe: HTTP handler threads (or test threads) call the public
+    methods concurrently. ``_lock`` guards the bookkeeping (sessions, LRU,
+    counters); ``_engine_lock`` serializes actual engine runs — it is the
+    request queue, and the number of threads parked on it is the
+    ``queue_depth`` gauge.
+    """
+
+    def __init__(
+        self,
+        options: Optional[EngineOptions] = None,
+        *,
+        deck_path: Optional[str] = None,
+        report_lru: int = DEFAULT_REPORT_LRU,
+    ) -> None:
+        self.engine = Engine(options=options)
+        self.deck_path = deck_path
+        self._decks: Dict[str, List[Rule]] = {}
+        self._lock = threading.Lock()
+        self._engine_lock = threading.Lock()
+        self._flight = SingleFlight()
+        self._sessions: Dict[str, Session] = {}
+        self._by_bytes: Dict[Tuple[str, str, str], str] = {}
+        self._lru: "OrderedDict[str, CheckReport]" = OrderedDict()
+        self._lru_cap = max(0, report_lru)
+        self._latencies: Dict[str, deque] = {}
+        self._queue_depth = 0
+        self.engine_stats: Dict[str, float] = {}
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "engine_runs": 0,
+            "coalesced": 0,
+            "report_lru_hits": 0,
+            "sessions_created": 0,
+            "sessions_reused": 0,
+        }
+        self.started = time.time()
+        self.closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the warm engine (pools, cost model persistence); idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self.engine.close()
+
+    def __enter__(self) -> "ServerState":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- deck resolution -----------------------------------------------------
+
+    def _resolve_deck(self, deck_path: Optional[str]) -> List[Rule]:
+        path = deck_path or self.deck_path
+        if path is None:
+            if "" not in self._decks:
+                self._decks[""] = _default_deck()
+            return self._decks[""]
+        if path not in self._decks:
+            self._decks[path] = load_deck_file(path)
+        return self._decks[path]
+
+    # -- sessions ------------------------------------------------------------
+
+    @staticmethod
+    def _parse_layout(
+        path: Optional[str], data: Optional[bytes], top: Optional[str]
+    ) -> Layout:
+        if (path is None) == (data is None):
+            raise BadRequestError("provide exactly one of a GDS path or GDS bytes")
+        try:
+            layout = (
+                read_layout(path) if path is not None else layout_from_gdsii(read_bytes(data))
+            )
+            if top:
+                layout.set_top(top)
+        except ReproError as error:
+            raise BadRequestError(f"cannot load layout: {error}") from error
+        except OSError as error:
+            raise BadRequestError(f"cannot read layout file: {error}") from error
+        return layout
+
+    def create_session(
+        self,
+        *,
+        path: Optional[str] = None,
+        data: Optional[bytes] = None,
+        top: Optional[str] = None,
+        deck: Optional[str] = None,
+        severities: Optional[Dict[str, str]] = None,
+        default_severity: Optional[str] = None,
+    ) -> Tuple[Session, bool]:
+        """Load (or re-attach to) a session; returns ``(session, created)``.
+
+        Sessions are content-addressed: the id hashes the deck digest and
+        the per-layer geometry digests, so posting the same layout + deck
+        again — from any client — returns the existing warm session. Raw
+        uploads are additionally memoised by their byte hash, so a repeat
+        upload skips even the GDSII parse. Decks whose predicates cannot be
+        fingerprinted get a random id and are excluded from coalescing
+        (honest, never wrong).
+        """
+        if default_severity is not None and default_severity not in SEVERITIES:
+            raise BadRequestError(
+                f"default_severity must be one of {SEVERITIES}, got {default_severity!r}"
+            )
+        for name, sev in (severities or {}).items():
+            if sev not in SEVERITIES:
+                raise BadRequestError(
+                    f"severity of rule {name!r} must be one of {SEVERITIES}, got {sev!r}"
+                )
+        bytes_key = None
+        if data is not None:
+            bytes_key = (hashlib.sha256(data).hexdigest(), top or "", deck or "")
+            with self._lock:
+                sid = self._by_bytes.get(bytes_key)
+                session = self._sessions.get(sid) if sid else None
+            if session is not None:
+                return self._reuse(session, severities, default_severity)
+
+        rules = self._resolve_deck(deck)
+        layout = self._parse_layout(path, data, top)
+        tree = HierarchyTree(layout)
+        digests = {
+            layer: layer_geometry_digest(tree, layer) for layer in layout.layers()
+        }
+        deck_dig = deck_digest(rules)
+        if deck_dig is None:
+            sid = uuid.uuid4().hex[:16]
+        else:
+            sid = store_key(
+                "session", deck_dig, tuple(sorted(digests.items())), top or ""
+            )[:16]
+
+        with self._lock:
+            existing = self._sessions.get(sid)
+            if existing is None:
+                session = Session(
+                    sid,
+                    layout,
+                    tree,
+                    rules,
+                    digests,
+                    deck_dig,
+                    top=top,
+                    deck_path=deck or self.deck_path,
+                    severities=severities,
+                    default_severity=default_severity or "error",
+                )
+                self._sessions[sid] = session
+                self.counters["sessions_created"] += 1
+                if bytes_key is not None:
+                    self._by_bytes[bytes_key] = sid
+                return session, True
+            if bytes_key is not None:
+                self._by_bytes[bytes_key] = sid
+        return self._reuse(existing, severities, default_severity)
+
+    def _reuse(
+        self,
+        session: Session,
+        severities: Optional[Dict[str, str]],
+        default_severity: Optional[str],
+    ) -> Tuple[Session, bool]:
+        with self._lock:
+            if severities:
+                session.severities.update(severities)
+            if default_severity is not None:
+                session.default_severity = default_severity
+            self.counters["sessions_reused"] += 1
+        return session, False
+
+    def session(self, sid: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(sid)
+        if session is None:
+            raise UnknownSessionError(f"unknown session {sid!r}")
+        return session
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [s.info() for s in sorted(sessions, key=lambda s: s.created)]
+
+    def delete_session(self, sid: str) -> None:
+        with self._lock:
+            if sid not in self._sessions:
+                raise UnknownSessionError(f"unknown session {sid!r}")
+            del self._sessions[sid]
+            self._by_bytes = {k: v for k, v in self._by_bytes.items() if v != sid}
+
+    # -- the request pipeline ------------------------------------------------
+
+    def _request_key(
+        self, session: Session, endpoint: str, extra: Tuple = ()
+    ) -> Optional[str]:
+        """Coalescing identity of one request; None disables coalescing."""
+        if session.deck_dig is None:
+            return None
+        return store_key(
+            "serve",
+            endpoint,
+            session.deck_dig,
+            tuple(sorted(session.digests.items())),
+            repr(self.engine.options),
+            extra,
+        )
+
+    def _run(self, runner: Callable[[], CheckReport]) -> CheckReport:
+        """One engine run behind the request queue (the engine lock)."""
+        with self._lock:
+            self._queue_depth += 1
+        acquired = False
+        try:
+            self._engine_lock.acquire()
+            acquired = True
+            with self._lock:
+                self._queue_depth -= 1
+                self.counters["engine_runs"] += 1
+            report = runner()
+        finally:
+            if acquired:
+                self._engine_lock.release()
+            else:  # the wait itself was interrupted: keep the gauge honest
+                with self._lock:
+                    self._queue_depth -= 1
+        with self._lock:
+            self.engine_stats = merge_stats(
+                [self.engine_stats] + [r.stats for r in report.results]
+            )
+        return report
+
+    def _serve(
+        self,
+        endpoint: str,
+        session: Session,
+        key_extra: Tuple,
+        runner: Callable[[], CheckReport],
+        *,
+        use_lru: bool = True,
+    ) -> Tuple[CheckReport, Dict[str, Any]]:
+        start = time.perf_counter()
+        with self._lock:
+            self.counters["requests"] += 1
+        key = self._request_key(session, endpoint, key_extra)
+        meta: Dict[str, Any] = {
+            "endpoint": endpoint,
+            "session": session.sid,
+            "source": "engine",
+        }
+        report: Optional[CheckReport] = None
+        if key is not None and use_lru and self._lru_cap:
+            with self._lock:
+                report = self._lru.get(key)
+                if report is not None:
+                    self._lru.move_to_end(key)
+                    self.counters["report_lru_hits"] += 1
+                    meta["source"] = "report-lru"
+        if report is None:
+            if key is None:
+                report = self._run(runner)
+            else:
+                report, leader = self._flight.do(key, lambda: self._run(runner))
+                if leader:
+                    if use_lru and self._lru_cap:
+                        with self._lock:
+                            self._lru[key] = report
+                            self._lru.move_to_end(key)
+                            while len(self._lru) > self._lru_cap:
+                                self._lru.popitem(last=False)
+                else:
+                    with self._lock:
+                        self.counters["coalesced"] += 1
+                    meta["source"] = "coalesced"
+        seconds = time.perf_counter() - start
+        meta["seconds"] = seconds
+        with self._lock:
+            session.checks += 1
+            session.last_report = report
+            self._latencies.setdefault(endpoint, deque(maxlen=_LATENCY_WINDOW)).append(
+                seconds
+            )
+        return report, meta
+
+    # -- endpoints -----------------------------------------------------------
+
+    def check(self, sid: str) -> Tuple[CheckReport, Dict[str, Any]]:
+        """Run the session's full deck (coalesced, LRU-answered)."""
+        session = self.session(sid)
+
+        def runner() -> CheckReport:
+            return self.engine.check(
+                session.layout, rules=session.rules, tree=session.tree
+            )
+
+        return self._serve("check", session, (), runner)
+
+    def check_window(
+        self, sid: str, windows: Sequence[Sequence[int]]
+    ) -> Tuple[CheckReport, Dict[str, Any]]:
+        """Run the deck on one or more windows of the session's layout."""
+        from ..core.incremental import check_window as run_window
+
+        session = self.session(sid)
+        rects = []
+        for coords in windows:
+            if len(coords) != 4:
+                raise BadRequestError(
+                    f"window must be [x1, y1, x2, y2], got {list(coords)!r}"
+                )
+            rect = Rect(*(int(c) for c in coords))
+            if rect.is_empty:
+                raise BadRequestError(f"window {rect} must be non-empty")
+            rects.append(rect)
+        if not rects:
+            raise BadRequestError("check-window needs at least one window")
+
+        def runner() -> CheckReport:
+            return run_window(
+                session.layout,
+                rects,
+                rules=session.rules,
+                options=self.engine.options,
+                tree=session.tree,
+            )
+
+        key_extra = tuple((r.xlo, r.ylo, r.xhi, r.yhi) for r in rects)
+        return self._serve("check-window", session, key_extra, runner)
+
+    def recheck(
+        self,
+        sid: str,
+        *,
+        path: Optional[str] = None,
+        data: Optional[bytes] = None,
+        top: Optional[str] = None,
+        verify: bool = False,
+    ) -> Tuple[CheckReport, Dict[str, Any]]:
+        """Diff a new layout version against the session's current one.
+
+        The session's last report is the splice baseline (falling back to
+        the persistent report cache, then to a cold check); on success the
+        session advances to the new version, so chained edits keep
+        rechecking incrementally. Concurrent identical rechecks (same new
+        content) coalesce into one diff+splice.
+        """
+        from ..core.incremental import recheck as run_recheck
+
+        session = self.session(sid)
+        new_layout = self._parse_layout(path, data, top or session.top)
+        new_tree = HierarchyTree(new_layout)
+        new_digests = {
+            layer: layer_geometry_digest(new_tree, layer)
+            for layer in new_layout.layers()
+        }
+
+        def runner() -> CheckReport:
+            outcome = run_recheck(
+                session.layout,
+                new_layout,
+                rules=session.rules,
+                options=self.engine.options,
+                cached=session.last_report,
+                verify=verify,
+            )
+            with self._lock:
+                session.layout = new_layout
+                session.tree = new_tree
+                session.digests = new_digests
+                session.version += 1
+                session.last_recheck = {
+                    "disposition": dict(outcome.disposition),
+                    "cache_hit": outcome.cache_hit,
+                    "clean": outcome.diff.is_clean,
+                    "full": bool(outcome.diff.full),
+                }
+            return outcome.report
+
+        key_extra = ("recheck", tuple(sorted(new_digests.items())), bool(verify))
+        report, meta = self._serve("recheck", session, key_extra, runner, use_lru=False)
+        if session.last_recheck is not None:
+            meta["recheck"] = dict(session.last_recheck)
+        return report, meta
+
+    def violations(
+        self,
+        sid: str,
+        *,
+        severity: Optional[str] = None,
+        rules: Optional[Sequence[str]] = None,
+        bbox: Optional[Sequence[int]] = None,
+    ) -> Dict[str, Any]:
+        """The session's violations, filtered by severity/rule/bbox.
+
+        Serves from the session's last report; a session that has never
+        been checked is checked first (which itself coalesces/LRU-hits).
+        """
+        if severity is not None and severity not in SEVERITIES:
+            raise BadRequestError(
+                f"severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        box = None
+        if bbox is not None:
+            if len(bbox) != 4:
+                raise BadRequestError("bbox must be x1,y1,x2,y2")
+            box = Rect(*(int(c) for c in bbox))
+            if box.is_empty:
+                raise BadRequestError(f"bbox {box} must be non-empty")
+        wanted = set(rules) if rules else None
+
+        session = self.session(sid)
+        report = session.last_report
+        if report is None:
+            report, _ = self.check(sid)
+        known = {result.rule.name for result in report.results}
+        if wanted is not None and not wanted <= known:
+            raise BadRequestError(
+                f"unknown rule(s): {sorted(wanted - known)}; session rules: "
+                f"{sorted(known)}"
+            )
+        items: List[Dict[str, Any]] = []
+        for result in report.results:
+            sev = session.severity_of(result.rule.name)
+            if severity is not None and sev != severity:
+                continue
+            if wanted is not None and result.rule.name not in wanted:
+                continue
+            for violation in result.violations:
+                if box is not None and not box.overlaps(violation.region):
+                    continue
+                entry = violation_to_json(violation)
+                entry["rule"] = result.rule.name
+                entry["severity"] = sev
+                items.append(entry)
+        return {
+            "session": session.sid,
+            "layout": report.layout_name,
+            "version": session.version,
+            "total": len(items),
+            "violations": items,
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine + service counters (the /stats payload)."""
+        with self._lock:
+            latency = {}
+            for endpoint, window in self._latencies.items():
+                values = list(window)
+                latency[endpoint] = {
+                    "count": len(values),
+                    "p50_ms": round(statistics.median(values) * 1e3, 3),
+                    "max_ms": round(max(values) * 1e3, 3),
+                }
+            options = self.engine.options
+            return {
+                "uptime_seconds": round(time.time() - self.started, 3),
+                "sessions": len(self._sessions),
+                "queue_depth": self._queue_depth,
+                "report_lru_size": len(self._lru),
+                "report_lru_capacity": self._lru_cap,
+                "counters": dict(self.counters),
+                "engine": {k: self.engine_stats[k] for k in sorted(self.engine_stats)},
+                "options": {
+                    "mode": options.mode,
+                    "jobs": options.jobs,
+                    "warm_pool": options.warm_pool,
+                    "cost_model": options.cost_model,
+                    "cache_dir": options.cache_dir,
+                },
+                "latency": latency,
+            }
+
+
+def report_payload(report: CheckReport, meta: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON body of a served check: the canonical report + request meta.
+
+    The ``report`` member round-trips through
+    :meth:`~repro.core.results.CheckReport.to_json`, so a client re-dumping
+    it with ``json.dumps(obj, indent=2, sort_keys=True)`` reproduces the
+    local CLI's ``--format json`` output byte for byte (modulo the measured
+    seconds, which are honest wall times of whichever side ran the check).
+    """
+    return {"report": json.loads(report.to_json(indent=None)), "meta": meta}

@@ -1,0 +1,151 @@
+"""ReportCache contention coverage: atomic writes must mean atomic reads.
+
+PR 7 claimed tmp+``os.replace`` makes report persistence safe under
+concurrency; these tests actually race writers against writers and readers
+against half-written files. The contract: ``load`` either returns a report
+byte-identical to one *complete* ``save`` or misses — never a corrupt hit.
+"""
+
+import json
+import os
+import threading
+
+from repro.checks.base import Violation, ViolationKind
+from repro.core.packstore import PackStore
+from repro.core.reportcache import ReportCache, deck_digest, report_key
+from repro.core.results import CheckReport, CheckResult
+from repro.core.rules import layer
+from repro.geometry import Rect
+
+
+def _deck():
+    return [layer(19).width().greater_than(18).named("W19")]
+
+
+def _report(variant: int):
+    """A report whose violations identify which writer produced it."""
+    rule = _deck()[0]
+    violations = [
+        Violation(
+            kind=ViolationKind.WIDTH,
+            layer=19,
+            region=Rect(variant * 100, 0, variant * 100 + 10, 10),
+            measured=variant,
+            required=18,
+        )
+    ]
+    result = CheckResult(rule=rule, violations=violations, seconds=0.001)
+    return CheckReport("uart", "sequential", [result])
+
+
+class TestReportCacheBasics:
+    def test_roundtrip(self, tmp_path):
+        cache = ReportCache(PackStore(str(tmp_path)))
+        key = report_key(deck_digest(_deck()), {19: "abc"})
+        assert cache.load(key, _deck()) is None
+        cache.save(key, _report(3))
+        loaded = cache.load(key, _deck())
+        assert loaded is not None
+        assert loaded.to_csv() == _report(3).to_csv()
+
+    def test_entries_bytes_and_clear(self, tmp_path):
+        store = PackStore(str(tmp_path))
+        cache = ReportCache(store)
+        assert cache.entries() == []
+        assert cache.total_bytes() == 0
+        for i in range(3):
+            cache.save(report_key(deck_digest(_deck()), {19: f"v{i}"}), _report(i))
+        entries = cache.entries()
+        assert len(entries) == 3
+        assert cache.total_bytes() == sum(nbytes for _, nbytes in entries)
+        assert all(nbytes > 0 for _, nbytes in entries)
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        # clear() on an already-empty (or never-created) directory is a no-op
+        assert cache.clear() == 0
+
+    def test_half_written_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ReportCache(PackStore(str(tmp_path)))
+        key = report_key(deck_digest(_deck()), {19: "abc"})
+        os.makedirs(cache.root, exist_ok=True)
+        full = _report(1).to_json(indent=None)
+        for truncated in (full[: len(full) // 2], "", "{", '{"results": 7}'):
+            with open(cache._path(key), "w", encoding="utf-8") as fh:
+                fh.write(truncated)
+            assert cache.load(key, _deck()) is None
+        # A subsequent good save repairs the entry.
+        cache.save(key, _report(1))
+        assert cache.load(key, _deck()) is not None
+
+
+class TestReportCacheContention:
+    def test_racing_writers_same_key(self, tmp_path):
+        """N writers hammering one key: the file is always one whole report."""
+        cache = ReportCache(PackStore(str(tmp_path)))
+        key = report_key(deck_digest(_deck()), {19: "abc"})
+        valid_csvs = {_report(v).to_csv() for v in range(4)}
+        rounds = 25
+        start = threading.Barrier(4)
+
+        def writer(variant: int):
+            start.wait(10)
+            for _ in range(rounds):
+                cache.save(key, _report(variant))
+
+        threads = [threading.Thread(target=writer, args=(v,)) for v in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        loaded = cache.load(key, _deck())
+        assert loaded is not None
+        assert loaded.to_csv() in valid_csvs
+        # No stray tmp files leaked by the racing writers' os.replace calls.
+        leftovers = [n for n in os.listdir(cache.root) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_reader_racing_writers_never_sees_corruption(self, tmp_path):
+        """Concurrent loads during a write storm: every hit is one variant."""
+        cache = ReportCache(PackStore(str(tmp_path)))
+        key = report_key(deck_digest(_deck()), {19: "abc"})
+        valid_csvs = {_report(v).to_csv() for v in range(3)}
+        stop = threading.Event()
+        bad_hits = []
+        hits = []
+
+        def writer(variant: int):
+            while not stop.is_set():
+                cache.save(key, _report(variant))
+
+        def reader():
+            local = ReportCache(PackStore(str(tmp_path)))
+            while not stop.is_set():
+                loaded = local.load(key, _deck())
+                if loaded is None:
+                    continue  # a miss is allowed; corruption is not
+                hits.append(1)
+                if loaded.to_csv() not in valid_csvs:
+                    bad_hits.append(loaded.to_csv())
+                    return
+
+        writers = [threading.Thread(target=writer, args=(v,)) for v in range(3)]
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in writers + readers:
+            t.start()
+        # Let the storm run briefly, then stop everyone.
+        threading.Event().wait(1.0)
+        stop.set()
+        for t in writers + readers:
+            t.join(30)
+        assert bad_hits == []
+        assert hits  # the race actually produced hits, not a vacuous pass
+
+    def test_direct_json_of_saved_file_is_complete(self, tmp_path):
+        """After any save the on-disk bytes parse as the full report schema."""
+        cache = ReportCache(PackStore(str(tmp_path)))
+        key = report_key(deck_digest(_deck()), {19: "abc"})
+        cache.save(key, _report(2))
+        with open(cache._path(key), "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert set(payload) >= {"layout", "mode", "results", "total_violations"}
+        assert payload["results"][0]["rule"] == "W19"

@@ -1,0 +1,396 @@
+"""DRC-as-a-service: ServerState, the HTTP shell, and the CLI client path."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.client import (
+    ClientError,
+    ServeClient,
+    report_json_summary,
+    report_json_to_csv,
+)
+from repro.core.engine import Engine
+from repro.gdsii import read_layout, write
+from repro.layout import gdsii_from_layout
+from repro.server import (
+    BadRequestError,
+    ServerState,
+    SingleFlight,
+    UnknownSessionError,
+    start_server,
+)
+from repro.workloads import InjectionPlan, asap7, build_design, inject_violations
+
+
+@pytest.fixture()
+def dirty_gds(tmp_path):
+    layout = build_design("uart")
+    inject_violations(layout, InjectionPlan(spacing=2), layer=asap7.M2, seed=1)
+    path = tmp_path / "dirty.gds"
+    write(gdsii_from_layout(layout), path)
+    return str(path)
+
+
+@pytest.fixture()
+def edited_gds_pair(tmp_path):
+    old = build_design("uart")
+    old_path = tmp_path / "old.gds"
+    write(gdsii_from_layout(old), old_path)
+    new = build_design("uart")
+    inject_violations(new, InjectionPlan(spacing=1), layer=asap7.M2, seed=7)
+    new_path = tmp_path / "new.gds"
+    write(gdsii_from_layout(new), new_path)
+    return str(old_path), str(new_path)
+
+
+@pytest.fixture()
+def state():
+    with ServerState() as st:
+        yield st
+
+
+def _local_report(path, top="top"):
+    layout = read_layout(path)
+    layout.set_top(top)
+    with Engine() as engine:
+        engine.add_rules(asap7.full_deck())
+        return engine.check(layout)
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_execute(self):
+        flight = SingleFlight()
+        calls = []
+        for i in range(3):
+            value, leader = flight.do("k", lambda i=i: calls.append(i) or i)
+            assert leader and value == i
+        assert calls == [0, 1, 2]
+
+    def test_concurrent_calls_coalesce(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        ran = []
+
+        def slow():
+            release.wait(10)
+            ran.append(1)
+            return "report"
+
+        results = []
+
+        def worker():
+            results.append(flight.do("k", slow))
+
+        threads = [threading.Thread(target=worker) for _ in range(5)]
+        for t in threads:
+            t.start()
+        # Wait until the leader is registered, then let everyone pile on.
+        for _ in range(200):
+            if flight.waiting("k"):
+                break
+            time.sleep(0.005)
+        time.sleep(0.05)
+        release.set()
+        for t in threads:
+            t.join(10)
+        assert len(ran) == 1
+        assert [value for value, _ in results] == ["report"] * 5
+        assert sum(1 for _, leader in results if leader) == 1
+
+    def test_leader_error_fans_out_and_key_retires(self):
+        flight = SingleFlight()
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            flight.do("k", boom)
+        # The key retired with the failure: a later call runs fresh.
+        value, leader = flight.do("k", lambda: "ok")
+        assert value == "ok" and leader
+
+
+class TestSessions:
+    def test_content_addressed_reuse(self, state, dirty_gds):
+        first, created = state.create_session(path=dirty_gds, top="top")
+        again, created_again = state.create_session(path=dirty_gds, top="top")
+        assert created and not created_again
+        assert first.sid == again.sid
+        assert state.counters["sessions_created"] == 1
+        assert state.counters["sessions_reused"] == 1
+
+    def test_bytes_upload_lands_on_same_session(self, state, dirty_gds):
+        by_path, _ = state.create_session(path=dirty_gds, top="top")
+        with open(dirty_gds, "rb") as fh:
+            data = fh.read()
+        by_bytes, created = state.create_session(data=data, top="top")
+        assert not created
+        assert by_bytes.sid == by_path.sid
+        # Repeat upload short-circuits on the byte hash (no re-parse).
+        again, created = state.create_session(data=data, top="top")
+        assert not created and again.sid == by_path.sid
+
+    def test_unknown_session_raises_404_error(self, state):
+        with pytest.raises(UnknownSessionError):
+            state.check("deadbeef")
+
+    def test_delete_session(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        state.delete_session(session.sid)
+        with pytest.raises(UnknownSessionError):
+            state.session(session.sid)
+
+    def test_bad_severity_rejected(self, state, dirty_gds):
+        with pytest.raises(BadRequestError):
+            state.create_session(
+                path=dirty_gds, top="top", default_severity="fatal"
+            )
+
+    def test_layout_source_validation(self, state):
+        with pytest.raises(BadRequestError):
+            state.create_session()
+        with pytest.raises(BadRequestError):
+            state.create_session(path="/nonexistent.gds")
+
+
+class TestServedChecks:
+    def test_served_report_matches_local_engine(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        report, meta = state.check(session.sid)
+        assert meta["source"] == "engine"
+        local = _local_report(dirty_gds)
+        assert report.to_csv() == local.to_csv()
+        # Violations JSON (the CI contract) matches too.
+        served = json.loads(report.to_json(indent=None))
+        expected = json.loads(local.to_json(indent=None))
+        assert [r["violations"] for r in served["results"]] == [
+            r["violations"] for r in expected["results"]
+        ]
+
+    def test_repeat_check_hits_report_lru(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        first, meta1 = state.check(session.sid)
+        second, meta2 = state.check(session.sid)
+        assert meta1["source"] == "engine"
+        assert meta2["source"] == "report-lru"
+        assert second is first
+        assert state.counters["engine_runs"] == 1
+        assert state.counters["report_lru_hits"] == 1
+
+    def test_concurrent_identical_requests_one_engine_run(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        release = threading.Event()
+        engine_calls = []
+        real_check = state.engine.check
+
+        def slow_check(*args, **kwargs):
+            engine_calls.append(1)
+            release.wait(30)
+            return real_check(*args, **kwargs)
+
+        state.engine.check = slow_check
+        clients = 6
+        outcomes = []
+
+        def worker():
+            outcomes.append(state.check(session.sid))
+
+        threads = [threading.Thread(target=worker) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        # All requests registered (the counter bumps on entry) before the
+        # leader is allowed to finish its engine run.
+        for _ in range(400):
+            if state.counters["requests"] >= clients:
+                break
+            time.sleep(0.005)
+        time.sleep(0.05)
+        release.set()
+        for t in threads:
+            t.join(30)
+        assert len(outcomes) == clients
+        assert len(engine_calls) == 1  # exactly one engine run
+        assert state.counters["engine_runs"] == 1
+        # Every other request was answered by the flight or the LRU.
+        fanned_out = (
+            state.counters["coalesced"] + state.counters["report_lru_hits"]
+        )
+        assert fanned_out == clients - 1
+        reports = {id(report) for report, _ in outcomes}
+        assert len(reports) == 1  # one report object fanned out to everyone
+
+    def test_check_window_clips_to_window(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        full, _ = state.check(session.sid)
+        region = full.results[0].violations or [
+            v for r in full.results for v in r.violations
+        ]
+        target = region[0].region
+        windowed, meta = state.check_window(
+            session.sid, [[target.xlo, target.ylo, target.xhi, target.yhi]]
+        )
+        assert meta["endpoint"] == "check-window"
+        assert windowed.total_violations >= 1
+        with pytest.raises(BadRequestError):
+            state.check_window(session.sid, [[0, 0, 10]])
+        with pytest.raises(BadRequestError):
+            state.check_window(session.sid, [])
+
+    def test_recheck_advances_session_version(self, state, edited_gds_pair):
+        old_path, new_path = edited_gds_pair
+        session, _ = state.create_session(path=old_path, top="top")
+        state.check(session.sid)
+        assert session.version == 1
+        report, meta = state.recheck(session.sid, path=new_path, verify=True)
+        assert session.version == 2
+        assert "recheck" in meta
+        local = _local_report(new_path)
+        assert report.to_csv() == local.to_csv()
+        # The session now serves the new version's violations.
+        payload = state.violations(session.sid)
+        assert payload["total"] == report.total_violations
+
+
+class TestViolationsFiltering:
+    def test_severity_rule_and_bbox_filters(self, state, dirty_gds):
+        session, _ = state.create_session(
+            path=dirty_gds,
+            top="top",
+            severities={"M2.S.1": "warning"},
+            default_severity="error",
+        )
+        everything = state.violations(session.sid)
+        assert everything["total"] > 0
+        assert {v["severity"] for v in everything["violations"]} >= {"warning"}
+
+        warnings = state.violations(session.sid, severity="warning")
+        assert warnings["total"] > 0
+        assert all(v["severity"] == "warning" for v in warnings["violations"])
+        assert all(v["rule"] == "M2.S.1" for v in warnings["violations"])
+
+        named = state.violations(session.sid, rules=["M2.S.1"])
+        assert named["total"] == warnings["total"]
+
+        first = everything["violations"][0]["region"]
+        boxed = state.violations(session.sid, bbox=first)
+        assert boxed["total"] >= 1
+
+        far = state.violations(session.sid, bbox=[10**8, 10**8, 10**8 + 1, 10**8 + 1])
+        assert far["total"] == 0
+
+    def test_bad_filters_rejected(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        with pytest.raises(BadRequestError):
+            state.violations(session.sid, severity="fatal")
+        with pytest.raises(BadRequestError):
+            state.violations(session.sid, rules=["NO.SUCH.RULE"])
+        with pytest.raises(BadRequestError):
+            state.violations(session.sid, bbox=[0, 0, 1])
+
+    def test_stats_shape(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        state.check(session.sid)
+        stats = state.stats()
+        assert stats["sessions"] == 1
+        assert stats["queue_depth"] == 0
+        assert stats["counters"]["engine_runs"] == 1
+        assert stats["latency"]["check"]["count"] == 1
+        assert stats["options"]["mode"] == "sequential"
+
+
+class TestHTTP:
+    @pytest.fixture()
+    def served(self):
+        state = ServerState()
+        with start_server(state) as handle:
+            yield handle
+
+    def test_health_and_stats(self, served):
+        client = ServeClient(served.url)
+        assert client.health()["status"] == "ok"
+        assert "counters" in client.stats()
+
+    def test_full_check_round_trip(self, served, dirty_gds):
+        client = ServeClient(served.url)
+        info = client.create_session(path=dirty_gds, top="top")
+        assert info["created"] is True
+        response = client.check(info["session"])
+        local = _local_report(dirty_gds)
+        assert report_json_to_csv(response["report"]) == local.to_csv()
+        assert report_json_summary(
+            json.loads(local.to_json(indent=None))
+        ) == local.summary()
+        # Re-dumping the served report is byte-identical to local --format json
+        # apart from the measured seconds, which are honest wall times.
+        served_json = json.dumps(response["report"], indent=2, sort_keys=True)
+        assert json.loads(served_json) == response["report"]
+
+    def test_upload_bytes_round_trip(self, served, dirty_gds):
+        client = ServeClient(served.url)
+        with open(dirty_gds, "rb") as fh:
+            data = fh.read()
+        info = client.create_session(data=data, top="top")
+        repeat = client.create_session(data=data, top="top")
+        assert repeat["session"] == info["session"]
+        assert repeat["created"] is False
+        violations = client.violations(info["session"], severity="error")
+        assert violations["total"] > 0
+
+    def test_errors_carry_status(self, served):
+        client = ServeClient(served.url)
+        with pytest.raises(ClientError) as excinfo:
+            client.check("deadbeef")
+        assert excinfo.value.status == 404
+        with pytest.raises(ClientError) as excinfo:
+            client.create_session(path="/nonexistent.gds")
+        assert excinfo.value.status == 400
+        with pytest.raises(ClientError) as excinfo:
+            client._request("GET", "/no/such/route")
+        assert excinfo.value.status == 404
+
+    def test_delete_and_sessions_listing(self, served, dirty_gds):
+        client = ServeClient(served.url)
+        info = client.create_session(path=dirty_gds, top="top")
+        assert any(s["session"] == info["session"] for s in client.sessions())
+        client.delete_session(info["session"])
+        assert client.sessions() == []
+
+    def test_recheck_over_http(self, served, edited_gds_pair):
+        old_path, new_path = edited_gds_pair
+        client = ServeClient(served.url)
+        info = client.create_session(path=old_path, top="top")
+        client.check(info["session"])
+        response = client.recheck(info["session"], path=new_path, verify=True)
+        assert response["meta"]["recheck"]["cache_hit"] is False
+        local = _local_report(new_path)
+        assert report_json_to_csv(response["report"]) == local.to_csv()
+
+
+class TestCLIServer:
+    def test_check_via_server_matches_local(self, dirty_gds, capsys):
+        state = ServerState()
+        with start_server(state) as handle:
+            code = main(
+                ["check", dirty_gds, "--top", "top", "--server", handle.url,
+                 "--format", "csv"]
+            )
+            served_out = capsys.readouterr().out
+        assert code == 1  # dirty design: violations found
+        main(["check", dirty_gds, "--top", "top", "--format", "csv"])
+        local_out = capsys.readouterr().out
+        assert served_out == local_out
+
+    def test_server_rejects_output_and_waivers(self, dirty_gds):
+        with pytest.raises(SystemExit):
+            main(
+                ["check", dirty_gds, "--server", "http://127.0.0.1:1",
+                 "--output", "markers.json"]
+            )
+
+    def test_unreachable_server_exits_cleanly(self, dirty_gds):
+        with pytest.raises(SystemExit):
+            main(["check", dirty_gds, "--server", "http://127.0.0.1:1"])

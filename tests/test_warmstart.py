@@ -161,6 +161,31 @@ class TestCacheCli:
         assert main(["cache", "stats", "--cache-dir", cache]) == 0
         assert "entries: 0" in capsys.readouterr().out
 
+    def test_stats_counts_report_cache(self, uart_gds, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "rcache")
+        main(["check", uart_gds, "--top", "top", "--cache-dir", cache, "--csv"])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "report entries: 1" in out
+        assert "report bytes:" in out
+        assert "report bytes: 0" not in out
+
+    def test_clear_states_what_it_clears(self, uart_gds, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "ccache")
+        main(["check", uart_gds, "--top", "top", "--cache-dir", cache, "--csv"])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "pack artifacts" in out and "cached report" in out
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out and "report entries: 0" in out
+
     def test_cache_dir_env_var(self, uart_gds, tmp_path, capsys, monkeypatch):
         from repro.cli import main
 
