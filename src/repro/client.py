@@ -114,8 +114,17 @@ class ServeClient:
 
         ``data`` uploads raw GDSII stream bytes; ``path`` names a file the
         *server* can read (handy when client and daemon share a machine).
+        Raw uploads carry their options in the query string, which has no
+        encoding for the per-rule ``severities`` mapping — combining it
+        with ``data`` raises rather than silently dropping it.
         """
         if data is not None:
+            if severities:
+                raise ValueError(
+                    "severities cannot be combined with a raw GDS upload "
+                    "(query-string options only); use path= (JSON body) to "
+                    "set per-rule severities"
+                )
             return self._request(
                 "POST",
                 "/sessions",

@@ -33,7 +33,9 @@ Graceful shutdown: ``serve()`` converts SIGTERM/SIGINT into an orderly
 drain — the accept loop stops, in-flight handler threads are joined
 (``server_close`` blocks on them), and ``Engine.close()`` releases warm
 pools and persists the cost model. ``POST /shutdown`` triggers the same
-path remotely.
+path remotely. Idle keep-alive connections cannot stall the drain:
+handler sockets carry a read timeout (:attr:`DrcRequestHandler.timeout`),
+so a connection with no request in flight closes within that bound.
 """
 
 from __future__ import annotations
@@ -80,6 +82,14 @@ class DrcHTTPServer(ThreadingHTTPServer):
 class DrcRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+    #: Socket timeout (seconds) for request reads. HTTP/1.1 keeps
+    #: connections alive between requests; without a timeout an idle
+    #: keep-alive client parks its handler thread forever and — with
+    #: ``daemon_threads=False`` — blocks the graceful-shutdown drain
+    #: (``server_close`` joins handler threads). On timeout,
+    #: ``handle_one_request`` closes the connection, so the drain is
+    #: bounded by this many seconds.
+    timeout = 10.0
 
     # -- plumbing ------------------------------------------------------------
 

@@ -111,6 +111,28 @@ def _default_deck() -> List[Rule]:
     return asap7.full_deck()
 
 
+def _int_coords(coords: Sequence[Any], what: str) -> List[int]:
+    """Validate ``[x1, y1, x2, y2]``-style coordinates as exact integers.
+
+    Rejects non-numeric values and non-integral floats with a 400 rather
+    than letting ``int()`` raise (a 500) or truncate silently.
+    """
+    out: List[int] = []
+    for c in coords:
+        try:
+            value = int(c)
+        except (TypeError, ValueError):
+            raise BadRequestError(
+                f"{what} coordinates must be integers, got {list(coords)!r}"
+            ) from None
+        if value != c:
+            raise BadRequestError(
+                f"{what} coordinate {c!r} is not an integer"
+            )
+        out.append(value)
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Single-flight request coalescing
 # ---------------------------------------------------------------------------
@@ -484,6 +506,7 @@ class ServerState:
         runner: Callable[[], CheckReport],
         *,
         use_lru: bool = True,
+        record_report: bool = True,
     ) -> Tuple[CheckReport, Dict[str, Any]]:
         start = time.perf_counter()
         with self._lock:
@@ -522,7 +545,12 @@ class ServerState:
         meta["seconds"] = seconds
         with self._lock:
             session.checks += 1
-            session.last_report = report
+            if record_report:
+                # Only full-extent, full-deck reports may become the session
+                # baseline: recheck() splices against last_report and
+                # /violations serves it verbatim, so a report clipped to
+                # windows would silently drop everything outside them.
+                session.last_report = report
             self._latencies.setdefault(endpoint, deque(maxlen=_LATENCY_WINDOW)).append(
                 seconds
             )
@@ -544,7 +572,12 @@ class ServerState:
     def check_window(
         self, sid: str, windows: Sequence[Sequence[int]]
     ) -> Tuple[CheckReport, Dict[str, Any]]:
-        """Run the deck on one or more windows of the session's layout."""
+        """Run the deck on one or more windows of the session's layout.
+
+        The resulting report is clipped to the windows, so it is *not*
+        recorded as the session's ``last_report`` — the recheck splice
+        baseline and ``/violations`` only ever see full-extent reports.
+        """
         from ..core.incremental import check_window as run_window
 
         session = self.session(sid)
@@ -554,7 +587,7 @@ class ServerState:
                 raise BadRequestError(
                     f"window must be [x1, y1, x2, y2], got {list(coords)!r}"
                 )
-            rect = Rect(*(int(c) for c in coords))
+            rect = Rect(*_int_coords(coords, "window"))
             if rect.is_empty:
                 raise BadRequestError(f"window {rect} must be non-empty")
             rects.append(rect)
@@ -571,7 +604,9 @@ class ServerState:
             )
 
         key_extra = tuple((r.xlo, r.ylo, r.xhi, r.yhi) for r in rects)
-        return self._serve("check-window", session, key_extra, runner)
+        return self._serve(
+            "check-window", session, key_extra, runner, record_report=False
+        )
 
     def recheck(
         self,
@@ -649,7 +684,7 @@ class ServerState:
         if bbox is not None:
             if len(bbox) != 4:
                 raise BadRequestError("bbox must be x1,y1,x2,y2")
-            box = Rect(*(int(c) for c in bbox))
+            box = Rect(*_int_coords(bbox, "bbox"))
             if box.is_empty:
                 raise BadRequestError(f"bbox {box} must be non-empty")
         wanted = set(rules) if rules else None

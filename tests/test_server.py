@@ -1,5 +1,6 @@
 """DRC-as-a-service: ServerState, the HTTP shell, and the CLI client path."""
 
+import http.client
 import json
 import threading
 import time
@@ -240,6 +241,53 @@ class TestServedChecks:
         with pytest.raises(BadRequestError):
             state.check_window(session.sid, [])
 
+    def test_check_window_rejects_bad_coordinates(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        with pytest.raises(BadRequestError):
+            state.check_window(session.sid, [["abc", 0, 10, 10]])
+        with pytest.raises(BadRequestError):
+            state.check_window(session.sid, [[None, 0, 10, 10]])
+        # Non-integral floats are rejected, not silently truncated.
+        with pytest.raises(BadRequestError):
+            state.check_window(session.sid, [[0.5, 0, 10, 10]])
+
+    def test_check_window_never_becomes_session_baseline(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        # A windowed check on a never-checked session leaves no baseline...
+        state.check_window(session.sid, [[0, 0, 10, 10]])
+        assert session.last_report is None
+        # ...and never replaces an existing full-extent baseline.
+        full, _ = state.check(session.sid)
+        state.check_window(session.sid, [[0, 0, 10, 10]])
+        assert session.last_report is full
+        payload = state.violations(session.sid)
+        assert payload["total"] == full.total_violations
+
+    def test_recheck_after_check_window_splices_full_baseline(
+        self, state, tmp_path
+    ):
+        # Both versions carry the same M2 violations; the edit only touches
+        # M1, so the recheck reuses the cached M2 results verbatim. A
+        # windowed report leaking into last_report would silently drop
+        # every M2 violation outside the window.
+        old = build_design("uart")
+        inject_violations(old, InjectionPlan(spacing=2), layer=asap7.M2, seed=1)
+        old_path = tmp_path / "old.gds"
+        write(gdsii_from_layout(old), old_path)
+        new = build_design("uart")
+        inject_violations(new, InjectionPlan(spacing=2), layer=asap7.M2, seed=1)
+        inject_violations(new, InjectionPlan(spacing=1), layer=asap7.M1, seed=7)
+        new_path = tmp_path / "new.gds"
+        write(gdsii_from_layout(new), new_path)
+
+        session, _ = state.create_session(path=str(old_path), top="top")
+        full, _ = state.check(session.sid)
+        assert full.total_violations > 0
+        state.check_window(session.sid, [[0, 0, 10, 10]])
+        report, _ = state.recheck(session.sid, path=str(new_path))
+        local = _local_report(str(new_path))
+        assert report.to_csv() == local.to_csv()
+
     def test_recheck_advances_session_version(self, state, edited_gds_pair):
         old_path, new_path = edited_gds_pair
         session, _ = state.create_session(path=old_path, top="top")
@@ -290,6 +338,8 @@ class TestViolationsFiltering:
             state.violations(session.sid, rules=["NO.SUCH.RULE"])
         with pytest.raises(BadRequestError):
             state.violations(session.sid, bbox=[0, 0, 1])
+        with pytest.raises(BadRequestError):
+            state.violations(session.sid, bbox=[0, 0, "x", 1])
 
     def test_stats_shape(self, state, dirty_gds):
         session, _ = state.create_session(path=dirty_gds, top="top")
@@ -358,6 +408,41 @@ class TestHTTP:
         assert any(s["session"] == info["session"] for s in client.sessions())
         client.delete_session(info["session"])
         assert client.sessions() == []
+
+    def test_bad_window_coordinates_are_400_not_500(self, served, dirty_gds):
+        client = ServeClient(served.url)
+        info = client.create_session(path=dirty_gds, top="top")
+        with pytest.raises(ClientError) as excinfo:
+            client.check_window(info["session"], [["abc", 0, 10, 10]])
+        assert excinfo.value.status == 400
+
+    def test_client_rejects_severities_with_raw_upload(self):
+        client = ServeClient("http://127.0.0.1:1")  # never contacted
+        with pytest.raises(ValueError):
+            client.create_session(data=b"\x00\x06", severities={"R": "warning"})
+
+    def test_shutdown_drains_idle_keepalive_connection(self, monkeypatch):
+        from repro.server.http import DrcRequestHandler
+
+        # Idle keep-alive connections must be bounded, or the drain in
+        # server_close() joins their handler threads forever.
+        assert DrcRequestHandler.timeout is not None
+        monkeypatch.setattr(DrcRequestHandler, "timeout", 0.5)
+        handle = start_server(ServerState())
+        host, port = handle.server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/health")
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+            # The connection is now idle but still open (HTTP/1.1
+            # keep-alive); closing the server must not hang on it.
+            start = time.monotonic()
+            handle.close()
+            assert time.monotonic() - start < 8
+        finally:
+            conn.close()
 
     def test_recheck_over_http(self, served, edited_gds_pair):
         old_path, new_path = edited_gds_pair
