@@ -93,6 +93,7 @@ def _measure_coalescing(gds_path: str) -> dict:
     state = ServerState()
     with start_server(state) as handle:
         client = ServeClient(handle.url)
+        client.wait_ready(timeout=30)
         sid = client.create_session(path=gds_path, top=TOP)["session"]
         barrier = threading.Barrier(CONCURRENT_CLIENTS)
         sources = []
@@ -142,6 +143,7 @@ def run_benchmark() -> dict:
     state = ServerState()
     with start_server(state) as handle:
         client = ServeClient(handle.url)
+        client.wait_ready(timeout=30)
         start = time.perf_counter()
         sid = client.create_session(path=gds_path, top=TOP)["session"]
         first_response = client.check(sid)

@@ -362,6 +362,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         options=_engine_options(args),
         deck_path=args.deck,
         report_lru=args.report_lru,
+        max_concurrent=args.max_concurrent,
     )
     return run_serve(state, args.host, args.port)
 
@@ -638,6 +639,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="recent reports kept in memory for instant repeats (default 64)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="engine runs admitted concurrently (different sessions only; "
+        "default: min(jobs, 2))",
     )
     _add_fault_args(serve)
     _add_pool_args(serve)

@@ -11,6 +11,7 @@ sort_keys=True)`` reproduce the local CLI's output byte for byte.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -93,6 +94,42 @@ class ServeClient:
 
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/health")
+
+    def wait_ready(
+        self,
+        timeout: float = 30.0,
+        *,
+        interval: float = 0.05,
+        max_interval: float = 1.0,
+    ) -> Dict[str, Any]:
+        """Poll ``/health`` until the daemon answers; returns its payload.
+
+        The canonical "daemon just forked, is it up yet?" helper — the CI
+        smoke jobs and the serve benchmarks all start a daemon and need to
+        block until the socket accepts. Polls with exponential backoff
+        (``interval`` doubling up to ``max_interval``) and raises
+        :class:`ClientError` if the daemon is still unreachable after
+        ``timeout`` seconds. Only connection failures are retried; an HTTP
+        error (the daemon is up but unhappy) propagates immediately.
+        """
+        deadline = time.monotonic() + timeout
+        delay = max(0.001, interval)
+        last_error: Optional[ClientError] = None
+        while True:
+            try:
+                return self.health()
+            except ClientError as error:
+                if error.status:  # reachable but failing: not a startup race
+                    raise
+                last_error = error
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClientError(
+                    f"daemon at {self.url} not ready after {timeout:g}s: "
+                    f"{last_error}"
+                )
+            time.sleep(min(delay, remaining))
+            delay = min(delay * 2, max_interval)
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/stats")

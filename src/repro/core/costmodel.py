@@ -45,6 +45,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, Optional
 
 from ..util.logging import get_logger
@@ -91,10 +92,20 @@ MAX_RULE_ENTRIES = 512
 
 
 class CostModel:
-    """Learned dispatch overhead + per-kind rates + per-rule costs."""
+    """Learned dispatch overhead + per-kind rates + per-rule costs.
+
+    Thread-safety: with a persistent store the model is shared by every
+    concurrent request of a serve daemon, so calibration writes (the
+    read-modify-write EWMA folds, the LRU eviction in ``observe_rule``, and
+    the ``save`` snapshot) take an instance lock. The estimate readers stay
+    lock-free on purpose — each is a single dict read (atomic under the
+    GIL) and a stale-by-one-sample estimate only shades a routing decision,
+    never correctness.
+    """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
+        self._lock = threading.Lock()
         #: Measured seconds for one no-op pool round trip (None = unmeasured).
         self.dispatch_seconds: Optional[float] = None
         #: Rule kind -> EWMA of compute seconds per weight unit.
@@ -106,35 +117,38 @@ class CostModel:
 
     def observe_dispatch(self, seconds: float) -> None:
         if seconds > 0:
-            self.dispatch_seconds = (
-                seconds
-                if self.dispatch_seconds is None
-                else min(self.dispatch_seconds, seconds)
-            )
+            with self._lock:
+                self.dispatch_seconds = (
+                    seconds
+                    if self.dispatch_seconds is None
+                    else min(self.dispatch_seconds, seconds)
+                )
 
     def observe_kind(self, kind: str, weight: float, seconds: float) -> None:
         """Fold one (weight units, compute seconds) sample into the kind rate."""
         if weight <= 0 or seconds <= 0:
             return
         rate = seconds / weight
-        previous = self.rates.get(kind)
-        self.rates[kind] = (
-            rate
-            if previous is None
-            else (1.0 - EWMA_ALPHA) * previous + EWMA_ALPHA * rate
-        )
+        with self._lock:
+            previous = self.rates.get(kind)
+            self.rates[kind] = (
+                rate
+                if previous is None
+                else (1.0 - EWMA_ALPHA) * previous + EWMA_ALPHA * rate
+            )
 
     def observe_rule(self, key: str, seconds: float) -> None:
         if seconds <= 0:
             return
-        previous = self.rules.pop(key, None)
-        self.rules[key] = (
-            seconds
-            if previous is None
-            else (1.0 - EWMA_ALPHA) * previous + EWMA_ALPHA * seconds
-        )
-        while len(self.rules) > MAX_RULE_ENTRIES:
-            self.rules.pop(next(iter(self.rules)))
+        with self._lock:
+            previous = self.rules.pop(key, None)
+            self.rules[key] = (
+                seconds
+                if previous is None
+                else (1.0 - EWMA_ALPHA) * previous + EWMA_ALPHA * seconds
+            )
+            while len(self.rules) > MAX_RULE_ENTRIES:
+                self.rules.pop(next(iter(self.rules)))
 
     # -- estimates ----------------------------------------------------------
 
@@ -187,12 +201,15 @@ class CostModel:
         """Write the calibration sidecar atomically (best-effort)."""
         if self.path is None:
             return
-        payload = {
-            "version": FORMAT_VERSION,
-            "dispatch_seconds": self.dispatch_seconds,
-            "rates": self.rates,
-            "rules": dict(list(self.rules.items())[-MAX_RULE_ENTRIES:]),
-        }
+        with self._lock:
+            # Snapshot under the lock so a concurrent observe_* fold cannot
+            # mutate the dicts mid-serialization.
+            payload = {
+                "version": FORMAT_VERSION,
+                "dispatch_seconds": self.dispatch_seconds,
+                "rates": dict(self.rates),
+                "rules": dict(list(self.rules.items())[-MAX_RULE_ENTRIES:]),
+            }
         root = os.path.dirname(self.path) or "."
         try:
             os.makedirs(root, exist_ok=True)
@@ -233,6 +250,7 @@ class CostModel:
 # ---------------------------------------------------------------------------
 
 _MODELS: Dict[str, CostModel] = {}
+_MODELS_LOCK = threading.Lock()
 
 
 def model_for(store) -> CostModel:
@@ -248,13 +266,15 @@ def model_for(store) -> CostModel:
     if store is None:
         return CostModel()
     root = store.root
-    model = _MODELS.get(root)
-    if model is None:
-        model = CostModel.load(os.path.join(root, COSTMODEL_FILENAME))
-        _MODELS[root] = model
-    return model
+    with _MODELS_LOCK:
+        model = _MODELS.get(root)
+        if model is None:
+            model = CostModel.load(os.path.join(root, COSTMODEL_FILENAME))
+            _MODELS[root] = model
+        return model
 
 
 def reset_models() -> None:
     """Drop every cached per-store model (tests only)."""
-    _MODELS.clear()
+    with _MODELS_LOCK:
+        _MODELS.clear()

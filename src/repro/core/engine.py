@@ -22,6 +22,8 @@ the task scheduler so rule dependencies are honoured.
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -43,11 +45,41 @@ from .rules import Rule, validate_rules
 from .scheduler import build_plan_graph
 
 __all__ = [
+    "CheckContext",
     "Engine",
     "EngineOptions",
     "MODE_PARALLEL",
     "MODE_SEQUENTIAL",
 ]
+
+
+@dataclasses.dataclass
+class CheckContext:
+    """All mutable state of one ``check()`` execution, owned by one caller.
+
+    Before concurrent serving, this state lived directly on :class:`Engine`
+    (``last_profiles`` filled in while rules ran, ``last_checker`` doubling
+    as "the backend currently executing"), which made two simultaneous
+    checks through one engine corrupt each other's phase timers and result
+    maps. Factoring it into a per-request context makes ``check()``
+    re-entrant: every concurrent request gets its own plan, backend,
+    profiles, and result map, while the engine's heavyweight shared state
+    (warm worker pool, pack store, cost model) is shared deliberately and
+    guarded at its own mutation points. The engine's ``last_*`` attributes
+    survive as end-of-check snapshots (last writer wins) for the CLI and
+    tests that introspect a serial engine.
+    """
+
+    plan: CheckPlan
+    backend: object
+    #: Rule name -> PhaseProfile, filled in as each rule executes.
+    profiles: Dict[str, PhaseProfile] = dataclasses.field(default_factory=dict)
+    #: Rule name -> CheckResult, merged into deck order for the report.
+    results_by_name: Dict[str, CheckResult] = dataclasses.field(
+        default_factory=dict
+    )
+    report: Optional[CheckReport] = None
+    analysis: Optional[object] = None
 
 
 class Engine:
@@ -72,6 +104,9 @@ class Engine:
             self.options = EngineOptions(mode=mode if mode is not None else MODE_SEQUENTIAL)
         self.device = device
         self.rules: List[Rule] = []
+        #: Guards the last_* snapshots, the live-backend set, and the
+        #: warm-pool key set against concurrent check() callers.
+        self._lock = threading.Lock()
         #: Profiles of the last check() call, keyed by rule name (Fig. 4 data).
         self.last_profiles: Dict[str, PhaseProfile] = {}
         self.last_checker = None
@@ -79,6 +114,9 @@ class Engine:
         self.last_plan: Optional[CheckPlan] = None
         #: The RecheckOutcome of the last recheck() call (diff, dispositions).
         self.last_recheck = None
+        #: Backends currently executing a check (close() must reach every
+        #: one of them, not just the most recent caller's).
+        self._live_backends: set = set()
         #: Shared warm-pool registry keys this engine's checks actually
         #: used; close() must release all of them, not just the key the
         #: current options select (options may change between checks).
@@ -96,16 +134,21 @@ class Engine:
         private pools inside ``check()`` already, so there is nothing to
         do for them). Also closes the last backend if it is still open.
         """
-        checker, self.last_checker = self.last_checker, None
-        if checker is not None:
-            close = getattr(checker, "close", None)
+        with self._lock:
+            checker, self.last_checker = self.last_checker, None
+            checkers = set(self._live_backends)
+            self._live_backends.clear()
+            if checker is not None:
+                checkers.add(checker)
+            keys = set(self._warm_pool_keys)
+            self._warm_pool_keys.clear()
+        for open_checker in checkers:
+            close = getattr(open_checker, "close", None)
             if close is not None:
                 try:
                     close()
                 except Exception:  # pragma: no cover - teardown best-effort
                     pass
-        keys = set(self._warm_pool_keys)
-        self._warm_pool_keys.clear()
         if self.options.mode == MODE_MULTIPROC and workerpool.warm_pool_enabled(
             self.options
         ):
@@ -138,16 +181,24 @@ class Engine:
     # -- execution ---------------------------------------------------------------
 
     def compile(
-        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None, tree=None
+        self,
+        layout: Layout,
+        *,
+        rules: Optional[Sequence[Rule]] = None,
+        tree=None,
+        options: Optional[EngineOptions] = None,
     ) -> CheckPlan:
         """Compile the deck (or an explicit rule list) against ``layout``.
 
         ``tree`` short-circuits hierarchy analysis with an already-built
         :class:`HierarchyTree` for ``layout`` (long-lived callers such as
-        the serve daemon keep one per session).
+        the serve daemon keep one per session). ``options`` overrides the
+        engine's own options for this one compilation — the serve daemon
+        routes small concurrent checks inline by rerunning them with
+        ``jobs=1`` without mutating the shared engine.
         """
         deck = list(rules) if rules is not None else self.rules
-        return compile_plan(layout, deck, self.options, tree=tree)
+        return compile_plan(layout, deck, options or self.options, tree=tree)
 
     def check(
         self,
@@ -155,9 +206,14 @@ class Engine:
         *,
         rules: Optional[Sequence[Rule]] = None,
         tree=None,
+        options: Optional[EngineOptions] = None,
     ) -> CheckReport:
-        """Run the deck (or an explicit rule list) on ``layout``."""
-        report, _ = self._execute(layout, rules=rules, tree=tree)
+        """Run the deck (or an explicit rule list) on ``layout``.
+
+        Re-entrant: concurrent callers each execute in a private
+        :class:`CheckContext`; see its docstring for the sharing contract.
+        """
+        report, _ = self._execute(layout, rules=rules, tree=tree, options=options)
         return report
 
     def recheck(
@@ -211,23 +267,34 @@ class Engine:
         return self._execute(layout, rules=rules)
 
     def _execute(
-        self, layout: Layout, *, rules: Optional[Sequence[Rule]] = None, tree=None
+        self,
+        layout: Layout,
+        *,
+        rules: Optional[Sequence[Rule]] = None,
+        tree=None,
+        options: Optional[EngineOptions] = None,
     ):
-        """Compile the deck, then drive the backend through the scheduler."""
-        plan = self.compile(layout, rules=rules, tree=tree)
-        backend = make_backend(plan, device=self.device)
-        self.last_plan = plan
-        self.last_checker = backend
-        self.last_profiles = {}
+        """Compile the deck, then drive the backend through the scheduler.
 
-        results_by_name: Dict[str, CheckResult] = {}
+        All per-check mutable state lives in a :class:`CheckContext` local
+        to this call; the engine only records the backend in its live set
+        (so ``close()`` can reach a hung check) and publishes the last_*
+        snapshots once the check completes.
+        """
+        plan = self.compile(layout, rules=rules, tree=tree, options=options)
+        context = CheckContext(
+            plan=plan, backend=make_backend(plan, device=self.device)
+        )
+        backend = context.backend
+        with self._lock:
+            self._live_backends.add(backend)
 
         def run_rule(rule: Rule) -> CheckResult:
             profile = PhaseProfile()
             start = time.perf_counter()
             violations = backend.run(rule, profile)
             seconds = time.perf_counter() - start
-            self.last_profiles[rule.name] = profile
+            context.profiles[rule.name] = profile
             result = CheckResult(
                 rule=rule,
                 violations=violations,
@@ -235,7 +302,7 @@ class Engine:
                 profile=profile,
                 stats=backend.stats(),
             )
-            results_by_name[rule.name] = result
+            context.results_by_name[rule.name] = result
             return result
 
         graph = build_plan_graph(plan, run_rule)
@@ -246,21 +313,29 @@ class Engine:
             prefetch = getattr(backend, "prefetch", None)
             if prefetch is not None:
                 prefetch()
-            analysis = graph.execute()
+            context.analysis = graph.execute()
         finally:
             close = getattr(backend, "close", None)
             if close is not None:
                 close()
             key = getattr(backend, "warm_pool_key", None)
-            if key is not None:
-                self._warm_pool_keys.add(key)
-        report = CheckReport(
+            with self._lock:
+                self._live_backends.discard(backend)
+                if key is not None:
+                    self._warm_pool_keys.add(key)
+        context.report = CheckReport(
             layout.name,
             plan.mode,
-            [results_by_name[compiled.name] for compiled in plan.compiled],
+            [context.results_by_name[compiled.name] for compiled in plan.compiled],
         )
-        self._save_report(plan, report)
-        return report, analysis
+        with self._lock:
+            # Last-writer-wins snapshots for serial introspection (CLI
+            # profile dumps, tests); concurrent callers use their context.
+            self.last_plan = plan
+            self.last_checker = backend
+            self.last_profiles = context.profiles
+        self._save_report(plan, context.report)
+        return context.report, context.analysis
 
     def _save_report(self, plan: CheckPlan, report: CheckReport) -> None:
         """Persist the report beside the pack store so ``recheck`` can splice.

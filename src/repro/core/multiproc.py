@@ -26,6 +26,10 @@ the plan on first touch, staying warm across rules, checks, and pool
 rebuilds. With ``warm_pool`` enabled the pool itself outlives the check
 (process-wide registry), so a repeat check of the same deck spawns zero
 processes and ships only shard descriptors (``mp_plan_compiles == 0``).
+When several backends share one warm pool (concurrent serving), each
+submits under its own requester token and the pool's fair dispatcher
+interleaves their tasks round-robin, so no request's shard batch starves
+another's.
 
 A calibrated :class:`~repro.core.costmodel.CostModel` (enabled by
 ``EngineOptions.cost_model``) prices every fan-out against the measured
@@ -1025,11 +1029,19 @@ class MultiprocessBackend:
                     plan = faults.active()
                     if plan is not None:
                         fault = plan.worker_fault(rule.name)
+                # A shared warm pool may be multiplexed across concurrent
+                # backends: submissions carry this backend's requester token
+                # so the pool's fair dispatcher interleaves round-robin
+                # across requests instead of letting a big shard batch
+                # starve a small concurrent check. A private pool has one
+                # requester by construction — direct submission.
                 return _Pending(
                     task=task,
                     rule=rule,
                     result=pool.apply_async(
-                        _run_task, (task, fault, spec, self._fault_epoch)
+                        _run_task,
+                        (task, fault, spec, self._fault_epoch),
+                        requester=None if self._owns_pool else self._fault_epoch,
                     ),
                 )
             except Exception:

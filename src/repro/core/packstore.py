@@ -48,6 +48,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -199,7 +200,17 @@ def member_rows_from_arrays(
 
 
 class PackStore:
-    """Content-addressed directory of memmap-readable pack entries."""
+    """Content-addressed directory of memmap-readable pack entries.
+
+    Thread-safety: the entry read/write paths are already safe to share —
+    every write is build-aside + atomic ``os.replace`` and readers memmap
+    whichever complete file they find. The in-memory hit/miss counters are
+    deliberately lock-free ``+=`` updates (informational; a lost increment
+    under two concurrent requests at worst under-counts a stat), but the
+    sidecar flush in :meth:`persist_counters` is locked: its delta
+    computation against ``_persisted`` is a read-modify-write that two
+    handler threads closing backends at once would otherwise double-count.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
@@ -209,6 +220,7 @@ class PackStore:
         self.bytes_read = 0
         self.bytes_written = 0
         self._persisted: Dict[str, int] = {}
+        self._persist_lock = threading.Lock()
 
     # -- paths --------------------------------------------------------------
 
@@ -412,32 +424,35 @@ class PackStore:
         counting. The sidecar feeds ``repro cache stats`` — informational,
         racing writers at worst under-count.
         """
-        current = self.counters()
-        delta = {
-            name: value - self._persisted.get(name, 0)
-            for name, value in current.items()
-        }
-        if not any(delta.values()):
-            return
-        path = os.path.join(self.root, "counters.json")
-        try:
-            os.makedirs(self.root, exist_ok=True)
+        with self._persist_lock:
+            current = self.counters()
+            delta = {
+                name: value - self._persisted.get(name, 0)
+                for name, value in current.items()
+            }
+            if not any(delta.values()):
+                return
+            path = os.path.join(self.root, "counters.json")
             try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    totals = json.load(handle)
-                if not isinstance(totals, dict):
+                os.makedirs(self.root, exist_ok=True)
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        totals = json.load(handle)
+                    if not isinstance(totals, dict):
+                        totals = {}
+                except (OSError, ValueError):
                     totals = {}
-            except (OSError, ValueError):
-                totals = {}
-            for name, value in delta.items():
-                totals[name] = int(totals.get(name, 0)) + value
-            fd, tmp = tempfile.mkstemp(prefix=".counters.", suffix=".tmp", dir=self.root)
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(totals, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except OSError:
-            return
-        self._persisted = current
+                for name, value in delta.items():
+                    totals[name] = int(totals.get(name, 0)) + value
+                fd, tmp = tempfile.mkstemp(
+                    prefix=".counters.", suffix=".tmp", dir=self.root
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(totals, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except OSError:
+                return
+            self._persisted = current
 
     def persisted_counters(self) -> Dict[str, int]:
         """Totals accumulated across all runs (``repro cache stats``)."""

@@ -22,6 +22,7 @@ task parallelism: a plan is a self-contained, executable artifact.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import (
     Any,
     Callable,
@@ -348,22 +349,36 @@ class PackCache:
     rule touching a layer pays zero host packing. A rule whose distance
     changes the partition margin, or a backend with rows disabled, produces
     a different signature and is thereby correctly bypassed.
+
+    Thread-safety: a plan — and therefore this cache — is owned by the one
+    check that compiled it, but a multiprocess backend's shard paths may
+    consult it from the handler thread while the engine's scheduler drive
+    touches it too, and the incremental engine shares one plan across its
+    window backends. ``get`` therefore locks its lookup-or-build. The lock
+    is *not* held while ``build()`` runs (a build may pack large buffers);
+    losing that race costs one redundant build, never a wrong value —
+    builds are pure functions of the key.
     """
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
         self._stores: Dict[str, Dict[Any, Any]] = {}
 
     def get(self, store: str, key: Any, build: Callable[[], Any]) -> Any:
-        bucket = self._stores.setdefault(store, {})
-        if key in bucket:
-            self.hits += 1
-            return bucket[key]
-        self.misses += 1
+        with self._lock:
+            bucket = self._stores.setdefault(store, {})
+            if key in bucket:
+                self.hits += 1
+                return bucket[key]
+            self.misses += 1
         value = build()
-        bucket[key] = value
-        return value
+        with self._lock:
+            # First publisher wins so every reader sees one object identity
+            # (partition signatures are compared, and buffers are reused,
+            # by the value actually stored).
+            return bucket.setdefault(key, value)
 
 
 class PlanCaches:
@@ -396,7 +411,12 @@ class PlanCaches:
         )
 
     def layer_digest(self, layer: int) -> str:
-        """Geometry content hash of one layer, memoised for the deck."""
+        """Geometry content hash of one layer, memoised for the deck.
+
+        Deliberately lock-free: the digest is a pure function of the frozen
+        tree, so two threads racing the memo compute the same string and
+        the single dict assignment is atomic under the GIL.
+        """
         digest = self._layer_digests.get(layer)
         if digest is None:
             digest = layer_geometry_digest(self.tree, layer)
@@ -529,7 +549,12 @@ def compile_plan(
         options = EngineOptions()
     # Arm (or clear) the process-global fault-injection plan for this run.
     # Idempotent by spec, so worker processes re-compiling the shipped plan
-    # do not re-arm faults their process already fired.
+    # do not re-arm faults their process already fired. Concurrent checks
+    # share one daemon's engine options (and therefore one spec): the
+    # install itself is locked, and the plan's budgets meter process-wide
+    # opportunities by design — which requests they fire against is
+    # scheduling-dependent, but every request's report stays canonical
+    # because recovery is byte-transparent.
     fault_injection.install(fault_injection.resolve_spec(options))
     resolved_mode = mode if mode is not None else options.mode
     if resolved_mode not in ALL_MODES and resolved_mode not in BACKEND_FACTORIES:

@@ -320,3 +320,33 @@ def shard_count(num_items: int, jobs: int) -> int:
     if jobs < 1:
         raise SchedulerError(f"need at least 1 job, got {jobs}")
     return max(1, min(num_items, jobs * SHARD_OVERSUBSCRIPTION))
+
+
+# ---------------------------------------------------------------------------
+# Fair-share interleaving (multi-request pool multiplexing)
+# ---------------------------------------------------------------------------
+
+
+def round_robin_interleave(sequences: Sequence[Sequence]) -> List:
+    """Interleave several task sequences one item at a time, round-robin.
+
+    ``[[a1, a2, a3], [b1, b2]]`` becomes ``[a1, b1, a2, b2, a3]``: each
+    requester contributes its next item in turn, so a long sequence cannot
+    monopolize a shared queue ahead of a short one. Order *within* each
+    sequence is preserved — this only decides the merge order, which is why
+    a fair-share dispatcher built on it cannot change any requester's own
+    result ordering. Empty sequences are skipped; the merge is
+    deterministic in the order the sequences are given.
+    """
+    merged: List = []
+    cursors = [iter(seq) for seq in sequences]
+    while cursors:
+        survivors = []
+        for cursor in cursors:
+            try:
+                merged.append(next(cursor))
+            except StopIteration:
+                continue
+            survivors.append(cursor)
+        cursors = survivors
+    return merged

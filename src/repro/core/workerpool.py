@@ -40,8 +40,9 @@ import multiprocessing
 import os
 import shutil
 import tempfile
+import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..util.logging import get_logger
@@ -193,12 +194,184 @@ def _noop() -> None:
 
 
 # ---------------------------------------------------------------------------
+# Fair-share dispatch (multi-request pool multiplexing)
+# ---------------------------------------------------------------------------
+
+
+class _FairResult:
+    """Result proxy matching ``AsyncResult.get(timeout)`` semantics.
+
+    ``get`` blocks until the underlying pool task resolves; a timeout
+    raises :class:`multiprocessing.TimeoutError` (so the multiprocess
+    backend's retry ladder distinguishes hangs from worker exceptions
+    exactly as it does for direct submissions), and a worker exception is
+    re-raised as-is.
+
+    The timeout meters the *dispatched* round trip only: time the task
+    spends queued behind other requesters' turns does not count, because
+    the backend's task timeout exists to detect hung workers, and a task
+    that has not reached a worker yet cannot be hung. The queue wait is
+    unbounded but cannot leak — every path out of the dispatcher
+    (dispatch, pool failure, :meth:`_FairDispatcher.abandon` re-pump)
+    either marks the proxy dispatched or resolves it.
+    """
+
+    __slots__ = ("_event", "_dispatch_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._dispatch_event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def _mark_dispatched(self) -> None:
+        self._dispatch_event.set()
+
+    def _resolve(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        self._value = value
+        self._error = error
+        # Resolution ends any queue wait too (a proxy failed while still
+        # queued must not strand its waiter on the dispatch event).
+        self._dispatch_event.set()
+        self._event.set()
+
+    def ready(self) -> bool:
+        return self._event.is_set()
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        if timeout is None:
+            self._event.wait()
+        else:
+            self._dispatch_event.wait()
+            if not self._event.wait(timeout):
+                raise multiprocessing.TimeoutError()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _FairDispatcher:
+    """Round-robin fair-share front of one pool's shared task queue.
+
+    Direct ``apply_async`` pushes tasks into multiprocessing's single FIFO,
+    so a large check that submits a 32-shard batch ahead of a small
+    concurrent request starves it by the whole batch. The dispatcher keeps
+    a FIFO *per requester* and feeds the real pool by rotating across the
+    active requesters (the merge order of
+    :func:`repro.core.scheduler.round_robin_interleave`), keeping at most
+    ``2 * jobs`` tasks inside the pool so a late-arriving requester reaches
+    a worker within about one task of joining. Order within one requester
+    is preserved, which is why fair dispatch cannot reorder any single
+    request's own results.
+
+    Rebuild contract: :meth:`abandon` fails every dispatched-but-unresolved
+    proxy with a ``RuntimeError`` (terminated workers will never fire their
+    callbacks), so waiters fall into the backend's retry ladder immediately
+    instead of hanging; still-queued tasks survive and drain into the
+    respawned generation.
+    """
+
+    def __init__(self, pool: "WorkerPool") -> None:
+        self._pool = pool
+        self._lock = threading.Lock()
+        #: requester -> FIFO of (proxy, func, args); insertion-ordered so
+        #: the rotation is deterministic.
+        self._queues: "OrderedDict[Any, deque]" = OrderedDict()
+        #: Proxies handed to the live pool and not yet resolved.
+        self._dispatched: set = set()
+        self._inflight = 0
+        self._max_inflight = max(2, 2 * pool.jobs)
+        #: Requester tokens in dispatch order — lets tests assert fairness.
+        self.dispatch_log: deque = deque(maxlen=256)
+
+    def submit(self, requester: Any, func, args: Tuple[Any, ...]) -> _FairResult:
+        proxy = _FairResult()
+        with self._lock:
+            queue = self._queues.get(requester)
+            if queue is None:
+                queue = deque()
+                self._queues[requester] = queue
+            queue.append((proxy, func, args))
+        self._pump()
+        return proxy
+
+    def _pump(self) -> None:
+        """Dispatch queued tasks into free in-flight slots, round-robin."""
+        while True:
+            with self._lock:
+                if self._inflight >= self._max_inflight or not self._queues:
+                    return
+                requester = next(iter(self._queues))
+                queue = self._queues[requester]
+                proxy, func, args = queue.popleft()
+                if queue:
+                    # Rotate: this requester goes to the back of the merge.
+                    self._queues.move_to_end(requester)
+                else:
+                    del self._queues[requester]
+                self._dispatched.add(proxy)
+                self._inflight += 1
+                self.dispatch_log.append(requester)
+                proxy._mark_dispatched()
+            try:
+                self._pool.ensure().apply_async(
+                    func,
+                    args,
+                    callback=lambda value, p=proxy: self._done(p, value=value),
+                    error_callback=lambda error, p=proxy: self._done(p, error=error),
+                )
+            except Exception as error:
+                # Pool closed or spawn failed: fail this task, then keep
+                # draining so every queued proxy resolves rather than hangs.
+                self._done(proxy, error=error)
+
+    def _done(
+        self, proxy: _FairResult, value: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        with self._lock:
+            if proxy not in self._dispatched:
+                # Abandoned by a rebuild; a straggler callback from the old
+                # generation must not double-decrement the slot count.
+                return
+            self._dispatched.discard(proxy)
+            self._inflight -= 1
+        proxy._resolve(value=value, error=error)
+        self._pump()
+
+    def abandon(self) -> None:
+        """Fail dispatched-but-unresolved tasks after a pool rebuild."""
+        with self._lock:
+            dispatched = list(self._dispatched)
+            self._dispatched.clear()
+            self._inflight = 0
+            queued = bool(self._queues)
+        error = RuntimeError(
+            "worker pool was rebuilt with fair-dispatched tasks in flight"
+        )
+        for proxy in dispatched:
+            proxy._resolve(error=error)
+        if queued:
+            # Other requesters may be parked in get() with everything
+            # already submitted — restart their drain into the fresh
+            # generation (or fail them cleanly if the pool is closed).
+            self._pump()
+
+
+# ---------------------------------------------------------------------------
 # The pool
 # ---------------------------------------------------------------------------
 
 
 class WorkerPool:
-    """A rebuildable process pool plus its spooled deck payloads."""
+    """A rebuildable process pool plus its spooled deck payloads.
+
+    Thread-safety: one warm pool is shared by every concurrent request of a
+    serve daemon, so the lifecycle (:meth:`ensure`/:meth:`rebuild`/
+    :meth:`close`), the spool index, and the calibration cache are guarded
+    by an instance lock. The lock is never held across a fork or a worker
+    round trip, only across bookkeeping.
+    """
 
     def __init__(self, jobs: int, start_method: Optional[str] = None) -> None:
         if jobs < 1:
@@ -206,6 +379,7 @@ class WorkerPool:
         self.jobs = jobs
         self.start_method = _resolve_start_method(start_method)
         self._context = multiprocessing.get_context(self.start_method)
+        self._lock = threading.RLock()
         self._pool = None
         self._spool_dir: Optional[str] = None
         self._spooled: Dict[str, str] = {}
@@ -213,28 +387,50 @@ class WorkerPool:
         self._closed = False
         #: Times the workers were (re)spawned — observable by tests.
         self.generation = 0
+        self._dispatcher = _FairDispatcher(self)
 
     @property
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def dispatch_log(self) -> deque:
+        """Requester tokens in fair-dispatch order (observable by tests)."""
+        return self._dispatcher.dispatch_log
+
     def ensure(self):
         """The live ``multiprocessing.Pool``, spawning workers if needed."""
-        if self._closed:
-            raise RuntimeError("worker pool is closed")
-        if self._pool is None:
-            self._pool = self._context.Pool(self.jobs, initializer=_pool_warmup)
-            self.generation += 1
-        return self._pool
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if self._pool is None:
+                self._pool = self._context.Pool(
+                    self.jobs, initializer=_pool_warmup
+                )
+                self.generation += 1
+            return self._pool
 
-    def apply_async(self, func, args: Tuple[Any, ...] = ()):
-        return self.ensure().apply_async(func, args)
+    def apply_async(
+        self, func, args: Tuple[Any, ...] = (), requester: Any = None
+    ):
+        """Submit one task; ``requester`` opts into fair-share dispatch.
+
+        Without a requester token the task goes straight to the pool's own
+        FIFO (the single-request fast path). With one, it queues in that
+        requester's lane and reaches the pool in round-robin merge order
+        across all active requesters, so concurrent checks share the
+        workers fairly instead of first-submitter-takes-all.
+        """
+        if requester is None:
+            return self.ensure().apply_async(func, args)
+        return self._dispatcher.submit(requester, func, args)
 
     def worker_pids(self) -> List[int]:
         """PIDs of the live worker processes (empty before first use)."""
-        if self._pool is None:
-            return []
-        return sorted(proc.pid for proc in self._pool._pool)
+        with self._lock:
+            if self._pool is None:
+                return []
+            return sorted(proc.pid for proc in self._pool._pool)
 
     # -- plan spooling -------------------------------------------------------
 
@@ -246,28 +442,31 @@ class WorkerPool:
         ``shipped`` is True only when the payload was actually built and
         written — a repeat check of the same deck finds its digest spooled
         and ships nothing. The file outlives pool rebuilds (respawned
-        workers just re-read it) and is deleted by :meth:`close`.
+        workers just re-read it) and is deleted by :meth:`close`. The
+        instance lock covers the whole build-and-publish so two concurrent
+        requests spooling the same digest ship it exactly once.
         """
-        path = self._spooled.get(digest)
-        if path is not None and os.path.exists(path):
-            return path, False
-        if self._spool_dir is None:
-            self._spool_dir = tempfile.mkdtemp(prefix="repro-warmpool-")
-        path = os.path.join(self._spool_dir, f"{digest[:32]}.plan")
-        payload = make_payload()
-        fd, tmp = tempfile.mkstemp(prefix=".plan.", dir=self._spool_dir)
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except OSError:
+        with self._lock:
+            path = self._spooled.get(digest)
+            if path is not None and os.path.exists(path):
+                return path, False
+            if self._spool_dir is None:
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-warmpool-")
+            path = os.path.join(self._spool_dir, f"{digest[:32]}.plan")
+            payload = make_payload()
+            fd, tmp = tempfile.mkstemp(prefix=".plan.", dir=self._spool_dir)
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
             except OSError:
-                pass
-            raise
-        self._spooled[digest] = path
-        return path, True
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._spooled[digest] = path
+            return path, True
 
     # -- calibration ---------------------------------------------------------
 
@@ -279,17 +478,27 @@ class WorkerPool:
         it; the first sample is discarded because under ``spawn`` it
         absorbs the worker's interpreter boot.
         """
-        if self._dispatch_seconds is None and measure and self._pool is not None:
-            try:
-                samples = []
-                for _ in range(_DISPATCH_SAMPLES):
-                    start = time.perf_counter()
-                    self._pool.apply_async(_noop).get(_DISPATCH_TIMEOUT)
-                    samples.append(time.perf_counter() - start)
-                self._dispatch_seconds = min(samples[1:] or samples)
-            except Exception:
-                pass
-        return self._dispatch_seconds
+        with self._lock:
+            if self._dispatch_seconds is not None or not measure:
+                return self._dispatch_seconds
+            pool = self._pool
+        if pool is None:
+            return None
+        # Measure outside the lock: three no-op round trips must not stall
+        # a concurrent request's ensure()/ensure_plan() bookkeeping.
+        try:
+            samples = []
+            for _ in range(_DISPATCH_SAMPLES):
+                start = time.perf_counter()
+                pool.apply_async(_noop).get(_DISPATCH_TIMEOUT)
+                samples.append(time.perf_counter() - start)
+            measured = min(samples[1:] or samples)
+        except Exception:
+            return self._dispatch_seconds
+        with self._lock:
+            if self._dispatch_seconds is None:
+                self._dispatch_seconds = measured
+            return self._dispatch_seconds
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -299,20 +508,27 @@ class WorkerPool:
         The next :meth:`ensure` respawns a fresh generation; in-flight
         :class:`PlanRef` descriptors stay valid because the spool files
         survive, so a recycled pool re-warms itself without a reship.
+        Fair-dispatched tasks the dead generation was running are failed
+        immediately (see :meth:`_FairDispatcher.abandon`) so their waiters
+        hit the retry ladder instead of a full task timeout.
         """
-        pool, self._pool = self._pool, None
+        with self._lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.terminate()
             pool.join()
+        self._dispatcher.abandon()
 
     def close(self) -> None:
         """Terminate workers and delete the spool (idempotent, terminal)."""
-        self._closed = True
+        with self._lock:
+            self._closed = True
         self.rebuild()
-        self._spooled.clear()
-        if self._spool_dir is not None:
-            shutil.rmtree(self._spool_dir, ignore_errors=True)
-            self._spool_dir = None
+        with self._lock:
+            self._spooled.clear()
+            spool_dir, self._spool_dir = self._spool_dir, None
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
 
 
 # ---------------------------------------------------------------------------
@@ -320,30 +536,39 @@ class WorkerPool:
 # ---------------------------------------------------------------------------
 
 _POOLS: Dict[Tuple[int, Optional[str]], WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def get_pool(jobs: int, start_method: Optional[str] = None) -> WorkerPool:
-    """The shared warm pool for (jobs, start method), created on first use."""
+    """The shared warm pool for (jobs, start method), created on first use.
+
+    Registry lookups are locked: two concurrent requests racing here must
+    land on the *same* WorkerPool, or the whole warm-state amortization
+    story falls apart (each would spawn and then leak a pool).
+    """
     key = (jobs, _resolve_start_method(start_method))
-    pool = _POOLS.get(key)
-    if pool is None or pool.closed:
-        pool = WorkerPool(jobs, start_method=key[1])
-        _POOLS[key] = pool
-    return pool
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None or pool.closed:
+            pool = WorkerPool(jobs, start_method=key[1])
+            _POOLS[key] = pool
+        return pool
 
 
 def release_pool(jobs: int, start_method: Optional[str] = None) -> None:
     """Close and forget one shared pool (``Engine.close`` calls this)."""
     key = (jobs, _resolve_start_method(start_method))
-    pool = _POOLS.pop(key, None)
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(key, None)
     if pool is not None:
         pool.close()
 
 
 def shutdown_pools() -> None:
     """Close every shared pool (atexit hook; tests call it for isolation)."""
-    for key in list(_POOLS):
-        pool = _POOLS.pop(key)
+    with _POOLS_LOCK:
+        pools = [_POOLS.pop(key) for key in list(_POOLS)]
+    for pool in pools:
         try:
             pool.close()
         except Exception:  # pragma: no cover - teardown best-effort

@@ -9,6 +9,7 @@ are the two ends of the wire.
 
 from .http import DrcHTTPServer, ServeHandle, serve, start_server
 from .state import (
+    AdmissionScheduler,
     BadRequestError,
     ServeError,
     ServerState,
@@ -18,6 +19,7 @@ from .state import (
 )
 
 __all__ = [
+    "AdmissionScheduler",
     "BadRequestError",
     "DrcHTTPServer",
     "ServeError",

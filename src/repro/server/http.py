@@ -3,7 +3,11 @@
 Plain stdlib: a :class:`http.server.ThreadingHTTPServer` whose handler
 routes JSON-over-HTTP requests into the service core. No framework, no new
 dependencies — the serving shape of the KiCad-MCP DRC tools with the
-transport stripped to what the standard library provides.
+transport stripped to what the standard library provides. Handler threads
+run truly concurrently: engine runs pass through the service core's
+:class:`~repro.server.state.AdmissionScheduler` (bounded cross-session
+concurrency) rather than a global engine lock, so one slow check no longer
+stalls every other session's requests.
 
 Endpoints
 ---------
@@ -362,7 +366,11 @@ def serve(
     """
     server = DrcHTTPServer((host, port), state)
     bound_host, bound_port = server.server_address[:2]
-    announce(f"repro serve: listening on http://{bound_host}:{bound_port}", flush=True)
+    announce(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"(max_concurrent={state.scheduler.max_concurrent})",
+        flush=True,
+    )
 
     installed = {}
     if threading.current_thread() is threading.main_thread():

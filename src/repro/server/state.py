@@ -21,9 +21,24 @@ Three mechanisms turn the warm engine into served throughput:
   digest, layer digests, engine options, and window set) collapse into one
   engine run whose report fans out to every waiter
   (:class:`SingleFlight`); an LRU of recent reports answers repeats without
-  touching the engine at all. The engine itself runs one request at a time
-  behind a lock — that lock *is* the request queue, and its depth is
-  exported in :meth:`stats`.
+  touching the engine at all.
+
+* **Three-tier admission** — engine runs pass through an
+  :class:`AdmissionScheduler` instead of a global engine lock. Tier 1:
+  pure cache paths (report-LRU hits, coalesced followers, and splice-only
+  rechecks whose new content is digest-identical to the session's current
+  version) execute immediately and never enter the queue. Tier 2:
+  compute-bound requests from *different* sessions run concurrently up to
+  ``max_concurrent`` (default ``min(jobs, 2)``), each inside a re-entrant
+  :class:`~repro.core.engine.CheckContext`, sharing one warm worker pool,
+  pack store, and cost model; requests for the *same* session serialize
+  (they would mutate the same baseline). Tier 3: the shared pool is
+  multiplexed fairly across the admitted requests (round-robin shard
+  dispatch), and a request whose previous run was cheaper than a few pool
+  round trips is routed inline — re-run with ``jobs=1`` in its own handler
+  thread so it never contends for workers. The number of threads parked in
+  admission is the ``queue_depth`` gauge; ``active_requests`` and the
+  ``max_active_seen`` high-water mark sit next to it in :meth:`stats`.
 
 * **Structured responses** — reports serialize through the same
   :meth:`~repro.core.results.CheckReport.to_json` schema the CLI prints,
@@ -35,6 +50,8 @@ tests drive :class:`ServerState` directly.
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import hashlib
 import json
 import runpy
@@ -43,7 +60,7 @@ import threading
 import time
 import uuid
 from collections import OrderedDict, deque
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..gdsii import read_layout
@@ -52,13 +69,15 @@ from ..geometry import Rect
 from ..hierarchy.tree import HierarchyTree
 from ..layout.builder import layout_from_gdsii
 from ..layout.library import Layout
+from ..core import costmodel
 from ..core.engine import Engine, EngineOptions
-from ..core.packstore import layer_geometry_digest, store_key
+from ..core.packstore import layer_geometry_digest, resolve_store, store_key
 from ..core.reportcache import deck_digest
 from ..core.results import CheckReport, merge_stats, violation_to_json
 from ..core.rules import Rule
 
 __all__ = [
+    "AdmissionScheduler",
     "BadRequestError",
     "ServeError",
     "ServerState",
@@ -76,6 +95,13 @@ DEFAULT_REPORT_LRU = 64
 
 #: Request latencies kept per endpoint for the /stats percentiles.
 _LATENCY_WINDOW = 512
+
+#: Inline-routing threshold: a session whose previous engine run finished
+#: within this many pool dispatch round trips is cheaper to re-run with
+#: ``jobs=1`` in its handler thread than to contend with other admitted
+#: requests for the shared workers. Priced by the cost model's measured
+#: dispatch overhead, so a fast pool raises the bar and a slow one lowers it.
+INLINE_OVERHEAD_MULTIPLE = 50.0
 
 
 class ServeError(ReproError):
@@ -103,6 +129,16 @@ def load_deck_file(path: str) -> List[Rule]:
     if not isinstance(rules, list) or not all(isinstance(r, Rule) for r in rules):
         raise BadRequestError(f"{path} must define RULES = [<Rule>, ...]")
     return rules
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample."""
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
 
 def _default_deck() -> List[Rule]:
@@ -196,6 +232,75 @@ class SingleFlight:
 
 
 # ---------------------------------------------------------------------------
+# Admission scheduling (the engine-lock replacement)
+# ---------------------------------------------------------------------------
+
+
+class AdmissionScheduler:
+    """Bounded concurrent admission of engine runs, one run per session.
+
+    The PR 8 daemon serialized every engine run behind one lock; this
+    scheduler is its replacement. ``admit(sid)`` blocks until both hold:
+
+    * fewer than ``max_concurrent`` runs are active (the warm pool, pack
+      store, and cost model are shared — bounding concurrency bounds their
+      contention and the parent-side memory footprint), and
+    * no other run for the *same* session is active — same-session requests
+      mutate one baseline (``last_report``, recheck version advances), so
+      they serialize; cross-session requests are independent and overlap.
+
+    Waiters are counted (``waiting`` is the ``queue_depth`` gauge, honest
+    even when a wait is interrupted) and the ``max_active_seen`` high-water
+    mark records whether concurrency actually happened — the CI smoke job
+    asserts it exceeded 1 on multi-core runners.
+    """
+
+    def __init__(self, max_concurrent: int) -> None:
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be a positive integer, got {max_concurrent}"
+            )
+        self.max_concurrent = max_concurrent
+        self._cond = threading.Condition()
+        self._active_sids: set = set()
+        self._active = 0
+        self.waiting = 0
+        self.max_active_seen = 0
+
+    @property
+    def active(self) -> int:
+        """How many engine runs are executing right now."""
+        with self._cond:
+            return self._active
+
+    @contextlib.contextmanager
+    def admit(self, sid: str) -> Iterator[None]:
+        with self._cond:
+            self.waiting += 1
+            try:
+                while (
+                    self._active >= self.max_concurrent
+                    or sid in self._active_sids
+                ):
+                    self._cond.wait()
+            finally:
+                # Decrement on the way out even if the wait was interrupted
+                # (KeyboardInterrupt in a test): the gauge stays honest.
+                self.waiting -= 1
+            self._active += 1
+            self._active_sids.add(sid)
+            if self._active > self.max_active_seen:
+                self.max_active_seen = self._active
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._active -= 1
+                self._active_sids.discard(sid)
+                self._cond.notify_all()
+
+
+# ---------------------------------------------------------------------------
 # Sessions
 # ---------------------------------------------------------------------------
 
@@ -232,6 +337,9 @@ class Session:
         self.created = time.time()
         self.last_report: Optional[CheckReport] = None
         self.last_recheck: Optional[Dict[str, Any]] = None
+        #: Wall seconds of this session's previous admitted engine run;
+        #: the inline-routing tier prices the next one against it.
+        self.last_engine_seconds: Optional[float] = None
 
     def severity_of(self, rule_name: str) -> str:
         return self.severities.get(rule_name, self.default_severity)
@@ -265,9 +373,11 @@ class ServerState:
 
     Thread-safe: HTTP handler threads (or test threads) call the public
     methods concurrently. ``_lock`` guards the bookkeeping (sessions, LRU,
-    counters); ``_engine_lock`` serializes actual engine runs — it is the
-    request queue, and the number of threads parked on it is the
-    ``queue_depth`` gauge.
+    counters — every counter update happens under it, so concurrent
+    handlers never lose an increment); the :class:`AdmissionScheduler`
+    bounds how many engine runs execute at once and keeps same-session
+    runs serial. ``max_concurrent=None`` defaults to ``min(jobs, 2)`` —
+    past that the shared pool is the bottleneck, not admission.
     """
 
     def __init__(
@@ -276,25 +386,30 @@ class ServerState:
         *,
         deck_path: Optional[str] = None,
         report_lru: int = DEFAULT_REPORT_LRU,
+        max_concurrent: Optional[int] = None,
     ) -> None:
         self.engine = Engine(options=options)
+        if max_concurrent is None:
+            max_concurrent = min(max(1, self.engine.options.jobs), 2)
+        self.scheduler = AdmissionScheduler(max_concurrent)
         self.deck_path = deck_path
         self._decks: Dict[str, List[Rule]] = {}
         self._lock = threading.Lock()
-        self._engine_lock = threading.Lock()
         self._flight = SingleFlight()
         self._sessions: Dict[str, Session] = {}
         self._by_bytes: Dict[Tuple[str, str, str], str] = {}
         self._lru: "OrderedDict[str, CheckReport]" = OrderedDict()
         self._lru_cap = max(0, report_lru)
         self._latencies: Dict[str, deque] = {}
-        self._queue_depth = 0
+        self._endpoint_requests: Dict[str, int] = {}
         self.engine_stats: Dict[str, float] = {}
         self.counters: Dict[str, int] = {
             "requests": 0,
             "engine_runs": 0,
             "coalesced": 0,
             "report_lru_hits": 0,
+            "admission_bypassed": 0,
+            "inline_routed": 0,
             "sessions_created": 0,
             "sessions_reused": 0,
         }
@@ -474,24 +589,34 @@ class ServerState:
             extra,
         )
 
-    def _run(self, runner: Callable[[], CheckReport]) -> CheckReport:
-        """One engine run behind the request queue (the engine lock)."""
-        with self._lock:
-            self._queue_depth += 1
-        acquired = False
-        try:
-            self._engine_lock.acquire()
-            acquired = True
+    def _run(
+        self,
+        runner: Callable[[], CheckReport],
+        session: Session,
+        *,
+        bypass: bool = False,
+    ) -> CheckReport:
+        """One engine run through admission (or past it, for cache tiers).
+
+        ``bypass=True`` is the tier-1 path: the runner is known to touch no
+        engine compute (a splice-only recheck of digest-identical content),
+        so it executes immediately without occupying an admission slot —
+        and without counting as an ``engine_runs``; the ``admission_bypassed``
+        counter records it instead.
+        """
+        if bypass:
             with self._lock:
-                self._queue_depth -= 1
-                self.counters["engine_runs"] += 1
+                self.counters["admission_bypassed"] += 1
             report = runner()
-        finally:
-            if acquired:
-                self._engine_lock.release()
-            else:  # the wait itself was interrupted: keep the gauge honest
+        else:
+            with self.scheduler.admit(session.sid):
                 with self._lock:
-                    self._queue_depth -= 1
+                    self.counters["engine_runs"] += 1
+                start = time.perf_counter()
+                report = runner()
+                engine_seconds = time.perf_counter() - start
+                with self._lock:
+                    session.last_engine_seconds = engine_seconds
         with self._lock:
             self.engine_stats = merge_stats(
                 [self.engine_stats] + [r.stats for r in report.results]
@@ -507,10 +632,14 @@ class ServerState:
         *,
         use_lru: bool = True,
         record_report: bool = True,
+        bypass: bool = False,
     ) -> Tuple[CheckReport, Dict[str, Any]]:
         start = time.perf_counter()
         with self._lock:
             self.counters["requests"] += 1
+            self._endpoint_requests[endpoint] = (
+                self._endpoint_requests.get(endpoint, 0) + 1
+            )
         key = self._request_key(session, endpoint, key_extra)
         meta: Dict[str, Any] = {
             "endpoint": endpoint,
@@ -527,9 +656,11 @@ class ServerState:
                     meta["source"] = "report-lru"
         if report is None:
             if key is None:
-                report = self._run(runner)
+                report = self._run(runner, session, bypass=bypass)
             else:
-                report, leader = self._flight.do(key, lambda: self._run(runner))
+                report, leader = self._flight.do(
+                    key, lambda: self._run(runner, session, bypass=bypass)
+                )
                 if leader:
                     if use_lru and self._lru_cap:
                         with self._lock:
@@ -556,18 +687,54 @@ class ServerState:
             )
         return report, meta
 
+    def _inline_route(self, session: Session) -> Optional[EngineOptions]:
+        """Tier-3 routing: should this run skip the shared pool entirely?
+
+        A multiprocess engine run whose previous execution for this session
+        finished within :data:`INLINE_OVERHEAD_MULTIPLE` pool dispatch round
+        trips is cheaper to re-run in-process (``jobs=1``, which degrades
+        the multiprocess backend to the fused in-process path — identical
+        output) than to queue its shards behind other admitted requests.
+        Only engages while another request is actually active; a lone
+        request always gets the full pool.
+        """
+        options = self.engine.options
+        if options.jobs <= 1 or self.scheduler.active <= 1:
+            return None
+        last = session.last_engine_seconds
+        if last is None:
+            return None
+        overhead = costmodel.model_for(resolve_store(options)).overhead()
+        if last > overhead * INLINE_OVERHEAD_MULTIPLE:
+            return None
+        return dataclasses.replace(options, jobs=1)
+
     # -- endpoints -----------------------------------------------------------
 
     def check(self, sid: str) -> Tuple[CheckReport, Dict[str, Any]]:
         """Run the session's full deck (coalesced, LRU-answered)."""
         session = self.session(sid)
+        routing: Dict[str, Any] = {}
 
         def runner() -> CheckReport:
+            options = self._inline_route(session)
+            if options is not None:
+                with self._lock:
+                    self.counters["inline_routed"] += 1
+                routing["routing"] = "inline"
+                return self.engine.check(
+                    session.layout,
+                    rules=session.rules,
+                    tree=session.tree,
+                    options=options,
+                )
             return self.engine.check(
                 session.layout, rules=session.rules, tree=session.tree
             )
 
-        return self._serve("check", session, (), runner)
+        report, meta = self._serve("check", session, (), runner)
+        meta.update(routing)
+        return report, meta
 
     def check_window(
         self, sid: str, windows: Sequence[Sequence[int]]
@@ -657,8 +824,20 @@ class ServerState:
                 }
             return outcome.report
 
+        # Tier-1 bypass: the new content is digest-identical to the session's
+        # current version and a baseline exists, so the runner is a pure
+        # splice (clean diff, zero re-checked windows) — no engine compute,
+        # no reason to occupy an admission slot. ``verify`` disables the
+        # bypass because verification *is* a full cold check.
+        bypass = (
+            not verify
+            and session.last_report is not None
+            and new_digests == session.digests
+        )
         key_extra = ("recheck", tuple(sorted(new_digests.items())), bool(verify))
-        report, meta = self._serve("recheck", session, key_extra, runner, use_lru=False)
+        report, meta = self._serve(
+            "recheck", session, key_extra, runner, use_lru=False, bypass=bypass
+        )
         if session.last_recheck is not None:
             meta["recheck"] = dict(session.last_recheck)
         return report, meta
@@ -724,21 +903,38 @@ class ServerState:
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """Engine + service counters (the /stats payload)."""
+        """Engine + service counters (the /stats payload).
+
+        Per-endpoint latency comes from a sliding window of the most recent
+        :data:`_LATENCY_WINDOW` requests (``count`` is the window's fill,
+        ``requests`` the all-time total); p50/p95/p99 interpolate linearly
+        within that window. The concurrency gauges read the admission
+        scheduler: ``queue_depth`` is threads parked waiting for a slot,
+        ``active_requests`` is engine runs executing right now, and
+        ``max_active_seen`` is the high-water mark — the CI concurrency
+        smoke asserts it exceeded 1 on multi-core runners.
+        """
+        active = self.scheduler.active
         with self._lock:
             latency = {}
             for endpoint, window in self._latencies.items():
-                values = list(window)
+                values = sorted(window)
                 latency[endpoint] = {
                     "count": len(values),
+                    "requests": self._endpoint_requests.get(endpoint, 0),
                     "p50_ms": round(statistics.median(values) * 1e3, 3),
+                    "p95_ms": round(_percentile(values, 0.95) * 1e3, 3),
+                    "p99_ms": round(_percentile(values, 0.99) * 1e3, 3),
                     "max_ms": round(max(values) * 1e3, 3),
                 }
             options = self.engine.options
             return {
                 "uptime_seconds": round(time.time() - self.started, 3),
                 "sessions": len(self._sessions),
-                "queue_depth": self._queue_depth,
+                "queue_depth": self.scheduler.waiting,
+                "active_requests": active,
+                "max_concurrent": self.scheduler.max_concurrent,
+                "max_active_seen": self.scheduler.max_active_seen,
                 "report_lru_size": len(self._lru),
                 "report_lru_capacity": self._lru_cap,
                 "counters": dict(self.counters),

@@ -57,6 +57,7 @@ import dataclasses
 import os
 import random
 import signal
+import threading
 import time
 from typing import Iterator, List, Optional
 
@@ -236,7 +237,13 @@ class FaultPlan:
 
 _active: Optional[FaultPlan] = None
 _active_token: Optional[object] = None
-_suppress_depth = 0
+_install_lock = threading.Lock()
+
+# Suppression is per *thread*: under concurrent serving one request's
+# recovery ladder (which runs inline fallbacks under ``suppressed()``) must
+# not mute faults that another request's check is supposed to see. A plain
+# process-global depth did exactly that.
+_suppress = threading.local()
 
 
 def resolve_spec(options) -> Optional[str]:
@@ -263,49 +270,60 @@ def install(
     a per-check epoch — each check re-arms once per worker, exactly like
     the cold path's fresh processes. ``token=None`` means "don't care"
     and never invalidates a live plan.
+
+    The swap is locked: two concurrent plan compilations racing here must
+    settle on one live plan, not interleave the (parse, publish) pair. The
+    plan itself stays process-global on purpose — the spec is part of the
+    engine options every concurrent request of one daemon shares, and its
+    firing budgets meter *process-wide* opportunities by design.
     """
     global _active, _active_token
-    if (
-        _active is not None
-        and _active.spec == spec
-        and (token is None or token == _active_token)
-    ):
+    with _install_lock:
+        if (
+            _active is not None
+            and _active.spec == spec
+            and (token is None or token == _active_token)
+        ):
+            return _active
+        _active = FaultPlan.parse(spec)
+        _active_token = token
         return _active
-    _active = FaultPlan.parse(spec)
-    _active_token = token
-    return _active
 
 
 def clear() -> None:
     """Drop any installed plan (tests call this between cases)."""
     global _active, _active_token
-    _active = None
-    _active_token = None
+    with _install_lock:
+        _active = None
+        _active_token = None
 
 
 def active() -> Optional[FaultPlan]:
     return _active
 
 
+def _suppress_depth() -> int:
+    return getattr(_suppress, "depth", 0)
+
+
 def is_suppressed() -> bool:
-    return _suppress_depth > 0
+    return _suppress_depth() > 0
 
 
 @contextlib.contextmanager
 def suppressed() -> Iterator[None]:
-    """No fault fires inside this context (recovery paths run under it)."""
-    global _suppress_depth
-    _suppress_depth += 1
+    """No fault fires in this context *on this thread* (recovery paths)."""
+    _suppress.depth = _suppress_depth() + 1
     try:
         yield
     finally:
-        _suppress_depth -= 1
+        _suppress.depth -= 1
 
 
 def should_fire(site: str, key: Optional[str] = None) -> bool:
     """Consult the installed plan at ``site`` (False when none/suppressed)."""
     plan = _active
-    if plan is None or _suppress_depth > 0:
+    if plan is None or is_suppressed():
         return False
     return plan.should_fire(site, key)
 

@@ -18,6 +18,7 @@ from repro.core.engine import Engine
 from repro.gdsii import read_layout, write
 from repro.layout import gdsii_from_layout
 from repro.server import (
+    AdmissionScheduler,
     BadRequestError,
     ServerState,
     SingleFlight,
@@ -479,3 +480,259 @@ class TestCLIServer:
     def test_unreachable_server_exits_cleanly(self, dirty_gds):
         with pytest.raises(SystemExit):
             main(["check", dirty_gds, "--server", "http://127.0.0.1:1"])
+
+
+class TestAdmissionScheduler:
+    def test_rejects_non_positive_max(self):
+        with pytest.raises(ValueError):
+            AdmissionScheduler(0)
+
+    def test_caps_active_runs(self):
+        sched = AdmissionScheduler(2)
+        release = threading.Event()
+        third_entered = threading.Event()
+
+        def hold(sid):
+            with sched.admit(sid):
+                release.wait(20)
+
+        holders = [
+            threading.Thread(target=hold, args=(sid,)) for sid in ("a", "b")
+        ]
+        for t in holders:
+            t.start()
+        for _ in range(400):
+            if sched.active == 2:
+                break
+            time.sleep(0.005)
+        assert sched.active == 2
+
+        def third():
+            with sched.admit("c"):
+                third_entered.set()
+
+        t3 = threading.Thread(target=third)
+        t3.start()
+        # The third distinct session must park: the cap is 2.
+        assert not third_entered.wait(0.2)
+        assert sched.waiting == 1
+        release.set()
+        t3.join(20)
+        for t in holders:
+            t.join(20)
+        assert third_entered.is_set()
+        assert sched.active == 0
+        assert sched.waiting == 0
+        assert sched.max_active_seen == 2
+
+    def test_same_session_serializes(self):
+        sched = AdmissionScheduler(4)
+        release = threading.Event()
+        second_entered = threading.Event()
+
+        def first():
+            with sched.admit("s"):
+                release.wait(20)
+
+        t1 = threading.Thread(target=first)
+        t1.start()
+        for _ in range(400):
+            if sched.active == 1:
+                break
+            time.sleep(0.005)
+
+        def second():
+            with sched.admit("s"):
+                second_entered.set()
+
+        t2 = threading.Thread(target=second)
+        t2.start()
+        # Same sid: must wait even though 3 slots are free.
+        assert not second_entered.wait(0.2)
+        release.set()
+        t1.join(20)
+        t2.join(20)
+        assert second_entered.is_set()
+        assert sched.max_active_seen == 1
+
+
+@pytest.fixture()
+def dirty_gds_b(tmp_path):
+    layout = build_design("uart")
+    inject_violations(layout, InjectionPlan(spacing=2), layer=asap7.M2, seed=5)
+    path = tmp_path / "dirty_b.gds"
+    write(gdsii_from_layout(layout), path)
+    return str(path)
+
+
+class TestConcurrentServing:
+    def test_distinct_sessions_run_concurrently(self, dirty_gds, dirty_gds_b):
+        # Two sessions, max_concurrent=2: both engine runs must be inside
+        # the engine at the same instant (the barrier would time out and
+        # fail the test under the old global engine lock).
+        with ServerState(max_concurrent=2) as state:
+            s1, _ = state.create_session(path=dirty_gds, top="top")
+            s2, _ = state.create_session(path=dirty_gds_b, top="top")
+            assert s1.sid != s2.sid
+            both_inside = threading.Barrier(2)
+            real_check = state.engine.check
+
+            def overlapping_check(*args, **kwargs):
+                both_inside.wait(30)
+                return real_check(*args, **kwargs)
+
+            state.engine.check = overlapping_check
+            errors = []
+
+            def client(sid):
+                try:
+                    state.check(sid)
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(sid,))
+                for sid in (s1.sid, s2.sid)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            assert not errors
+            assert state.scheduler.max_active_seen == 2
+            assert state.counters["engine_runs"] == 2
+
+    @pytest.mark.parametrize("max_concurrent", [1, 2, 4])
+    def test_byte_identical_reports_at_any_concurrency(
+        self, dirty_gds, dirty_gds_b, max_concurrent
+    ):
+        # The acceptance gate: served reports are byte-identical to a local
+        # engine run at every concurrency level, under concurrent clients.
+        local_a = _local_report(dirty_gds)
+        local_b = _local_report(dirty_gds_b)
+        with ServerState(max_concurrent=max_concurrent) as state:
+            s1, _ = state.create_session(path=dirty_gds, top="top")
+            s2, _ = state.create_session(path=dirty_gds_b, top="top")
+            results = []
+            errors = []
+
+            def client(sid, expected_csv):
+                try:
+                    report, _ = state.check(sid)
+                    results.append(report.to_csv() == expected_csv)
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = []
+            for _ in range(2):
+                threads.append(
+                    threading.Thread(
+                        target=client, args=(s1.sid, local_a.to_csv())
+                    )
+                )
+                threads.append(
+                    threading.Thread(
+                        target=client, args=(s2.sid, local_b.to_csv())
+                    )
+                )
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            assert not errors
+            assert results == [True] * 4
+
+    def test_identical_recheck_bypasses_admission(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        first, _ = state.check(session.sid)
+        assert state.counters["engine_runs"] == 1
+        # Same bytes again: digest-identical content, splice-only recheck.
+        report, meta = state.recheck(session.sid, path=dirty_gds)
+        assert meta["recheck"]["clean"] is True
+        assert report.to_csv() == first.to_csv()
+        assert state.counters["admission_bypassed"] == 1
+        assert state.counters["engine_runs"] == 1  # no new engine run
+        # verify=True is a full cold check: it must NOT bypass.
+        state.recheck(session.sid, path=dirty_gds, verify=True)
+        assert state.counters["admission_bypassed"] == 1
+        assert state.counters["engine_runs"] == 2
+
+    def test_inline_route_prices_small_requests(self, dirty_gds):
+        from repro.core.engine import EngineOptions
+
+        options = EngineOptions(mode="multiproc", jobs=2)
+        with ServerState(options=options, max_concurrent=2) as state:
+            session, _ = state.create_session(path=dirty_gds, top="top")
+            # Never routed without a previous run to price against.
+            assert state._inline_route(session) is None
+            session.last_engine_seconds = 1e-6
+            # ...or while this is the only active request.
+            assert state._inline_route(session) is None
+            with state.scheduler.admit("other"):
+                with state.scheduler.admit(session.sid):
+                    routed = state._inline_route(session)
+                    assert routed is not None
+                    assert routed.jobs == 1
+                    assert routed.mode == "multiproc"
+                    # A previous run too big for inline keeps the pool.
+                    session.last_engine_seconds = 1e6
+                    assert state._inline_route(session) is None
+
+    def test_jobs1_options_never_route_inline(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        session.last_engine_seconds = 1e-6
+        with state.scheduler.admit("other"):
+            assert state._inline_route(session) is None
+
+
+class TestStatsExtended:
+    def test_percentiles_requests_and_gauges(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        state.check(session.sid)
+        state.check(session.sid)  # LRU hit; still a request
+        stats = state.stats()
+        check = stats["latency"]["check"]
+        assert check["count"] == 2
+        assert check["requests"] == 2
+        assert check["p50_ms"] <= check["p95_ms"] <= check["p99_ms"]
+        assert check["p99_ms"] <= check["max_ms"]
+        assert stats["queue_depth"] == 0
+        assert stats["active_requests"] == 0
+        assert stats["max_concurrent"] == 1  # sequential default: min(1, 2)
+        assert stats["max_active_seen"] == 1
+        assert stats["counters"]["admission_bypassed"] == 0
+
+    def test_single_sample_percentiles_degenerate(self, state, dirty_gds):
+        session, _ = state.create_session(path=dirty_gds, top="top")
+        state.check(session.sid)
+        check = state.stats()["latency"]["check"]
+        assert check["count"] == 1
+        assert check["p50_ms"] == check["p95_ms"] == check["p99_ms"]
+
+
+class TestWaitReady:
+    def test_returns_health_payload_when_up(self):
+        state = ServerState()
+        with start_server(state) as handle:
+            payload = ServeClient(handle.url).wait_ready(timeout=10)
+        assert payload["status"] == "ok"
+
+    def test_times_out_against_dead_endpoint(self):
+        client = ServeClient("http://127.0.0.1:1")
+        start = time.monotonic()
+        with pytest.raises(ClientError, match="not ready"):
+            client.wait_ready(timeout=0.3)
+        assert time.monotonic() - start < 5
+
+    def test_http_errors_propagate_immediately(self, monkeypatch):
+        client = ServeClient("http://127.0.0.1:1")
+        calls = []
+
+        def failing_health():
+            calls.append(1)
+            raise ClientError("boom", status=500)
+
+        monkeypatch.setattr(client, "health", failing_health)
+        with pytest.raises(ClientError, match="boom"):
+            client.wait_ready(timeout=5)
+        assert calls == [1]  # up-but-unhappy is not a startup race

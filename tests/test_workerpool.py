@@ -362,3 +362,102 @@ class TestWorkerPoolUnit:
             assert pool.dispatch_seconds() == measured  # cached
         finally:
             pool.close()
+
+
+def _nap(seconds):
+    """Module-level task: picklable, sleeps, echoes its argument back."""
+    import time as _time
+
+    _time.sleep(seconds)
+    return seconds
+
+
+class TestFairDispatch:
+    def test_round_robin_across_requesters(self):
+        # One worker, in-flight cap 2. Requester A floods five tasks; B
+        # submits one while A's batch is queued. Fair dispatch must feed
+        # B's task to the pool before A's tail — under a plain FIFO, B
+        # would wait behind the whole batch.
+        pool = WorkerPool(1)
+        try:
+            results = [
+                pool.apply_async(_nap, (0.8,), requester="A"),
+                pool.apply_async(_nap, (0.8,), requester="A"),
+                pool.apply_async(_nap, (0.0,), requester="A"),
+                pool.apply_async(_nap, (0.0,), requester="A"),
+                pool.apply_async(_nap, (0.0,), requester="B"),
+            ]
+            for result, expected in zip(results, (0.8, 0.8, 0.0, 0.0, 0.0)):
+                assert result.get(60) == expected
+            # A1, A2 dispatch on submission (cap 2); then the rotation
+            # interleaves: A3, B1, A4 — never A3, A4, B1.
+            assert list(pool.dispatch_log) == ["A", "A", "A", "B", "A"]
+        finally:
+            pool.close()
+
+    def test_within_requester_order_is_preserved(self):
+        pool = WorkerPool(2)
+        try:
+            results = [
+                pool.apply_async(_nap, (i / 100.0,), requester="only")
+                for i in (3, 2, 1, 0)
+            ]
+            values = [r.get(60) for r in results]
+            assert values == [0.03, 0.02, 0.01, 0.0]
+        finally:
+            pool.close()
+
+    def test_fair_timeout_excludes_queue_wait(self):
+        # The task timeout meters a *worker* round trip. A fair-dispatched
+        # task still queued behind other requesters has not reached a
+        # worker, so its waiter must not time out — only once dispatched
+        # does the clock start.
+        from repro.core.workerpool import _FairResult
+
+        proxy = _FairResult()
+        outcome = []
+
+        def waiter():
+            try:
+                proxy.get(timeout=0.3)
+            except multiprocessing.TimeoutError:
+                outcome.append("timeout")
+
+        import threading
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        thread.join(0.8)
+        assert thread.is_alive(), "queued: the timeout clock must not run"
+        assert not outcome
+        proxy._mark_dispatched()
+        thread.join(10)
+        assert outcome == ["timeout"]
+
+    def test_rebuild_fails_dispatched_fair_tasks_fast(self):
+        # Terminated workers never fire their callbacks; abandon() must
+        # fail the in-flight proxies immediately (RuntimeError, not a
+        # full task-timeout wait) so waiters drop into the retry ladder.
+        pool = WorkerPool(1)
+        try:
+            proxy = pool.apply_async(_nap, (30.0,), requester="A")
+            for _ in range(200):
+                if pool.worker_pids():
+                    break
+                import time as _time
+
+                _time.sleep(0.01)
+            pool.rebuild()
+            with pytest.raises(RuntimeError, match="rebuilt"):
+                proxy.get(5)
+        finally:
+            pool.close()
+
+    def test_direct_submission_bypasses_fair_queue(self):
+        pool = WorkerPool(1)
+        try:
+            result = pool.apply_async(_nap, (0.0,))
+            assert result.get(30) == 0.0
+            assert list(pool.dispatch_log) == []
+        finally:
+            pool.close()
