@@ -45,6 +45,11 @@ class Violation:
     measured: int
     required: int
     other_layer: Optional[int] = None
+    #: Set by waiver application (:func:`repro.core.markers.apply_waivers`).
+    #: Excluded from equality/hash/ordering so a waived violation is still
+    #: the *same* violation — splices, diffs, and cross-backend set
+    #: comparisons are oblivious to waiver state by construction.
+    waived: bool = dataclasses.field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.region.is_empty:
@@ -54,6 +59,10 @@ class Violation:
     def deficit(self) -> int:
         """How far below the requirement the measurement fell."""
         return self.required - self.measured
+
+    def waive(self) -> "Violation":
+        """A copy marked waived (retained in reports, never blocking)."""
+        return dataclasses.replace(self, waived=True)
 
     def translated(self, dx: int, dy: int) -> "Violation":
         return dataclasses.replace(self, region=self.region.translated(dx, dy))

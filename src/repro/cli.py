@@ -20,6 +20,18 @@ Commands
     ``--cache-dir`` / ``$REPRO_CACHE_DIR`` — or recomputed cold).
     ``--verify`` additionally runs the cold full check and asserts the
     spliced report matches byte-for-byte.
+``diff <old.json> <new.json>``
+    Regression-diff two marker databases: per-rule fixed / new / unchanged
+    counts, exit code 1 iff new *unwaived* violations appeared — the
+    CI-gateable "did my edit make DRC worse" predicate.
+``waive <markers.json> -o <waivers.json>``
+    Generate geometry-anchored waiver records (rule name + content digest
+    of the violating marker) from a marker database, optionally filtered
+    by ``--rule`` / ``--region`` and stamped with a ``--reason``.
+``violations <markers.json>``
+    Filter a marker database by severity / rule / bbox — the same code
+    path ``GET /sessions/<id>/violations`` serves, so local and served
+    listings are byte-identical.
 ``stats <file.gds>``
     Print layout statistics (cells, instances, flat polygons, hierarchy).
 ``synth <design> <out.gds>``
@@ -129,11 +141,34 @@ def _report_format(args: argparse.Namespace) -> str:
 def _print_report(report, args: argparse.Namespace) -> None:
     fmt = _report_format(args)
     if fmt == "csv":
-        print(report.to_csv())
+        print(
+            report.to_csv(
+                expand_instances=getattr(args, "expand_instances", False)
+            )
+        )
     elif fmt == "json":
         print(report.to_json())
     else:
         print(report.summary())
+
+
+def _apply_waiver_file(report, path: str):
+    """A copy of ``report`` with the waiver file's matches marked waived.
+
+    Waivers are presentation-time: engines, caches, and splice baselines
+    always hold the raw report; this is the single choke point every CLI
+    command funnels through just before printing / persisting markers, so
+    waived flags land in the output (and in ``--output`` databases) without
+    ever entering the cached state.
+    """
+    from .core.markers import MarkerError, apply_waivers, load_waivers
+
+    try:
+        return apply_waivers(report, load_waivers(path))
+    except OSError as error:
+        raise SystemExit(f"cannot read waiver file {path}: {error}") from None
+    except (MarkerError, ValueError) as error:
+        raise SystemExit(f"bad waiver file {path}: {error}") from None
 
 
 @contextlib.contextmanager
@@ -160,19 +195,41 @@ def _graceful_sigterm():
 
 
 def _served_check(args: argparse.Namespace) -> int:
-    """Route ``repro check`` through a running ``repro serve`` daemon."""
+    """Route ``repro check`` through a running ``repro serve`` daemon.
+
+    ``--waivers`` applies *client-side*, on the fetched report payload,
+    through the same :mod:`repro.reporting` functions the local path uses —
+    the daemon stays waiver-oblivious (its caches and coalescing keys only
+    ever see raw reports) and the output is byte-identical to a local
+    waived run of the same deck.
+    """
     from .client import (
         ClientError,
         ServeClient,
+        apply_waivers_payload,
         report_json_summary,
         report_json_to_csv,
     )
 
-    if args.output or args.waivers:
+    if args.output:
         raise SystemExit(
-            "--output/--waivers are not supported with --server; fetch the "
-            "JSON report and post-process it locally"
+            "--output is not supported with --server; fetch the JSON report "
+            "and post-process it locally"
         )
+    waivers = None
+    if args.waivers:
+        from .core.markers import MarkerError, load_waivers
+
+        try:
+            waivers = load_waivers(args.waivers)
+        except OSError as error:
+            raise SystemExit(
+                f"cannot read waiver file {args.waivers}: {error}"
+            ) from None
+        except (MarkerError, ValueError) as error:
+            raise SystemExit(
+                f"bad waiver file {args.waivers}: {error}"
+            ) from None
     client = ServeClient(args.server)
     try:
         with open(args.file, "rb") as fh:
@@ -185,9 +242,22 @@ def _served_check(args: argparse.Namespace) -> int:
     except ClientError as error:
         raise SystemExit(str(error)) from None
     payload = response["report"]
+    if waivers is not None:
+        from .reporting import WaiverFormatError
+
+        try:
+            payload = apply_waivers_payload(payload, waivers)
+        except WaiverFormatError as error:
+            raise SystemExit(
+                f"bad waiver file {args.waivers}: {error}"
+            ) from None
     fmt = _report_format(args)
     if fmt == "csv":
-        print(report_json_to_csv(payload))
+        print(
+            report_json_to_csv(
+                payload, expand_instances=args.expand_instances
+            )
+        )
     elif fmt == "json":
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -197,7 +267,7 @@ def _served_check(args: argparse.Namespace) -> int:
             f"served by {args.server}: {meta['source']}, "
             f"{meta['seconds'] * 1e3:.2f} ms round trip"
         )
-    return 0 if payload["passed"] else 1
+    return 0 if payload["blocking_violations"] == 0 else 1
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -207,9 +277,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     with _graceful_sigterm(), Engine(options=_engine_options(args)) as engine:
         report = engine.check(layout, rules=_load_deck(args.deck))
     if args.waivers:
-        from .core.markers import apply_waivers, load_waivers
-
-        report = apply_waivers(report, load_waivers(args.waivers))
+        report = _apply_waiver_file(report, args.waivers)
     if args.output:
         from .core.markers import save_markers
 
@@ -220,7 +288,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         for name, profile in engine.last_profiles.items():
             print(f"\n[{name}]")
             print(profile.breakdown_table())
-    return 0 if report.passed else 1
+    return 0 if report.ok else 1
 
 
 def cmd_check_window(args: argparse.Namespace) -> int:
@@ -252,8 +320,10 @@ def cmd_check_window(args: argparse.Namespace) -> int:
     report = check_window(
         layout, windows, rules=_load_deck(args.deck), options=options
     )
+    if args.waivers:
+        report = _apply_waiver_file(report, args.waivers)
     _print_report(report, args)
-    return 0 if report.passed else 1
+    return 0 if report.ok else 1
 
 
 def cmd_recheck(args: argparse.Namespace) -> int:
@@ -282,6 +352,13 @@ def cmd_recheck(args: argparse.Namespace) -> int:
         )
     except AssertionError as error:
         raise SystemExit(f"recheck verification failed: {error}") from None
+    report = outcome.report
+    if args.waivers:
+        # Applied *after* the splice: the spliced/cached baselines stay raw
+        # (so chained rechecks and --verify compare raw against raw), and
+        # because waived flags are excluded from violation identity the
+        # waived spliced report is byte-identical to a waived cold check.
+        report = _apply_waiver_file(report, args.waivers)
     diff = outcome.diff
     if _report_format(args) == "summary":
         if diff.is_clean:
@@ -308,8 +385,131 @@ def cmd_recheck(args: argparse.Namespace) -> int:
         )
         if args.verify:
             print("verify: spliced report matches the cold full check")
-    _print_report(outcome.report, args)
-    return 0 if outcome.report.passed else 1
+    _print_report(report, args)
+    return 0 if report.ok else 1
+
+
+def _load_marker_db(path: str):
+    """Load a marker database for the lifecycle commands (SystemExit on error)."""
+    from .core.markers import MarkerError, load_markers
+
+    try:
+        return load_markers(path)
+    except OSError as error:
+        raise SystemExit(f"cannot read marker database {path}: {error}") from None
+    except (MarkerError, ValueError) as error:
+        raise SystemExit(f"bad marker database {path}: {error}") from None
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Regression diff of two marker databases (``repro diff old new``).
+
+    Exit code 1 iff the new report introduces violations that no waiver
+    covers — "did my edit make DRC worse" as a CI-gateable predicate.
+    Fixed violations and pre-existing (unchanged) ones never fail the
+    diff; neither do new violations that arrive already waived.
+    """
+    from .core.markers import diff_markers
+
+    before = _load_marker_db(args.old)
+    after = _load_marker_db(args.new)
+    diff = diff_markers(before, after)
+    totals = {"fixed": 0, "new": 0, "new_waived": 0, "unchanged": 0}
+    for counts in diff.values():
+        for key in totals:
+            totals[key] += counts[key]
+    regressions = totals["new"] - totals["new_waived"]
+    if _report_format(args) == "json":
+        print(
+            json.dumps(
+                {"rules": diff, "totals": totals, "regressions": regressions},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"marker diff: {args.old} -> {args.new}")
+        for name in sorted(diff):
+            counts = diff[name]
+            line = (
+                f"  {name}: {counts['fixed']} fixed, {counts['new']} new, "
+                f"{counts['unchanged']} unchanged"
+            )
+            if counts["new_waived"]:
+                line += f" ({counts['new_waived']} of the new waived)"
+            print(line)
+        print(
+            f"total: {totals['fixed']} fixed, {totals['new']} new, "
+            f"{totals['unchanged']} unchanged"
+        )
+        if regressions:
+            print(f"REGRESSION: {regressions} new unwaived violation(s)")
+        else:
+            print("no regressions")
+    return 1 if regressions else 0
+
+
+def cmd_waive(args: argparse.Namespace) -> int:
+    """Generate geometry-anchored waivers from a marker database.
+
+    Each selected violation becomes a ``{"rule", "marker"}`` record whose
+    ``marker`` is the content digest of the violating geometry — the
+    persistent anchor: it survives any edit that does not change the
+    violation itself, unlike a region box that drifts when layout moves.
+    """
+    from .core.markers import save_waivers, waivers_for
+    from .geometry import Rect
+
+    report = _load_marker_db(args.markers)
+    region = None
+    if args.region:
+        region = Rect(*args.region)
+        if region.is_empty:
+            raise SystemExit(f"--region {args.region} must be non-empty")
+    records = waivers_for(
+        report,
+        rules=args.rule or None,
+        region=region,
+        reason=args.reason,
+    )
+    save_waivers(records, args.output)
+    print(f"wrote {len(records)} waiver(s): {args.output}")
+    return 0
+
+
+def cmd_violations(args: argparse.Namespace) -> int:
+    """Filter a marker database like ``GET /sessions/<id>/violations``.
+
+    Runs :func:`repro.reporting.filter_violations_payload` — the exact
+    function the serve daemon's ``/violations`` endpoint calls — on a local
+    marker database, so local and served filtered listings are
+    byte-identical (modulo the served session envelope).
+    """
+    from .core.markers import report_to_dict
+    from .reporting import SEVERITIES, filter_violations_payload
+
+    if args.severity and args.severity not in SEVERITIES:
+        raise SystemExit(
+            f"--severity must be one of {SEVERITIES}, got {args.severity!r}"
+        )
+    report = _load_marker_db(args.markers)
+    payload = report_to_dict(report)
+    known = {entry["rule"] for entry in payload["results"]}
+    wanted = set(args.rule or [])
+    if wanted and not wanted <= known:
+        raise SystemExit(
+            f"unknown rule(s): {sorted(wanted - known)}; database rules: "
+            f"{sorted(known)}"
+        )
+    filtered = filter_violations_payload(
+        payload,
+        severity=args.severity,
+        rules=args.rule or None,
+        bbox=args.bbox,
+        include_waived=not args.no_waived,
+    )
+    print(json.dumps(filtered, indent=2, sort_keys=True))
+    return 0
 
 
 def _resolve_cache_root(args: argparse.Namespace) -> str:
@@ -446,6 +646,12 @@ def _add_format_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print CSV markers (shorthand for --format csv)",
     )
+    parser.add_argument(
+        "--expand-instances",
+        action="store_true",
+        help="CSV: one row per marker instead of collapsing hierarchical "
+        "repeats to an exemplar row with an instance count",
+    )
 
 
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -552,6 +758,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     window.add_argument("--deck", help="Python file defining RULES = [...]")
     window.add_argument("--top", help="top cell name (default: inferred)")
+    window.add_argument(
+        "--waivers", help="apply a JSON waiver file before reporting"
+    )
     _add_format_args(window)
     window.add_argument(
         "--jobs",
@@ -574,6 +783,11 @@ def build_parser() -> argparse.ArgumentParser:
     re_check.add_argument("new", help="edited version to re-check")
     re_check.add_argument("--deck", help="Python file defining RULES = [...]")
     re_check.add_argument("--top", help="top cell name (default: inferred)")
+    re_check.add_argument(
+        "--waivers",
+        help="apply a JSON waiver file to the spliced report before "
+        "reporting (baselines and caches stay raw)",
+    )
     _add_format_args(re_check)
     re_check.add_argument(
         "--verify",
@@ -594,6 +808,73 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_args(re_check)
     _add_cache_args(re_check)
     re_check.set_defaults(func=cmd_recheck)
+
+    diff = sub.add_parser(
+        "diff",
+        help="regression-diff two marker databases (exit 1 on new "
+        "unwaived violations)",
+    )
+    diff.add_argument("old", help="baseline marker database (JSON)")
+    diff.add_argument("new", help="new marker database (JSON)")
+    diff.add_argument(
+        "--format",
+        choices=["summary", "json"],
+        default=None,
+        help="diff output format (default: summary)",
+    )
+    diff.set_defaults(func=cmd_diff, csv=False)
+
+    waive = sub.add_parser(
+        "waive",
+        help="generate geometry-anchored waivers from a marker database",
+    )
+    waive.add_argument("markers", help="marker database (JSON) to waive from")
+    waive.add_argument(
+        "-o", "--output", required=True, help="waiver file to write (JSON)"
+    )
+    waive.add_argument(
+        "--rule",
+        action="append",
+        metavar="NAME",
+        help="only waive violations of this rule (repeatable; default: all)",
+    )
+    waive.add_argument(
+        "--region",
+        nargs=4,
+        type=int,
+        metavar=("X1", "Y1", "X2", "Y2"),
+        help="only waive violations whose marker overlaps this box (dbu)",
+    )
+    waive.add_argument("--reason", help="free-text reason carried on each record")
+    waive.set_defaults(func=cmd_waive)
+
+    violations = sub.add_parser(
+        "violations",
+        help="filter a marker database like GET /sessions/<id>/violations",
+    )
+    violations.add_argument("markers", help="marker database (JSON) to filter")
+    violations.add_argument(
+        "--severity", choices=["error", "warning"], default=None
+    )
+    violations.add_argument(
+        "--rule",
+        action="append",
+        metavar="NAME",
+        help="only this rule's violations (repeatable)",
+    )
+    violations.add_argument(
+        "--bbox",
+        nargs=4,
+        type=int,
+        metavar=("X1", "Y1", "X2", "Y2"),
+        help="only violations whose marker overlaps this box (dbu)",
+    )
+    violations.add_argument(
+        "--no-waived",
+        action="store_true",
+        help="drop waived violations from the listing",
+    )
+    violations.set_defaults(func=cmd_violations)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent pack store"

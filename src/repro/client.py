@@ -18,10 +18,16 @@ import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
 
 from .errors import ReproError
+from .reporting import (
+    apply_waivers_payload,
+    csv_from_payload,
+    summary_from_payload,
+)
 
 __all__ = [
     "ClientError",
     "ServeClient",
+    "apply_waivers_payload",
     "report_json_summary",
     "report_json_to_csv",
 ]
@@ -241,37 +247,25 @@ class ServeClient:
 # ---------------------------------------------------------------------------
 
 
-def report_json_to_csv(payload: Dict[str, Any]) -> str:
+def report_json_to_csv(
+    payload: Dict[str, Any], *, expand_instances: bool = False
+) -> str:
     """CSV markers from a ``to_json`` report payload.
 
-    Byte-identical to :meth:`CheckReport.to_csv` of the same report — the
-    serialized results and violations preserve deck order and the canonical
-    violation sort, so no Rule objects are needed to reproduce the dump.
+    Byte-identical to :meth:`CheckReport.to_csv` of the same report by
+    construction: both delegate to
+    :func:`repro.reporting.csv_from_payload`, and the serialized results
+    preserve deck order and the canonical violation sort, so no Rule
+    objects are needed to reproduce the dump.
     """
-    lines = ["rule,kind,layer,other_layer,xlo,ylo,xhi,yhi,measured,required"]
-    for result in payload["results"]:
-        for v in result["violations"]:
-            other = "" if v["other_layer"] is None else v["other_layer"]
-            xlo, ylo, xhi, yhi = v["region"]
-            lines.append(
-                f"{result['rule']},{v['kind']},{v['layer']},{other},"
-                f"{xlo},{ylo},{xhi},{yhi},"
-                f"{v['measured']},{v['required']}"
-            )
-    return "\n".join(lines)
+    return csv_from_payload(payload, expand_instances=expand_instances)
 
 
 def report_json_summary(payload: Dict[str, Any]) -> str:
-    """Human summary of a ``to_json`` report payload (CLI default format)."""
-    total_seconds = sum(result["seconds"] for result in payload["results"])
-    lines = [
-        f"DRC report for {payload['layout']!r} ({payload['mode']} mode): "
-        f"{payload['total_violations']} violations, {total_seconds * 1e3:.2f} ms"
-    ]
-    for result in payload["results"]:
-        count = len(result["violations"])
-        status = "PASS" if count == 0 else f"{count} violations"
-        lines.append(
-            f"  {result['rule']}: {status} ({result['seconds'] * 1e3:.2f} ms)"
-        )
-    return "\n".join(lines)
+    """Human summary of a ``to_json`` report payload (CLI default format).
+
+    Same delegation story as :func:`report_json_to_csv` — one
+    implementation (:func:`repro.reporting.summary_from_payload`) renders
+    both local and served summaries.
+    """
+    return summary_from_payload(payload)

@@ -2,24 +2,52 @@
 
 The interface layer's "result output" (paper §V-A): reports serialize to a
 versioned JSON marker database — violations with rule names, kinds, layers,
-regions, and measurements — and reload into the same
-:class:`~repro.checks.base.Violation` objects, so stored markers compare
-equal to freshly computed ones (waiver flows, regression diffing).
+regions, measurements, severities, waived flags, and per-rule stats — and
+reload into the same :class:`~repro.checks.base.Violation` objects, so
+stored markers compare equal to freshly computed ones (waiver flows,
+regression diffing via ``repro diff``).
+
+What round-trips and what cannot
+--------------------------------
+
+Violations, rule structure (kind/layers/value/name/severity), per-rule
+``seconds``, and the ``stats`` counters all round-trip exactly. Two things
+cannot:
+
+* ``ensures`` **predicates** — callables have no JSON form; reloaded rules
+  carry an always-true stand-in (the stored violations are the record of
+  what failed).
+* **Phase profiles** — ``CheckResult.profile`` is a live timing object tied
+  to the run that produced it; reloaded results have ``profile=None``.
+
+Format history: version 1 (through PR 9) lacked ``severity``, ``stats``,
+and ``waived``; version-1 files still load, with defaults (``error``,
+``{}``, unwaived). New files are written as version 2.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..checks.base import Violation, ViolationKind
 from ..errors import ReproError
 from ..geometry import Rect
-from .results import CheckReport, CheckResult
+from ..reporting import apply_waivers_payload, marker_digest
+from .results import (
+    CheckReport,
+    CheckResult,
+    violation_from_json,
+    violation_to_json,
+)
 from .rules import Rule, RuleKind
 
-FORMAT_VERSION = 1
+#: Version written by :func:`save_markers` (and for waiver files).
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_markers` accepts.
+SUPPORTED_FORMATS = (1, 2)
 
 
 class MarkerError(ReproError):
@@ -39,18 +67,10 @@ def report_to_dict(report: CheckReport) -> Dict:
                 "layer": result.rule.layer,
                 "other_layer": result.rule.other_layer,
                 "value": result.rule.value,
+                "severity": result.rule.severity,
                 "seconds": result.seconds,
-                "violations": [
-                    {
-                        "kind": v.kind.value,
-                        "layer": v.layer,
-                        "other_layer": v.other_layer,
-                        "region": [v.region.xlo, v.region.ylo, v.region.xhi, v.region.yhi],
-                        "measured": v.measured,
-                        "required": v.required,
-                    }
-                    for v in result.violations
-                ],
+                "stats": {k: result.stats[k] for k in sorted(result.stats)},
+                "violations": [violation_to_json(v) for v in result.violations],
             }
             for result in report.results
         ],
@@ -71,7 +91,7 @@ def load_markers(path: Union[str, "os.PathLike"]) -> CheckReport:
 
 
 def report_from_dict(data: Dict) -> CheckReport:
-    if data.get("format") != FORMAT_VERSION:
+    if data.get("format") not in SUPPORTED_FORMATS:
         raise MarkerError(f"unsupported marker format {data.get('format')!r}")
     results: List[CheckResult] = []
     for entry in data["results"]:
@@ -80,25 +100,36 @@ def report_from_dict(data: Dict) -> CheckReport:
         except ValueError:
             raise MarkerError(f"unknown rule kind {entry['kind']!r}") from None
         rule = _rebuild_rule(kind, entry)
-        violations = [_rebuild_violation(v) for v in entry["violations"]]
+        try:
+            violations = [_rebuild_violation(v) for v in entry["violations"]]
+        except (KeyError, TypeError) as error:
+            raise MarkerError(f"malformed violation entry: {error}") from None
         results.append(
-            CheckResult(rule=rule, violations=violations, seconds=entry["seconds"])
+            CheckResult(
+                rule=rule,
+                violations=violations,
+                seconds=entry["seconds"],
+                stats=dict(entry.get("stats") or {}),
+            )
         )
     return CheckReport(data["layout"], data["mode"], results)
 
 
 def _rebuild_rule(kind: RuleKind, entry: Dict) -> Rule:
+    severity = entry.get("severity", "error")
     if kind is RuleKind.ENSURES:
         # Callables cannot round-trip; stand in with an always-true predicate
         # (the stored violations are the record of what failed).
         return Rule(
-            kind=kind, layer=entry["layer"], predicate=lambda p: True
+            kind=kind, layer=entry["layer"], predicate=lambda p: True,
+            severity=severity,
         ).named(entry["rule"])
     return Rule(
         kind=kind,
         layer=entry["layer"],
         value=entry["value"],
         other_layer=entry["other_layer"],
+        severity=severity,
     ).named(entry["rule"])
 
 
@@ -114,20 +145,36 @@ def _rebuild_violation(v: Dict) -> Violation:
         region=Rect(*v["region"]),
         measured=v["measured"],
         required=v["required"],
+        waived=bool(v.get("waived", False)),
     )
 
 
-def diff_markers(before: CheckReport, after: CheckReport) -> Dict[str, Dict[str, int]]:
-    """Per-rule regression diff: fixed / new / unchanged violation counts."""
+def diff_markers(
+    before: CheckReport, after: CheckReport
+) -> Dict[str, Dict[str, int]]:
+    """Per-rule regression diff: fixed / new / unchanged violation counts.
+
+    ``new_waived`` counts how many of the new violations are waived in
+    ``after`` — regressions a waiver already covers (e.g. geometry-anchored
+    waivers of known-bad markers), which ``repro diff`` does not fail on.
+    Waiver flags never affect set membership itself (violation equality
+    ignores them), so waiving an existing violation is "unchanged", not
+    "fixed".
+    """
     out: Dict[str, Dict[str, int]] = {}
     before_by_rule = {r.rule.name: r.violation_set() for r in before.results}
     after_by_rule = {r.rule.name: r.violation_set() for r in after.results}
+    waived_after = {
+        v: v.waived for r in after.results for v in r.violations
+    }
     for name in sorted(set(before_by_rule) | set(after_by_rule)):
         old = before_by_rule.get(name, frozenset())
         new = after_by_rule.get(name, frozenset())
+        fresh = new - old
         out[name] = {
             "fixed": len(old - new),
-            "new": len(new - old),
+            "new": len(fresh),
+            "new_waived": sum(1 for v in fresh if waived_after.get(v, False)),
             "unchanged": len(old & new),
         }
     return out
@@ -138,44 +185,101 @@ def diff_markers(before: CheckReport, after: CheckReport) -> Dict[str, Dict[str,
 # ---------------------------------------------------------------------------
 
 
-def apply_waivers(
-    report: CheckReport, waivers: List[Dict]
-) -> CheckReport:
-    """Filter a report through waiver records.
+def violation_digest(violation: Violation) -> str:
+    """Content digest of one violation (the geometry anchor of a waiver).
 
-    A waiver is ``{"rule": name-or-"*", "region": [xlo, ylo, xhi, yhi]}``:
-    violations of the named rule (or any rule for ``"*"``) whose marker lies
-    fully inside the waiver region are suppressed. Returns a new report; the
-    input is untouched.
+    Delegates to :func:`repro.reporting.marker_digest` over the violation's
+    JSON form, so a digest computed here matches one computed client-side
+    from a served report payload.
     """
-    boxes: List[tuple] = []
-    for waiver in waivers:
-        region = waiver.get("region")
-        if not isinstance(region, (list, tuple)) or len(region) != 4:
-            raise MarkerError(f"waiver region must be [xlo, ylo, xhi, yhi]: {waiver}")
-        boxes.append((waiver.get("rule", "*"), Rect(*region)))
+    return marker_digest(violation_to_json(violation))
 
-    def waived(rule_name: str, violation: Violation) -> bool:
-        for target, box in boxes:
-            if target not in ("*", rule_name):
-                continue
-            if box.contains_rect(violation.region):
-                return True
-        return False
 
-    results = [
-        CheckResult(
-            rule=result.rule,
-            violations=[
-                v for v in result.violations if not waived(result.rule.name, v)
-            ],
-            seconds=result.seconds,
-            profile=result.profile,
-            stats=dict(result.stats),
+def apply_waivers(report: CheckReport, waivers: List[Dict]) -> CheckReport:
+    """Mark a report's violations waived where waiver records match.
+
+    A waiver names a rule (or ``"*"``) plus an anchor — a ``marker``
+    content digest (:func:`violation_digest`) or a ``region`` box that must
+    fully contain the marker (boundary contact counts). Matching violations
+    are *retained* with ``waived=True``, never dropped: the waived report
+    has the same violation set as the raw one, so incremental splices and
+    regression diffs are oblivious to waiver state, and waived markers stay
+    visible in every output format. Returns a new report; the input is
+    untouched.
+    """
+    from ..reporting import WaiverFormatError
+
+    try:
+        marked = apply_waivers_payload(
+            {
+                "results": [
+                    {
+                        "rule": result.rule.name,
+                        "violations": [
+                            violation_to_json(v) for v in result.violations
+                        ],
+                    }
+                    for result in report.results
+                ]
+            },
+            waivers,
         )
-        for result in report.results
-    ]
+    except WaiverFormatError as error:
+        raise MarkerError(str(error)) from None
+    results = []
+    for result, entry in zip(report.results, marked["results"]):
+        results.append(
+            CheckResult(
+                rule=result.rule,
+                violations=[
+                    v.waive() if flags["waived"] and not v.waived else v
+                    for v, flags in zip(result.violations, entry["violations"])
+                ],
+                seconds=result.seconds,
+                profile=result.profile,
+                stats=dict(result.stats),
+            )
+        )
     return CheckReport(report.layout_name, report.mode, results)
+
+
+def waivers_for(
+    report: CheckReport,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    region: Optional[Rect] = None,
+    reason: Optional[str] = None,
+) -> List[Dict]:
+    """Geometry-anchored waiver records for a report's current violations.
+
+    Selects violations by rule name(s) and/or a region their marker must
+    overlap, and emits one ``{"rule", "marker"}`` record per distinct
+    marker digest — the persistent form: anchored to the violation's
+    content, these waivers survive any edit that does not change the
+    violation itself. Already-waived violations are skipped (they are
+    covered by whatever waived them).
+    """
+    wanted = set(rules) if rules else None
+    records: List[Dict] = []
+    seen = set()
+    for result in report.results:
+        if wanted is not None and result.rule.name not in wanted:
+            continue
+        for violation in result.violations:
+            if violation.waived:
+                continue
+            if region is not None and not region.overlaps(violation.region):
+                continue
+            digest = violation_digest(violation)
+            key = (result.rule.name, digest)
+            if key in seen:
+                continue
+            seen.add(key)
+            record: Dict = {"rule": result.rule.name, "marker": digest}
+            if reason:
+                record["reason"] = reason
+            records.append(record)
+    return records
 
 
 def save_waivers(waivers: List[Dict], path: Union[str, "os.PathLike"]) -> None:
@@ -188,6 +292,6 @@ def load_waivers(path: Union[str, "os.PathLike"]) -> List[Dict]:
     """Reload a waiver list written by :func:`save_waivers`."""
     with open(path, "r", encoding="ascii") as f:
         data = json.load(f)
-    if data.get("format") != FORMAT_VERSION or "waivers" not in data:
+    if data.get("format") not in SUPPORTED_FORMATS or "waivers" not in data:
         raise MarkerError("unsupported waiver file")
     return data["waivers"]

@@ -43,7 +43,14 @@ def deck_digest(rules: Sequence[Rule]) -> Optional[str]:
     for rule in rules:
         hasher.update(
             repr(
-                (rule.name, rule.kind.value, rule.layer, rule.other_layer, rule.value)
+                (
+                    rule.name,
+                    rule.kind.value,
+                    rule.layer,
+                    rule.other_layer,
+                    rule.value,
+                    rule.severity,
+                )
             ).encode("utf-8")
         )
         if rule.predicate is not None:

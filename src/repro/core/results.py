@@ -8,6 +8,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..checks.base import Violation, ViolationKind, sort_violations
 from ..geometry import Rect
+from ..reporting import csv_from_payload, summary_from_payload
 from ..util.profile import PhaseProfile
 from .rules import Rule
 
@@ -32,6 +33,17 @@ class CheckResult:
         return len(self.violations)
 
     @property
+    def num_waived(self) -> int:
+        return sum(1 for v in self.violations if v.waived)
+
+    @property
+    def num_blocking(self) -> int:
+        """Unwaived violations of an error-severity rule (what fails a check)."""
+        if self.rule.severity != "error":
+            return 0
+        return sum(1 for v in self.violations if not v.waived)
+
+    @property
     def passed(self) -> bool:
         return not self.violations
 
@@ -39,7 +51,12 @@ class CheckResult:
         return frozenset(self.violations)
 
     def __str__(self) -> str:
-        status = "PASS" if self.passed else f"{self.num_violations} violations"
+        if self.passed:
+            status = "PASS"
+        else:
+            status = f"{self.num_violations} violations"
+            if self.num_waived:
+                status += f", {self.num_waived} waived"
         return f"{self.rule.name}: {status} ({self.seconds * 1e3:.2f} ms)"
 
 
@@ -60,8 +77,22 @@ class CheckReport:
         return sum(r.num_violations for r in self.results)
 
     @property
+    def total_waived(self) -> int:
+        return sum(r.num_waived for r in self.results)
+
+    @property
+    def blocking_violations(self) -> int:
+        """Unwaived error-severity violations — what a check exits non-zero on."""
+        return sum(r.num_blocking for r in self.results)
+
+    @property
     def passed(self) -> bool:
         return all(r.passed for r in self.results)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing blocks: no unwaived error-severity violations."""
+        return self.blocking_violations == 0
 
     def result(self, rule_name: str) -> CheckResult:
         for result in self.results:
@@ -69,37 +100,20 @@ class CheckReport:
                 return result
         raise KeyError(f"no result for rule {rule_name!r}")
 
-    def summary(self) -> str:
-        lines = [
-            f"DRC report for {self.layout_name!r} ({self.mode} mode): "
-            f"{self.total_violations} violations, {self.total_seconds * 1e3:.2f} ms"
-        ]
-        lines.extend(f"  {result}" for result in self.results)
-        return "\n".join(lines)
+    def payload(self) -> Dict[str, Any]:
+        """The plain-dict report (what :meth:`to_json` serialises).
 
-    def to_csv(self) -> str:
-        """Machine-readable per-violation dump."""
-        lines = ["rule,kind,layer,other_layer,xlo,ylo,xhi,yhi,measured,required"]
-        for result in self.results:
-            for v in result.violations:
-                other = "" if v.other_layer is None else v.other_layer
-                lines.append(
-                    f"{result.rule.name},{v.kind.value},{v.layer},{other},"
-                    f"{v.region.xlo},{v.region.ylo},{v.region.xhi},{v.region.yhi},"
-                    f"{v.measured},{v.required}"
-                )
-        return "\n".join(lines)
-
-    def to_json(self, *, indent: Optional[int] = 2) -> str:
-        """Machine-readable report with a stable schema and key order.
-
-        Byte-identical across execution backends and job counts for equal
-        reports (violations are already canonically ordered; keys sort).
+        The single source every output format renders from — the serve
+        daemon ships it verbatim and the client re-renders CSV/summaries
+        from it through the same :mod:`repro.reporting` functions, so
+        served output is byte-identical to local output by construction.
         """
-        payload = {
+        return {
             "layout": self.layout_name,
             "mode": self.mode,
             "total_violations": self.total_violations,
+            "total_waived": self.total_waived,
+            "blocking_violations": self.blocking_violations,
             "passed": self.passed,
             "results": [
                 {
@@ -108,6 +122,7 @@ class CheckReport:
                     "layer": result.rule.layer,
                     "other_layer": result.rule.other_layer,
                     "value": result.rule.value,
+                    "severity": result.rule.severity,
                     "seconds": result.seconds,
                     "stats": {k: result.stats[k] for k in sorted(result.stats)},
                     "violations": [violation_to_json(v) for v in result.violations],
@@ -115,7 +130,28 @@ class CheckReport:
                 for result in self.results
             ],
         }
-        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        return summary_from_payload(self.payload())
+
+    def to_csv(self, *, expand_instances: bool = False) -> str:
+        """Machine-readable per-violation dump (RFC 4180 quoting).
+
+        Hierarchical repeats collapse by default: violations identical up
+        to translation (the "1 violation x 4096 instances" shape of
+        repeated cell placements) emit one exemplar row whose ``instances``
+        column carries the count. ``expand_instances=True`` emits every
+        marker as its own row.
+        """
+        return csv_from_payload(self.payload(), expand_instances=expand_instances)
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """Machine-readable report with a stable schema and key order.
+
+        Byte-identical across execution backends and job counts for equal
+        reports (violations are already canonically ordered; keys sort).
+        """
+        return json.dumps(self.payload(), indent=indent, sort_keys=True)
 
 
 def violation_to_json(violation: Violation) -> Dict[str, Any]:
@@ -128,6 +164,7 @@ def violation_to_json(violation: Violation) -> Dict[str, Any]:
         "region": [r.xlo, r.ylo, r.xhi, r.yhi],
         "measured": violation.measured,
         "required": violation.required,
+        "waived": violation.waived,
     }
 
 
@@ -140,6 +177,7 @@ def violation_from_json(data: Dict[str, Any]) -> Violation:
         measured=data["measured"],
         required=data["required"],
         other_layer=data.get("other_layer"),
+        waived=bool(data.get("waived", False)),
     )
 
 

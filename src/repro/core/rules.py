@@ -30,6 +30,17 @@ from typing import Callable, List, Optional
 
 from ..errors import RuleError
 from ..geometry import Polygon
+from ..reporting import SEVERITIES
+
+__all__ = [
+    "INTRA_KINDS",
+    "Rule",
+    "RuleKind",
+    "SEVERITIES",
+    "layer",
+    "polygons",
+    "validate_rules",
+]
 
 
 class RuleKind(enum.Enum):
@@ -62,8 +73,16 @@ class Rule:
     other_layer: Optional[int] = None  # enclosure: the enclosing layer
     predicate: Optional[Callable[[Polygon], bool]] = None
     name: str = ""
+    #: ``"error"`` violations block the check (non-zero exit, unless
+    #: waived); ``"warning"`` violations are reported but never block.
+    severity: str = "error"
 
     def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise RuleError(
+                f"rule severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
         if self.kind in (RuleKind.WIDTH, RuleKind.SPACING, RuleKind.AREA,
                          RuleKind.CORNER_SPACING, RuleKind.COLORING):
             if self.layer is None:
@@ -115,6 +134,14 @@ class Rule:
     def named(self, name: str) -> "Rule":
         """A copy carrying a deck name like ``M1.S.1``."""
         return dataclasses.replace(self, name=name)
+
+    def with_severity(self, severity: str) -> "Rule":
+        """A copy carrying the given severity (``"error"``/``"warning"``)."""
+        return dataclasses.replace(self, severity=severity)
+
+    def as_warning(self) -> "Rule":
+        """A copy demoted to ``warning`` severity (reported, never blocking)."""
+        return self.with_severity("warning")
 
     def __str__(self) -> str:
         return self.name

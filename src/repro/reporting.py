@@ -1,0 +1,378 @@
+"""Violation-lifecycle report logic shared by the core and the HTTP client.
+
+Everything here operates on the *plain-dict* report payload that
+:meth:`~repro.core.results.CheckReport.to_json` emits (and that a ``repro
+serve`` daemon returns verbatim): CSV rendering, human summaries, severity
+filtering, waiver application, and hierarchical instance dedup. The core's
+:class:`~repro.core.results.CheckReport` methods and the client's
+``report_json_*`` helpers both delegate to these functions, so a client
+post-processing a served payload reproduces the local CLI's bytes by
+construction — there is exactly one implementation of every output format.
+
+Stdlib-only on purpose: :mod:`repro.client` imports this module without
+pulling numpy or the geometry stack.
+
+Vocabulary
+----------
+
+*Severity* (``error``/``warning``) lives on the rule and flows into each
+result entry. *Waived* is a per-violation flag: a waived violation stays in
+the report (so spliced incremental reports remain byte-identical to cold
+ones — see ``docs/algorithms.md`` §8h) but does not block the exit code.
+*Blocking* violations are the unwaived error-severity ones; they alone make
+a check fail.
+
+Waiver records
+--------------
+
+A waiver is a JSON object naming a rule (or ``"*"``) plus an anchor:
+
+``{"rule": name, "marker": "<sha256>"}``
+    Geometry-anchored: the digest of the violating marker's content
+    (:func:`marker_digest` — kind, layers, region, measurements). Survives
+    any edit that does not change the violation itself.
+``{"rule": name, "region": [xlo, ylo, xhi, yhi]}``
+    Region-anchored: waives violations whose marker lies fully inside the
+    box (boundary contact counts as inside, matching
+    ``Rect.contains_rect``).
+
+An optional ``"reason"`` field is carried through untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "apply_waivers_payload",
+    "csv_from_payload",
+    "csv_quote",
+    "dedup_instances",
+    "filter_violations_payload",
+    "marker_digest",
+    "payload_totals",
+    "summary_from_payload",
+]
+
+#: Severity labels a rule may carry (KiCad-MCP's DRC vocabulary).
+SEVERITIES = ("error", "warning")
+
+CSV_HEADER = (
+    "rule,kind,layer,other_layer,xlo,ylo,xhi,yhi,measured,required,"
+    "severity,waived,instances"
+)
+
+
+# ---------------------------------------------------------------------------
+# CSV (RFC 4180)
+# ---------------------------------------------------------------------------
+
+
+def csv_quote(field: str) -> str:
+    """Quote one CSV field per RFC 4180 when it needs it.
+
+    Rule names are the only free-form CSV column; a deck (or the planned
+    deck DSL) may legally name a rule with commas or quotes, which would
+    otherwise shear the column layout.
+    """
+    if any(c in field for c in ',"\r\n'):
+        return '"' + field.replace('"', '""') + '"'
+    return field
+
+
+def _instance_key(violation: Dict[str, Any]) -> Tuple:
+    """Translation-invariant signature of one violation.
+
+    Hierarchical repeats — the same cell-level violation stamped out by
+    thousands of placements — are identical up to translation: same kind,
+    layers, marker extent, and measurements. Grouping by this key collapses
+    them to one exemplar with an instance count.
+    """
+    xlo, ylo, xhi, yhi = violation["region"]
+    other = violation.get("other_layer")
+    return (
+        violation["kind"],
+        violation["layer"],
+        -1 if other is None else other,
+        xhi - xlo,
+        yhi - ylo,
+        violation["measured"],
+        violation["required"],
+        bool(violation.get("waived", False)),
+    )
+
+
+def dedup_instances(
+    violations: Sequence[Dict[str, Any]],
+) -> List[Tuple[Dict[str, Any], int]]:
+    """Collapse hierarchical repeats to ``(exemplar, instance_count)`` pairs.
+
+    The input must be in canonical violation order (reports always are);
+    the exemplar of each group is its first — lowest-sorting — member, so
+    the collapsed rows are deterministic across backends and sessions.
+    """
+    groups: "Dict[Tuple, List]" = {}
+    order: List[Tuple] = []
+    for violation in violations:
+        key = _instance_key(violation)
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = [violation, 1]
+            order.append(key)
+        else:
+            entry[1] += 1
+    return [(groups[key][0], groups[key][1]) for key in order]
+
+
+def csv_from_payload(
+    payload: Dict[str, Any], *, expand_instances: bool = False
+) -> str:
+    """The CSV marker dump of a report payload.
+
+    By default hierarchical repeats collapse to one exemplar row whose
+    ``instances`` column carries the repeat count; ``expand_instances=True``
+    emits every marker as its own row (``instances`` = 1). Both forms are
+    deterministic, so equal reports produce equal CSV bytes either way.
+    """
+    lines = [CSV_HEADER]
+    for result in payload["results"]:
+        rule = csv_quote(result["rule"])
+        severity = result.get("severity", "error")
+        if expand_instances:
+            rows: Iterable[Tuple[Dict[str, Any], int]] = (
+                (v, 1) for v in result["violations"]
+            )
+        else:
+            rows = dedup_instances(result["violations"])
+        for v, count in rows:
+            other = v.get("other_layer")
+            xlo, ylo, xhi, yhi = v["region"]
+            lines.append(
+                f"{rule},{v['kind']},{v['layer']},"
+                f"{'' if other is None else other},"
+                f"{xlo},{ylo},{xhi},{yhi},{v['measured']},{v['required']},"
+                f"{severity},{1 if v.get('waived') else 0},{count}"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Totals and summaries
+# ---------------------------------------------------------------------------
+
+
+def payload_totals(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Recompute the summary counters of a payload from its violations.
+
+    Used after client-side waiver application so the re-dumped JSON matches
+    a locally waived report byte for byte.
+    """
+    total = waived = blocking = 0
+    for result in payload["results"]:
+        severity = result.get("severity", "error")
+        for v in result["violations"]:
+            total += 1
+            if v.get("waived"):
+                waived += 1
+            elif severity == "error":
+                blocking += 1
+    return {
+        "total_violations": total,
+        "total_waived": waived,
+        "blocking_violations": blocking,
+        "passed": total == 0,
+    }
+
+
+def summary_from_payload(payload: Dict[str, Any]) -> str:
+    """Human summary of a report payload (the CLI's default format)."""
+    totals = payload_totals(payload)
+    total_seconds = sum(result["seconds"] for result in payload["results"])
+    headline = (
+        f"DRC report for {payload['layout']!r} ({payload['mode']} mode): "
+        f"{totals['total_violations']} violations"
+    )
+    if totals["total_waived"] or totals["blocking_violations"] != totals[
+        "total_violations"
+    ]:
+        headline += (
+            f" ({totals['blocking_violations']} blocking, "
+            f"{totals['total_waived']} waived)"
+        )
+    headline += f", {total_seconds * 1e3:.2f} ms"
+    lines = [headline]
+    for result in payload["results"]:
+        count = len(result["violations"])
+        waived = sum(1 for v in result["violations"] if v.get("waived"))
+        distinct = len(dedup_instances(result["violations"]))
+        if count == 0:
+            status = "PASS"
+        else:
+            status = f"{count} violations"
+            if distinct < count:
+                status += f", {distinct} distinct"
+            if waived:
+                status += f", {waived} waived"
+        tag = " [warning]" if result.get("severity", "error") == "warning" else ""
+        lines.append(
+            f"  {result['rule']}{tag}: {status} "
+            f"({result['seconds'] * 1e3:.2f} ms)"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Waivers
+# ---------------------------------------------------------------------------
+
+
+def marker_digest(violation: Dict[str, Any]) -> str:
+    """Content digest of one violation marker (the waiver anchor).
+
+    Hashes the fields that define the violation — kind, layers, marker
+    region, measured/required — exactly as the pack store's content keys
+    hash geometry: value-based, format-salted, independent of report order,
+    severity, or the waived flag. Two runs that produce the same violation
+    produce the same digest, however much unrelated geometry changed.
+    """
+    other = violation.get("other_layer")
+    xlo, ylo, xhi, yhi = violation["region"]
+    text = (
+        f"marker:v1;kind={violation['kind']};layer={violation['layer']};"
+        f"other={'' if other is None else other};"
+        f"region={xlo},{ylo},{xhi},{yhi};"
+        f"measured={violation['measured']};required={violation['required']}"
+    )
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+class WaiverFormatError(ValueError):
+    """A waiver record that is neither marker- nor region-anchored."""
+
+
+def _waiver_predicates(waivers: Sequence[Dict[str, Any]]):
+    """Compile waiver records into ``(rule_target, match(vdict))`` pairs."""
+    compiled = []
+    for waiver in waivers:
+        target = waiver.get("rule", "*")
+        marker = waiver.get("marker")
+        region = waiver.get("region")
+        if marker is not None:
+            if not isinstance(marker, str):
+                raise WaiverFormatError(
+                    f"waiver marker must be a digest string: {waiver}"
+                )
+            compiled.append((target, _marker_match(marker)))
+        elif region is not None:
+            if not isinstance(region, (list, tuple)) or len(region) != 4:
+                raise WaiverFormatError(
+                    f"waiver region must be [xlo, ylo, xhi, yhi]: {waiver}"
+                )
+            compiled.append((target, _region_match(tuple(region))))
+        else:
+            raise WaiverFormatError(
+                f"waiver needs a 'marker' digest or a 'region' box: {waiver}"
+            )
+    return compiled
+
+
+def _marker_match(digest: str):
+    def match(violation: Dict[str, Any]) -> bool:
+        return marker_digest(violation) == digest
+
+    return match
+
+
+def _region_match(box: Tuple[int, int, int, int]):
+    wxlo, wylo, wxhi, wyhi = box
+
+    def match(violation: Dict[str, Any]) -> bool:
+        # Full containment, boundary allowed — Rect.contains_rect semantics.
+        xlo, ylo, xhi, yhi = violation["region"]
+        return wxlo <= xlo and wylo <= ylo and xhi <= wxhi and yhi <= wyhi
+
+    return match
+
+
+def apply_waivers_payload(
+    payload: Dict[str, Any], waivers: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """A new payload with matching violations marked ``waived``.
+
+    Violations are retained, never dropped: the marked payload has the same
+    violation set (and therefore splices, diffs, and dedups identically to
+    the unwaived one) — only the ``waived`` flags and the summary totals
+    change. The input payload is untouched.
+    """
+    compiled = _waiver_predicates(waivers)
+
+    out = dict(payload)
+    out["results"] = []
+    for result in payload["results"]:
+        entry = dict(result)
+        entry["violations"] = []
+        for violation in result["violations"]:
+            v = dict(violation)
+            if not v.get("waived") and any(
+                target in ("*", result["rule"]) and match(v)
+                for target, match in compiled
+            ):
+                v["waived"] = True
+            entry["violations"].append(v)
+        out["results"].append(entry)
+    out.update(payload_totals(out))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Violation filtering (the /violations payload, locally reproducible)
+# ---------------------------------------------------------------------------
+
+
+def filter_violations_payload(
+    payload: Dict[str, Any],
+    *,
+    severity: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+    bbox: Optional[Sequence[int]] = None,
+    include_waived: bool = True,
+) -> Dict[str, Any]:
+    """Flat violation listing filtered by severity / rule / bbox.
+
+    The exact shape ``GET /sessions/<id>/violations`` serves (minus the
+    session envelope), computable from any report payload or marker
+    database — so served filtering and local CLI filtering are the same
+    code path. ``bbox`` keeps violations whose marker *overlaps* the box
+    (closed-region semantics, touching counts — ``Rect.overlaps``).
+    """
+    wanted = set(rules) if rules else None
+    items: List[Dict[str, Any]] = []
+    for result in payload["results"]:
+        sev = result.get("severity", "error")
+        if severity is not None and sev != severity:
+            continue
+        if wanted is not None and result["rule"] not in wanted:
+            continue
+        for violation in result["violations"]:
+            if not include_waived and violation.get("waived"):
+                continue
+            if bbox is not None and not _boxes_overlap(
+                bbox, violation["region"]
+            ):
+                continue
+            entry = dict(violation)
+            entry.setdefault("waived", False)
+            entry["rule"] = result["rule"]
+            entry["severity"] = sev
+            items.append(entry)
+    return {"total": len(items), "violations": items}
+
+
+def _boxes_overlap(a: Sequence[int], b: Sequence[int]) -> bool:
+    axlo, aylo, axhi, ayhi = a
+    bxlo, bylo, bxhi, byhi = b
+    if axlo > axhi or aylo > ayhi or bxlo > bxhi or bylo > byhi:
+        return False
+    return axlo <= bxhi and bxlo <= axhi and aylo <= byhi and bylo <= ayhi

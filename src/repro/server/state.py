@@ -73,8 +73,9 @@ from ..core import costmodel
 from ..core.engine import Engine, EngineOptions
 from ..core.packstore import layer_geometry_digest, resolve_store, store_key
 from ..core.reportcache import deck_digest
-from ..core.results import CheckReport, merge_stats, violation_to_json
-from ..core.rules import Rule
+from ..core.results import CheckReport, merge_stats
+from ..core.rules import SEVERITIES, Rule
+from ..reporting import filter_violations_payload
 
 __all__ = [
     "AdmissionScheduler",
@@ -86,9 +87,6 @@ __all__ = [
     "UnknownSessionError",
     "load_deck_file",
 ]
-
-#: Severity labels a rule may carry in a session (KiCad-MCP's DRC vocabulary).
-SEVERITIES = ("error", "warning")
 
 #: Reports the server remembers for instant repeats (per-state default).
 DEFAULT_REPORT_LRU = 64
@@ -319,19 +317,18 @@ class Session:
         *,
         top: Optional[str] = None,
         deck_path: Optional[str] = None,
-        severities: Optional[Dict[str, str]] = None,
-        default_severity: str = "error",
     ) -> None:
         self.sid = sid
         self.layout = layout
         self.tree = tree
+        #: The session's deck, severities included — severity is a Rule
+        #: field (PR 10), not per-session state, so /violations and a local
+        #: ``repro check`` of the same deck read the same value.
         self.rules = rules
         self.digests = digests
         self.deck_dig = deck_dig
         self.top = top
         self.deck_path = deck_path
-        self.severities = dict(severities or {})
-        self.default_severity = default_severity
         self.version = 1
         self.checks = 0
         self.created = time.time()
@@ -341,9 +338,6 @@ class Session:
         #: the inline-routing tier prices the next one against it.
         self.last_engine_seconds: Optional[float] = None
 
-    def severity_of(self, rule_name: str) -> str:
-        return self.severities.get(rule_name, self.default_severity)
-
     def info(self) -> Dict[str, Any]:
         return {
             "session": self.sid,
@@ -351,10 +345,10 @@ class Session:
             "top": self.tree.top.name,
             "layers": sorted(self.digests),
             "rules": [rule.name for rule in self.rules],
+            "severities": {rule.name: rule.severity for rule in self.rules},
             "coalescable": self.deck_dig is not None,
             "version": self.version,
             "checks": self.checks,
-            "default_severity": self.default_severity,
             "last_total_violations": (
                 None
                 if self.last_report is None
@@ -397,7 +391,7 @@ class ServerState:
         self._lock = threading.Lock()
         self._flight = SingleFlight()
         self._sessions: Dict[str, Session] = {}
-        self._by_bytes: Dict[Tuple[str, str, str], str] = {}
+        self._by_bytes: Dict[Tuple, str] = {}
         self._lru: "OrderedDict[str, CheckReport]" = OrderedDict()
         self._lru_cap = max(0, report_lru)
         self._latencies: Dict[str, deque] = {}
@@ -432,6 +426,36 @@ class ServerState:
         self.close()
 
     # -- deck resolution -----------------------------------------------------
+
+    @staticmethod
+    def _apply_severities(
+        rules: List[Rule],
+        severities: Optional[Dict[str, str]],
+        default_severity: Optional[str],
+    ) -> List[Rule]:
+        """The deck with request-level severity overrides applied onto rules.
+
+        ``severities`` must name rules that exist in the deck (a typo would
+        otherwise be silently ignored — the override would appear accepted
+        but never apply). Returns the input list unchanged when there is
+        nothing to override, so the common no-override path shares the
+        cached deck objects (and their digest work).
+        """
+        overrides = dict(severities or {})
+        unknown = sorted(set(overrides) - {rule.name for rule in rules})
+        if unknown:
+            raise BadRequestError(
+                f"unknown rule(s) in severities: {unknown}; deck rules: "
+                f"{sorted(rule.name for rule in rules)}"
+            )
+        if not overrides and default_severity is None:
+            return rules
+        return [
+            rule.with_severity(
+                overrides.get(rule.name, default_severity or rule.severity)
+            )
+            for rule in rules
+        ]
 
     def _resolve_deck(self, deck_path: Optional[str]) -> List[Rule]:
         path = deck_path or self.deck_path
@@ -482,6 +506,14 @@ class ServerState:
         upload skips even the GDSII parse. Decks whose predicates cannot be
         fingerprinted get a random id and are excluded from coalescing
         (honest, never wrong).
+
+        ``severities``/``default_severity`` override the deck's own per-rule
+        severities: the overrides are applied onto the :class:`Rule` objects
+        themselves (severity is a core Rule field), so the deck digest — and
+        therefore the session id and every report/coalescing key — reflects
+        them, and two clients loading the same layout with different
+        severity maps land on different sessions instead of silently
+        mutating each other's.
         """
         if default_severity is not None and default_severity not in SEVERITIES:
             raise BadRequestError(
@@ -492,16 +524,27 @@ class ServerState:
                 raise BadRequestError(
                     f"severity of rule {name!r} must be one of {SEVERITIES}, got {sev!r}"
                 )
+        severity_fp = (
+            default_severity or "",
+            tuple(sorted((severities or {}).items())),
+        )
         bytes_key = None
         if data is not None:
-            bytes_key = (hashlib.sha256(data).hexdigest(), top or "", deck or "")
+            bytes_key = (
+                hashlib.sha256(data).hexdigest(),
+                top or "",
+                deck or "",
+                severity_fp,
+            )
             with self._lock:
                 sid = self._by_bytes.get(bytes_key)
                 session = self._sessions.get(sid) if sid else None
             if session is not None:
-                return self._reuse(session, severities, default_severity)
+                return self._reuse(session)
 
-        rules = self._resolve_deck(deck)
+        rules = self._apply_severities(
+            self._resolve_deck(deck), severities, default_severity
+        )
         layout = self._parse_layout(path, data, top)
         tree = HierarchyTree(layout)
         digests = {
@@ -527,8 +570,6 @@ class ServerState:
                     deck_dig,
                     top=top,
                     deck_path=deck or self.deck_path,
-                    severities=severities,
-                    default_severity=default_severity or "error",
                 )
                 self._sessions[sid] = session
                 self.counters["sessions_created"] += 1
@@ -537,19 +578,10 @@ class ServerState:
                 return session, True
             if bytes_key is not None:
                 self._by_bytes[bytes_key] = sid
-        return self._reuse(existing, severities, default_severity)
+        return self._reuse(existing)
 
-    def _reuse(
-        self,
-        session: Session,
-        severities: Optional[Dict[str, str]],
-        default_severity: Optional[str],
-    ) -> Tuple[Session, bool]:
+    def _reuse(self, session: Session) -> Tuple[Session, bool]:
         with self._lock:
-            if severities:
-                session.severities.update(severities)
-            if default_severity is not None:
-                session.default_severity = default_severity
             self.counters["sessions_reused"] += 1
         return session, False
 
@@ -854,6 +886,10 @@ class ServerState:
 
         Serves from the session's last report; a session that has never
         been checked is checked first (which itself coalesces/LRU-hits).
+        Filtering delegates to
+        :func:`repro.reporting.filter_violations_payload` — the same code
+        path the local ``repro violations`` command runs on a marker
+        database, so served and local listings are byte-identical.
         """
         if severity is not None and severity not in SEVERITIES:
             raise BadRequestError(
@@ -878,26 +914,18 @@ class ServerState:
                 f"unknown rule(s): {sorted(wanted - known)}; session rules: "
                 f"{sorted(known)}"
             )
-        items: List[Dict[str, Any]] = []
-        for result in report.results:
-            sev = session.severity_of(result.rule.name)
-            if severity is not None and sev != severity:
-                continue
-            if wanted is not None and result.rule.name not in wanted:
-                continue
-            for violation in result.violations:
-                if box is not None and not box.overlaps(violation.region):
-                    continue
-                entry = violation_to_json(violation)
-                entry["rule"] = result.rule.name
-                entry["severity"] = sev
-                items.append(entry)
+        filtered = filter_violations_payload(
+            report.payload(),
+            severity=severity,
+            rules=rules,
+            bbox=None if box is None else [box.xlo, box.ylo, box.xhi, box.yhi],
+        )
         return {
             "session": session.sid,
             "layout": report.layout_name,
             "version": session.version,
-            "total": len(items),
-            "violations": items,
+            "total": filtered["total"],
+            "violations": filtered["violations"],
         }
 
     # -- introspection -------------------------------------------------------

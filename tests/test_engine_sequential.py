@@ -141,7 +141,14 @@ class TestReport:
         assert "simple" in report.summary()
         csv = report.to_csv()
         assert csv.splitlines()[0].startswith("rule,kind")
-        assert len(csv.splitlines()) == 1 + 2
+        # The two markers are translation-identical, so the default CSV
+        # collapses them to one exemplar row with instances=2 ...
+        assert len(csv.splitlines()) == 1 + 1
+        assert csv.splitlines()[1].endswith(",2")
+        # ... and --expand-instances emits each as its own row.
+        expanded = report.to_csv(expand_instances=True)
+        assert len(expanded.splitlines()) == 1 + 2
+        assert all(line.endswith(",1") for line in expanded.splitlines()[1:])
 
     def test_result_lookup(self):
         engine = Engine(mode="sequential")

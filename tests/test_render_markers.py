@@ -135,21 +135,28 @@ class TestWaivers:
             report,
             [{"rule": "M2.S.1", "region": list(target.region.inflated(1))}],
         )
-        assert waived.result("M2.S.1").num_violations == spacing.num_violations - 1
+        # Mark-not-drop: the violation stays in the report (same set, so
+        # splices/diffs are oblivious) but no longer blocks.
+        marked = waived.result("M2.S.1")
+        assert marked.num_violations == spacing.num_violations
+        assert marked.num_waived == 1
+        assert marked.num_blocking == spacing.num_violations - 1
+        assert marked.violation_set() == spacing.violation_set()
         # Other rules untouched.
-        assert (
-            waived.result("M2.W.1").num_violations
-            == report.result("M2.W.1").num_violations
-        )
+        assert waived.result("M2.W.1").num_waived == 0
         # Original report unchanged.
-        assert report.result("M2.S.1").num_violations == spacing.num_violations
+        assert report.result("M2.S.1").num_waived == 0
 
     def test_star_rule_waives_everything_in_region(self):
         from repro.core.markers import apply_waivers
 
         report, _ = dirty_report()
         everything = [{"rule": "*", "region": [-10**9, -10**9, 10**9, 10**9]}]
-        assert apply_waivers(report, everything).total_violations == 0
+        waived = apply_waivers(report, everything)
+        assert waived.total_violations == report.total_violations
+        assert waived.total_waived == report.total_violations
+        assert waived.blocking_violations == 0
+        assert waived.ok
 
     def test_partial_overlap_not_waived(self):
         from repro.core.markers import apply_waivers
@@ -164,6 +171,7 @@ class TestWaivers:
             report, [{"rule": "M2.S.1", "region": list(clipped)}]
         )
         assert waived.total_violations == report.total_violations
+        assert waived.total_waived == 0
 
     def test_waiver_round_trip(self, tmp_path):
         from repro.core.markers import load_waivers, save_waivers
